@@ -1,0 +1,79 @@
+// Command asm assembles and disassembles programs for the simulator's
+// RISC ISA.
+//
+// Usage:
+//
+//	asm prog.s                # assemble, print binary words as hex
+//	asm -d prog.s             # assemble then disassemble (round trip)
+//	asm -hex prog.hex         # disassemble a hex word listing
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "print disassembly instead of hex words")
+	hexIn := flag.Bool("hex", false, "input is a hex word listing, not assembly")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asm [-d] [-hex] <file>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	var prog isa.Program
+	if *hexIn {
+		prog, err = decodeHex(string(data))
+	} else {
+		prog, err = isa.Assemble(string(data))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *disasm || *hexIn {
+		fmt.Print(isa.Disassemble(prog))
+		return
+	}
+	words, err := isa.EncodeProgram(prog)
+	if err != nil {
+		fail(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, word := range words {
+		fmt.Fprintf(w, "%08x\n", word)
+	}
+}
+
+func decodeHex(src string) (isa.Program, error) {
+	var words []uint32
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseUint(line, 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+		}
+		words = append(words, uint32(v))
+	}
+	return isa.DecodeProgram(words)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "asm:", err)
+	os.Exit(1)
+}

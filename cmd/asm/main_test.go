@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestDecodeHexRoundTrip(t *testing.T) {
+	prog := isa.MustAssemble(`
+		add r1, r2, r3
+		lw r4, 8(r5)
+		halt
+	`)
+	words, err := isa.EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "# comment line\n"
+	for _, w := range words {
+		src += fmt.Sprintf("%08x\n", w)
+	}
+	src += "\n" // blank lines tolerated
+	back, err := decodeHex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(prog) {
+		t.Fatalf("length %d, want %d", len(back), len(prog))
+	}
+	for i := range prog {
+		if back[i] != prog[i] {
+			t.Errorf("inst %d: %v, want %v", i, back[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeHexErrors(t *testing.T) {
+	if _, err := decodeHex("nothex\n"); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if _, err := decodeHex("ff000000\n"); err == nil {
+		t.Error("invalid opcode byte accepted")
+	}
+}

@@ -1,0 +1,44 @@
+// Command paperrepro regenerates the paper's artefacts — Table 1 and
+// Figures 1-7 as structural/behavioural reproductions — and the extension
+// studies X1-X6 of DESIGN.md.
+//
+// Usage:
+//
+//	paperrepro                  # everything
+//	paperrepro -artifact table1 # one artefact
+//	paperrepro -list            # list artefact names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	artifact := flag.String("artifact", "all", "artefact to regenerate (see -list)")
+	list := flag.Bool("list", false, "list artefact names and exit")
+	flag.Parse()
+
+	arts := experiments.Artifacts()
+	if *list {
+		names := make([]string, 0, len(arts))
+		for name := range arts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Println(name)
+		}
+		return
+	}
+	f, ok := arts[*artifact]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown artifact %q; try -list\n", *artifact)
+		os.Exit(2)
+	}
+	fmt.Println(f())
+}

@@ -1,0 +1,165 @@
+// Command rsssim runs the reconfigurable superscalar simulator on a
+// program — an assembly file, a built-in kernel, or a synthetic workload
+// — under a chosen configuration policy and prints the run report.
+//
+// Usage:
+//
+//	rsssim -kernel saxpy
+//	rsssim -kernel matmul -policy static-integer
+//	rsssim -asm prog.s -policy full-reconfig -reconfig-latency 32
+//	rsssim -synthetic phased -policy steering -trace
+//	rsssim -kernels            # list built-in kernels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		asmPath    = flag.String("asm", "", "assembly source file to run")
+		kernelName = flag.String("kernel", "", "built-in kernel to run")
+		synthetic  = flag.String("synthetic", "", "synthetic workload: int, fp, mem, mdu, uniform, phased")
+		policyName = flag.String("policy", "steering", "configuration policy")
+		listK      = flag.Bool("kernels", false, "list built-in kernels and exit")
+		maxCycles  = flag.Int("max-cycles", 50_000_000, "cycle budget")
+		seed       = flag.Int64("seed", 7, "seed for synthetic workloads / random policy")
+		window     = flag.Int("window", 0, "scheduling window size (0 = default 7)")
+		reconfig   = flag.Int("reconfig-latency", 0, "cycles per RFU span reconfiguration (0 = default 8)")
+		disableFFU = flag.Bool("no-ffus", false, "disable the fixed functional units (X4 ablation)")
+		traceN     = flag.Int("trace", 0, "print a pipeline trace and chart of the first N cycles")
+		basisPath  = flag.String("basis", "", "JSON file with a custom 3-configuration steering basis")
+		lookahead  = flag.Bool("lookahead", false, "feed the manager fetched-but-undispatched demand too (X10)")
+		residency  = flag.Int("residency", 0, "minimum cycles between configuration loads (X11)")
+		jsonOut    = flag.Bool("json", false, "emit the run report as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *listK {
+		for _, k := range repro.Kernels() {
+			fmt.Printf("%-10s %s\n", k.Name, k.Description)
+		}
+		return
+	}
+
+	policy, err := repro.ParsePolicy(*policyName)
+	if err != nil {
+		fail(err)
+	}
+	params := repro.DefaultParams()
+	params.WindowSize = *window
+	params.ReconfigLatency = *reconfig
+	params.DisableFFUs = *disableFFU
+	params.ManagerLookahead = *lookahead
+	opt := repro.Options{Params: params, Policy: policy, Seed: *seed, MinResidency: *residency}
+	if *basisPath != "" {
+		data, err := os.ReadFile(*basisPath)
+		if err != nil {
+			fail(err)
+		}
+		basis, err := repro.ParseBasis(data)
+		if err != nil {
+			fail(fmt.Errorf("parsing %s: %w", *basisPath, err))
+		}
+		opt.Basis = &basis
+	}
+
+	var m *repro.Machine
+	var validate func() error
+	switch {
+	case *kernelName != "":
+		k := repro.KernelByName(*kernelName)
+		if k == nil {
+			fail(fmt.Errorf("unknown kernel %q; try -kernels", *kernelName))
+		}
+		m = repro.NewMachine(k.Program(), opt)
+		if k.Setup != nil {
+			k.Setup(m.Processor().Memory(), m.Processor().SetReg)
+		}
+		if k.Validate != nil {
+			validate = func() error { return k.Validate(m.Processor().Reg, m.Processor().Memory()) }
+		}
+
+	case *asmPath != "":
+		src, err := os.ReadFile(*asmPath)
+		if err != nil {
+			fail(err)
+		}
+		unit, err := repro.AssembleUnit(string(src))
+		if err != nil {
+			fail(err)
+		}
+		m = repro.NewMachineFromUnit(unit, opt)
+
+	case *synthetic != "":
+		prog, err := syntheticProgram(*synthetic, *seed)
+		if err != nil {
+			fail(err)
+		}
+		m = repro.NewMachine(prog, opt)
+
+	default:
+		fmt.Fprintln(os.Stderr, "one of -kernel, -asm or -synthetic is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *traceN > 0 {
+		m.EnableTracingUntil(64**traceN, *traceN)
+	}
+	if _, err := m.Run(*maxCycles); err != nil {
+		fail(err)
+	}
+	if validate != nil {
+		if err := validate(); err != nil {
+			fail(fmt.Errorf("validation: %w", err))
+		}
+		fmt.Println("kernel output validated OK")
+	}
+	if *traceN > 0 {
+		fmt.Printf("pipeline chart, cycles 0..%d (F fetch, D dispatch, I issue, = executing, R retire, x flushed):\n", *traceN)
+		fmt.Println(m.Pipeview(0, *traceN))
+	}
+	if *jsonOut {
+		data, err := m.ReportJSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Print(m.Report())
+}
+
+func syntheticProgram(kind string, seed int64) (repro.Program, error) {
+	const n = 3000
+	switch kind {
+	case "int":
+		return repro.Synthesize([]repro.Phase{{Mix: repro.MixIntHeavy, Instructions: n}}, seed), nil
+	case "fp":
+		return repro.Synthesize([]repro.Phase{{Mix: repro.MixFPHeavy, Instructions: n}}, seed), nil
+	case "mem":
+		return repro.Synthesize([]repro.Phase{{Mix: repro.MixMemHeavy, Instructions: n}}, seed), nil
+	case "mdu":
+		return repro.Synthesize([]repro.Phase{{Mix: repro.MixMDUHeavy, Instructions: n}}, seed), nil
+	case "uniform":
+		return repro.Synthesize([]repro.Phase{{Mix: repro.MixUniform, Instructions: n}}, seed), nil
+	case "phased":
+		return repro.Synthesize([]repro.Phase{
+			{Mix: repro.MixIntHeavy, Instructions: n / 4},
+			{Mix: repro.MixFPHeavy, Instructions: n / 4},
+			{Mix: repro.MixMemHeavy, Instructions: n / 4},
+			{Mix: repro.MixFPHeavy, Instructions: n / 4},
+		}, seed), nil
+	}
+	return nil, fmt.Errorf("unknown synthetic workload %q", kind)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rsssim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestSyntheticProgramKinds(t *testing.T) {
+	for _, kind := range []string{"int", "fp", "mem", "mdu", "uniform", "phased"} {
+		prog, err := syntheticProgram(kind, 3)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if len(prog) == 0 {
+			t.Errorf("%s: empty program", kind)
+			continue
+		}
+		if prog[len(prog)-1].Op != isa.HALT {
+			t.Errorf("%s: program does not end in HALT", kind)
+		}
+	}
+	if _, err := syntheticProgram("bogus", 1); err == nil {
+		t.Error("unknown workload kind accepted")
+	}
+}
+
+func TestSyntheticProgramSeeded(t *testing.T) {
+	a, _ := syntheticProgram("uniform", 5)
+	b, _ := syntheticProgram("uniform", 5)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different programs")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The basic flow: assemble, run on the steering machine, read a result.
+func ExampleNewMachine() {
+	prog := repro.MustAssemble(`
+		li r1, 6
+		li r2, 7
+		mul r3, r1, r2
+		halt
+	`)
+	m := repro.NewMachine(prog, repro.Options{Policy: repro.PolicySteering})
+	if _, err := m.Run(100000); err != nil {
+		panic(err)
+	}
+	fmt.Println("r3 =", m.Reg(3))
+	// Output: r3 = 42
+}
+
+// Self-contained programs carry their data in .data sections; la loads
+// label addresses.
+func ExampleAssembleUnit() {
+	u, err := repro.AssembleUnit(`
+		.data 0x1000
+	nums:	.word 10, 20, 30
+		.text
+		la r1, nums
+		lw r2, 0(r1)
+		lw r3, 4(r1)
+		lw r4, 8(r1)
+		add r5, r2, r3
+		add r5, r5, r4
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	m := repro.NewMachineFromUnit(u, repro.Options{Policy: repro.PolicySteering})
+	if _, err := m.Run(100000); err != nil {
+		panic(err)
+	}
+	fmt.Println("sum =", m.Reg(5))
+	// Output: sum = 60
+}
+
+// Kernels from the benchmark library validate their own outputs.
+func ExampleRunKernel() {
+	k := repro.KernelByName("dot")
+	stats, err := repro.RunKernel(k, repro.Options{Policy: repro.PolicySteering}, 10_000_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("validated:", stats.Halted)
+	// Output: validated: true
+}
+
+// Synthetic workloads give the steering manager phase structure to chase.
+func ExampleSynthesize() {
+	prog := repro.Synthesize([]repro.Phase{
+		{Mix: repro.MixIntHeavy, Instructions: 100},
+		{Mix: repro.MixFPHeavy, Instructions: 100},
+	}, 1)
+	m := repro.NewMachine(prog, repro.Options{Policy: repro.PolicySteering})
+	if _, err := m.Run(1_000_000); err != nil {
+		panic(err)
+	}
+	fmt.Println("halted:", m.Halted())
+	// Output: halted: true
+}
+
+// Steering bases are plain JSON; parse, use, or marshal your own.
+func ExampleParseBasis() {
+	basis, err := repro.ParseBasis([]byte(`[
+		{"name": "a", "units": ["IntALU","IntALU","LSU"]},
+		{"name": "b", "units": ["FPALU","IntALU"]},
+		{"name": "c", "units": ["IntMDU","LSU","LSU"]}
+	]`))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(basis[0].Name, basis[1].Name, basis[2].Name)
+	// Output: a b c
+}

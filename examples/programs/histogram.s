@@ -1,0 +1,46 @@
+; Self-contained histogram program for rsssim:
+;
+;   go run ./cmd/rsssim -asm examples/programs/histogram.s
+;
+; Buckets the 32 values in `samples` by their low 3 bits into `counts`,
+; then sums the counts into r9 as a sanity value (must equal 32).
+
+	.data 0x1000
+samples:
+	.word 3, 17, 8, 12, 5, 5, 9, 30
+	.word 2, 11, 24, 7, 19, 1, 6, 28
+	.word 15, 4, 22, 10, 13, 29, 0, 18
+	.word 26, 21, 14, 27, 16, 23, 25, 20
+counts:
+	.space 32          ; 8 buckets x 4 bytes
+
+	.text
+	la r10, samples
+	la r11, counts
+	li r12, 32
+	li r1, 0           ; i
+loop:
+	slli r5, r1, 2
+	add r6, r5, r10
+	lw r3, 0(r6)       ; sample
+	andi r3, r3, 7     ; bucket = sample & 7
+	slli r3, r3, 2
+	add r7, r3, r11
+	lw r4, 0(r7)
+	addi r4, r4, 1
+	sw r4, 0(r7)
+	addi r1, r1, 1
+	bne r1, r12, loop
+
+	; sum the buckets
+	li r1, 0
+	li r9, 0
+sum:
+	slli r5, r1, 2
+	add r7, r5, r11
+	lw r4, 0(r7)
+	add r9, r9, r4
+	addi r1, r1, 1
+	li r2, 8
+	bne r1, r2, sum
+	halt

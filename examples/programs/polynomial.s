@@ -1,0 +1,43 @@
+; Horner evaluation of p(x) = 2x^3 - 3x^2 + 4x - 5 over the float
+; samples in `xs`, storing results to `ys`:
+;
+;   go run ./cmd/rsssim -asm examples/programs/polynomial.s -policy steering
+;
+; An FP-heavy loop: watch the steering manager pull in the floating
+; configuration (compare -policy static-integer).
+
+	.data 0x1000
+xs:
+	.float 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0
+	.float 4.5, 5.0, 5.5, 6.0, 6.5, 7.0, 7.5, 8.0
+ys:
+	.space 64
+coeffs:
+	.float 2.0, -3.0, 4.0, -5.0
+
+	.text
+	la r10, xs
+	la r11, ys
+	la r12, coeffs
+	flw f1, 0(r12)     ; c3
+	flw f2, 4(r12)     ; c2
+	flw f3, 8(r12)     ; c1
+	flw f4, 12(r12)    ; c0
+	li r13, 16
+	li r1, 0
+loop:
+	slli r5, r1, 2
+	add r6, r5, r10
+	flw f5, 0(r6)      ; x
+	; Horner: ((c3*x + c2)*x + c1)*x + c0
+	fmul f6, f1, f5
+	fadd f6, f6, f2
+	fmul f6, f6, f5
+	fadd f6, f6, f3
+	fmul f6, f6, f5
+	fadd f6, f6, f4
+	add r7, r5, r11
+	fsw f6, 0(r7)
+	addi r1, r1, 1
+	bne r1, r13, loop
+	halt

@@ -1,0 +1,49 @@
+// Quickstart: assemble a small program, run it on the steering machine,
+// and read results back out of registers and memory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A little program that mixes integer, memory and floating-point
+	// work: sum the squares of 1..10, convert to float, take the square
+	// root, and store both results.
+	prog, err := repro.Assemble(`
+		li r1, 0        ; i
+		li r2, 10
+		li r3, 0        ; sum
+	loop:
+		addi r1, r1, 1
+		mul r4, r1, r1
+		add r3, r3, r4
+		bne r1, r2, loop
+
+		li r5, 0x100
+		sw r3, 0(r5)    ; store the integer sum
+
+		fcvt.s.w f1, r3
+		fsqrt f2, f1
+		fsw f2, 4(r5)   ; store sqrt(sum) as float bits
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := repro.NewMachine(prog, repro.Options{Policy: repro.PolicySteering})
+	stats, err := m.Run(1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sum of squares 1..10 = %d (expected 385)\n", m.Reg(3))
+	words := m.ReadWords(0x100, 2)
+	fmt.Printf("stored: sum=%d sqrtBits=%#x\n", words[0], words[1])
+	fmt.Printf("\nrun summary:\n%s", m.Report())
+	_ = stats
+}

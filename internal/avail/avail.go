@@ -1,0 +1,78 @@
+// Package avail implements the resource-availability computation of §4.2:
+// Equation 1 and the circuit of Figure 7. A functional unit of type t is
+// available when some entry of the resource allocation vector carries t's
+// encoding and that entry's availability signal is asserted. Continuation
+// slots of multi-slot units carry arch.EncCont and therefore never match,
+// so a multi-slot unit is counted exactly once — through its head slot.
+//
+// Both a behavioural form (Available) and a gate-level reconstruction of
+// Fig. 7 (CircuitAvailable) are provided; tests prove them equivalent
+// exhaustively.
+package avail
+
+import (
+	"repro/internal/arch"
+	"repro/internal/logic"
+)
+
+// Available evaluates Equation 1: it reports whether a unit of type t is
+// available given the allocation vector entries and the per-entry
+// availability signals. The two slices must have equal length (one entry
+// per reconfigurable slot followed by one per fixed unit); mismatched
+// lengths panic, as that is a wiring error.
+func Available(t arch.UnitType, alloc []arch.Encoding, availability []bool) bool {
+	if len(alloc) != len(availability) {
+		panic("avail: allocation vector and availability signals differ in length")
+	}
+	want := arch.Encode(t)
+	for i, e := range alloc {
+		if e == want && availability[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns how many units of type t are currently available — the
+// multi-unit generalisation the scheduler's grant logic needs when
+// several instructions request the same type in one cycle.
+func Count(t arch.UnitType, alloc []arch.Encoding, availability []bool) int {
+	if len(alloc) != len(availability) {
+		panic("avail: allocation vector and availability signals differ in length")
+	}
+	want := arch.Encode(t)
+	n := 0
+	for i, e := range alloc {
+		if e == want && availability[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// AllAvailable evaluates Available for every unit type at once, the form
+// the wake-up array consumes each cycle.
+func AllAvailable(alloc []arch.Encoding, availability []bool) [arch.NumUnitTypes]bool {
+	var out [arch.NumUnitTypes]bool
+	for _, t := range arch.UnitTypes() {
+		out[t] = Available(t, alloc, availability)
+	}
+	return out
+}
+
+// CircuitAvailable is the gate-level reconstruction of Fig. 7: for each
+// vector entry, a 3-bit equality comparator between the entry's encoding
+// and type(t) feeds an AND with the entry's availability signal; an OR
+// tree over all product terms produces available(t).
+func CircuitAvailable(t arch.UnitType, alloc []arch.Encoding, availability []bool) bool {
+	if len(alloc) != len(availability) {
+		panic("avail: allocation vector and availability signals differ in length")
+	}
+	want := logic.BusFromUint(uint64(arch.Encode(t)), arch.EncodingBits)
+	products := make([]logic.Bit, len(alloc))
+	for i, e := range alloc {
+		entry := logic.BusFromUint(uint64(e), arch.EncodingBits)
+		products[i] = logic.And(logic.Equal(entry, want), logic.Bit(availability[i]))
+	}
+	return bool(logic.Or(products...))
+}

@@ -1,0 +1,170 @@
+package avail
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+)
+
+// fullVector builds the 13-entry allocation vector (8 slots + 5 FFUs)
+// from a slot layout.
+func fullVector(slots [arch.NumRFUSlots]arch.Encoding) []arch.Encoding {
+	v := config.NewAllocationVector()
+	v.Slots = slots
+	return v.Entries()
+}
+
+func TestAvailableFindsConfiguredIdleUnit(t *testing.T) {
+	var slots [arch.NumRFUSlots]arch.Encoding
+	slots[2] = arch.EncFPALU
+	slots[3] = arch.EncCont
+	slots[4] = arch.EncCont
+	alloc := fullVector(slots)
+	sig := make([]bool, len(alloc))
+	sig[2] = true // FPALU head slot idle
+
+	if !Available(arch.FPALU, alloc, sig) {
+		t.Error("idle configured FPALU reported unavailable")
+	}
+	if Available(arch.IntMDU, alloc, sig) {
+		t.Error("IntMDU reported available with no idle unit")
+	}
+}
+
+// TestContinuationSlotsNeverMatch pins the §4.2 rule that a multi-slot
+// unit is considered exactly once: asserting availability on a
+// continuation slot must not make any type available.
+func TestContinuationSlotsNeverMatch(t *testing.T) {
+	var slots [arch.NumRFUSlots]arch.Encoding
+	slots[0] = arch.EncFPMDU
+	slots[1] = arch.EncCont
+	slots[2] = arch.EncCont
+	alloc := fullVector(slots)
+	sig := make([]bool, len(alloc))
+	sig[1] = true // continuation asserted, head not
+	sig[2] = true
+	for _, ty := range arch.UnitTypes() {
+		if Available(ty, alloc, sig) {
+			t.Errorf("%v available via a continuation slot", ty)
+		}
+	}
+}
+
+func TestFFUPortionSupportsAllTypes(t *testing.T) {
+	alloc := fullVector([arch.NumRFUSlots]arch.Encoding{})
+	sig := make([]bool, len(alloc))
+	// Only the fixed units are idle.
+	for i := arch.NumRFUSlots; i < len(sig); i++ {
+		sig[i] = true
+	}
+	got := AllAvailable(alloc, sig)
+	for _, ty := range arch.UnitTypes() {
+		if !got[ty] {
+			t.Errorf("FFU for %v not found available", ty)
+		}
+	}
+}
+
+func TestBusyUnitIsUnavailable(t *testing.T) {
+	alloc := fullVector([arch.NumRFUSlots]arch.Encoding{})
+	sig := make([]bool, len(alloc)) // everything busy
+	for _, ty := range arch.UnitTypes() {
+		if Available(ty, alloc, sig) {
+			t.Errorf("%v available while all signals deasserted", ty)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	var slots [arch.NumRFUSlots]arch.Encoding
+	slots[0] = arch.EncIntALU
+	slots[1] = arch.EncIntALU
+	slots[2] = arch.EncIntALU
+	alloc := fullVector(slots)
+	sig := make([]bool, len(alloc))
+	sig[0], sig[2] = true, true  // two of three RFU IntALUs idle
+	sig[arch.NumRFUSlots] = true // the IntALU FFU idle
+	if got := Count(arch.IntALU, alloc, sig); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	if got := Count(arch.LSU, alloc, sig); got != 0 {
+		t.Errorf("Count(LSU) = %d, want 0", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	Available(arch.IntALU, make([]arch.Encoding, 3), make([]bool, 4))
+}
+
+// TestCircuitEquivalenceExhaustive proves the Fig. 7 gate network equals
+// Equation 1 over every encoding value and both signal levels for a
+// 1-entry vector, then over randomized full 13-entry vectors. Together
+// with OR-tree linearity this covers the construction.
+func TestAvailabilityCircuitEquivalence(t *testing.T) {
+	// Single entry: exhaustive over 8 encodings x 2 signals x 5 types.
+	for enc := 0; enc < 8; enc++ {
+		for _, sig := range []bool{false, true} {
+			alloc := []arch.Encoding{arch.Encoding(enc)}
+			sigs := []bool{sig}
+			for _, ty := range arch.UnitTypes() {
+				want := Available(ty, alloc, sigs)
+				got := CircuitAvailable(ty, alloc, sigs)
+				if got != want {
+					t.Fatalf("enc=%d sig=%v type=%v: circuit=%v behaviour=%v", enc, sig, ty, got, want)
+				}
+			}
+		}
+	}
+	// Randomised full vectors.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		var slots [arch.NumRFUSlots]arch.Encoding
+		for i := range slots {
+			slots[i] = arch.Encoding(rng.Intn(8))
+		}
+		alloc := fullVector(slots)
+		sigs := make([]bool, len(alloc))
+		for i := range sigs {
+			sigs[i] = rng.Intn(2) == 1
+		}
+		for _, ty := range arch.UnitTypes() {
+			if CircuitAvailable(ty, alloc, sigs) != Available(ty, alloc, sigs) {
+				t.Fatalf("trial %d type %v: circuit and behaviour disagree\nalloc=%v sigs=%v", trial, ty, alloc, sigs)
+			}
+		}
+	}
+}
+
+// TestAvailableMonotone property: asserting one more availability signal
+// can never make a previously available type unavailable.
+func TestAvailableMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		var slots [arch.NumRFUSlots]arch.Encoding
+		for i := range slots {
+			slots[i] = arch.Encoding(rng.Intn(8))
+		}
+		alloc := fullVector(slots)
+		sigs := make([]bool, len(alloc))
+		for i := range sigs {
+			sigs[i] = rng.Intn(2) == 1
+		}
+		before := AllAvailable(alloc, sigs)
+		// Assert one more signal.
+		idx := rng.Intn(len(sigs))
+		sigs[idx] = true
+		after := AllAvailable(alloc, sigs)
+		for _, ty := range arch.UnitTypes() {
+			if before[ty] && !after[ty] {
+				t.Fatalf("availability lost by asserting a signal (type %v)", ty)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// configJSON is the on-disk form of a configuration: a name and the unit
+// list in placement order. The slot layout is derived by packing the
+// units left to right, exactly as New does.
+type configJSON struct {
+	Name  string   `json:"name"`
+	Units []string `json:"units"`
+}
+
+// MarshalJSON serialises the configuration as its name and unit list.
+func (c Configuration) MarshalJSON() ([]byte, error) {
+	units := c.Units()
+	names := make([]string, len(units))
+	for i, u := range units {
+		names[i] = u.Type.String()
+	}
+	return json.Marshal(configJSON{Name: c.Name, Units: names})
+}
+
+// UnmarshalJSON parses the name/unit-list form and packs the units into
+// slots, validating slot capacity and unit names.
+func (c *Configuration) UnmarshalJSON(data []byte) error {
+	var j configJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	units := make([]arch.UnitType, len(j.Units))
+	for i, name := range j.Units {
+		t, ok := arch.ParseUnit(name)
+		if !ok {
+			return fmt.Errorf("config %q: unknown unit type %q", j.Name, name)
+		}
+		units[i] = t
+	}
+	parsed, err := New(j.Name, units...)
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
+}
+
+// ParseBasis parses a steering basis — a JSON array of exactly three
+// configurations — and validates each one. Example:
+//
+//	[
+//	  {"name": "integer",  "units": ["IntALU","IntALU","IntALU","IntALU","IntMDU","LSU","LSU"]},
+//	  {"name": "memory",   "units": ["IntALU","IntALU","IntMDU","LSU","LSU","LSU","LSU"]},
+//	  {"name": "floating", "units": ["IntALU","LSU","FPALU","FPMDU"]}
+//	]
+func ParseBasis(data []byte) ([3]Configuration, error) {
+	var list []Configuration
+	if err := json.Unmarshal(data, &list); err != nil {
+		return [3]Configuration{}, err
+	}
+	if len(list) != 3 {
+		return [3]Configuration{}, fmt.Errorf("a steering basis needs exactly 3 configurations, got %d", len(list))
+	}
+	var basis [3]Configuration
+	copy(basis[:], list)
+	for i, c := range basis {
+		if err := c.Validate(); err != nil {
+			return [3]Configuration{}, fmt.Errorf("configuration %d: %w", i, err)
+		}
+	}
+	return basis, nil
+}
+
+// MarshalBasis serialises a steering basis to indented JSON.
+func MarshalBasis(basis [3]Configuration) ([]byte, error) {
+	return json.MarshalIndent(basis[:], "", "  ")
+}

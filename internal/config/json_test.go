@@ -1,0 +1,89 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestConfigurationJSONRoundTrip(t *testing.T) {
+	for _, cfg := range DefaultBasis() {
+		data, err := cfg.MarshalJSON()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", cfg.Name, err)
+		}
+		var back Configuration
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatalf("%s: unmarshal: %v", cfg.Name, err)
+		}
+		if back.Name != cfg.Name || back.Layout != cfg.Layout {
+			t.Errorf("%s: round trip changed configuration:\n%v\n%v", cfg.Name, cfg, back)
+		}
+	}
+}
+
+func TestBasisRoundTrip(t *testing.T) {
+	basis := DefaultBasis()
+	data, err := MarshalBasis(basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBasis(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != basis {
+		t.Errorf("basis round trip changed:\n%v\n%v", basis, back)
+	}
+}
+
+func TestParseBasisFromHandWrittenJSON(t *testing.T) {
+	src := `[
+	  {"name": "a", "units": ["IntALU","IntALU","LSU"]},
+	  {"name": "b", "units": ["FPALU","IntALU"]},
+	  {"name": "c", "units": ["IntMDU","IntMDU","LSU"]}
+	]`
+	basis, err := ParseBasis([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basis[0].Counts() != (arch.Counts{2, 0, 1, 0, 0}) {
+		t.Errorf("basis[0] counts = %v", basis[0].Counts())
+	}
+	if basis[1].Layout[0] != arch.EncFPALU {
+		t.Errorf("basis[1] layout = %v", basis[1].Layout)
+	}
+	if basis[2].Counts() != (arch.Counts{0, 2, 1, 0, 0}) {
+		t.Errorf("basis[2] counts = %v", basis[2].Counts())
+	}
+}
+
+func TestParseBasisErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"not json", `nope`, ""},
+		{"wrong count", `[{"name":"a","units":["IntALU"]}]`, "exactly 3"},
+		{"unknown unit", `[
+			{"name":"a","units":["Bogus"]},
+			{"name":"b","units":["IntALU"]},
+			{"name":"c","units":["IntALU"]}]`, "unknown unit"},
+		{"overflow", `[
+			{"name":"a","units":["FPALU","FPALU","FPALU"]},
+			{"name":"b","units":["IntALU"]},
+			{"name":"c","units":["IntALU"]}]`, "slots"},
+	}
+	for _, c := range cases {
+		_, err := ParseBasis([]byte(c.src))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package core implements the paper's primary contribution: the
+// configuration manager of §3 — the four-stage configuration selection
+// unit of Fig. 2 (unit decoders, resource requirement encoders,
+// configuration error metric generators, minimal error selection) and the
+// configuration loader of §3.2 that steers the reconfigurable fabric
+// toward the selected configuration by partially reconfiguring only the
+// RFUs that differ and are idle.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cem"
+	"repro/internal/config"
+	"repro/internal/logic"
+	"repro/internal/rfu"
+)
+
+// UnitDecoder is stage 1 of the selection unit: it turns one queued
+// instruction's required unit type into the one-hot vector of Fig. 2.
+func UnitDecoder(t arch.UnitType) [arch.NumUnitTypes]bool {
+	var v [arch.NumUnitTypes]bool
+	v[t] = true
+	return v
+}
+
+// EncodeRequirements is stage 2: it sums the one-hot vectors of all
+// queued instructions into the per-type three-bit requirement counts.
+// With at most arch.QueueSize instructions the counts cannot overflow.
+func EncodeRequirements(units []arch.UnitType) arch.Counts {
+	var c arch.Counts
+	for _, t := range units {
+		oneHot := UnitDecoder(t)
+		for ty, set := range oneHot {
+			if set {
+				c[ty]++
+			}
+		}
+	}
+	return c
+}
+
+// Selection is the outcome of one pass through the selection unit.
+type Selection struct {
+	// Choice identifies the winning configuration: 0 is the current
+	// configuration, 1..3 the predefined steering configurations — the
+	// unit's two-bit output.
+	Choice int
+	// Errors holds the four configuration error metrics, indexed like
+	// Choice.
+	Errors [arch.NumConfigs]int
+	// Distances holds each candidate's reconfiguration distance from
+	// the current allocation (zero for the current configuration).
+	Distances [arch.NumConfigs]int
+	// Required is the encoded requirement vector the metrics scored.
+	Required arch.Counts
+}
+
+// Current reports whether the selection kept the current configuration.
+func (s Selection) Current() bool { return s.Choice == 0 }
+
+// key builds the lexicographic comparison key the minimal-error selector
+// orders candidates by: error first, then reconfiguration distance (the
+// paper's tie-break toward least reconfiguration, which also makes the
+// current configuration — distance zero — win every tie), then candidate
+// index for determinism.
+func key(err, distance, index int) int {
+	return err<<6 | distance<<2 | index
+}
+
+// MinimalErrorSelect is stage 4: it returns the index of the candidate
+// with the smallest (error, distance, index) key. Errors must be 3-bit
+// values and distances at most arch.NumRFUSlots; out-of-range inputs
+// panic, as they indicate a wiring error.
+func MinimalErrorSelect(errors, distances [arch.NumConfigs]int) int {
+	best := -1
+	bestKey := 0
+	for i := 0; i < arch.NumConfigs; i++ {
+		if errors[i] < 0 || errors[i] > 7 || distances[i] < 0 || distances[i] > arch.NumRFUSlots {
+			panic(fmt.Sprintf("core: selection inputs out of range: err=%d dist=%d", errors[i], distances[i]))
+		}
+		k := key(errors[i], distances[i], i)
+		if best < 0 || k < bestKey {
+			best, bestKey = i, k
+		}
+	}
+	return best
+}
+
+// CircuitMinimalErrorSelect is the gate-level form of stage 4: each
+// candidate's 3-bit error, 4-bit distance and 2-bit index are
+// concatenated into a 9-bit key (error most significant) and a comparator
+// chain keeps the smallest, emitting the winner's two-bit index. Tests
+// prove it equivalent to MinimalErrorSelect.
+func CircuitMinimalErrorSelect(errors, distances [arch.NumConfigs]int) int {
+	makeKey := func(i int) logic.Bus {
+		b := make(logic.Bus, 0, 9)
+		b = append(b, logic.BusFromUint(uint64(i), 2)...)
+		b = append(b, logic.BusFromUint(uint64(distances[i]), 4)...)
+		b = append(b, logic.BusFromUint(uint64(errors[i]), 3)...)
+		return b
+	}
+	bestKey := makeKey(0)
+	bestIdx := logic.BusFromUint(0, 2)
+	for i := 1; i < arch.NumConfigs; i++ {
+		k := makeKey(i)
+		smaller := logic.LessThan(k, bestKey)
+		next := make(logic.Bus, len(bestKey))
+		for b := range next {
+			next[b] = logic.Mux2(smaller, bestKey[b], k[b])
+		}
+		idx := logic.BusFromUint(uint64(i), 2)
+		nextIdx := make(logic.Bus, 2)
+		for b := range nextIdx {
+			nextIdx[b] = logic.Mux2(smaller, bestIdx[b], idx[b])
+		}
+		bestKey, bestIdx = next, nextIdx
+	}
+	return int(bestIdx.Uint())
+}
+
+// Stats counts the manager's activity for the experiment harness.
+type Stats struct {
+	// Selections[i] counts cycles on which candidate i won.
+	Selections [arch.NumConfigs]int
+	// Reconfigurations counts span rewrites the loader started.
+	Reconfigurations int
+	// DeferredSlots counts slot rewrites skipped because the span was
+	// busy — the partial-reconfiguration deferrals of §3.2.
+	DeferredSlots int
+	// HybridCycles counts selection passes on which the live allocation
+	// matched none of the predefined layouts — evidence of the hybrid
+	// configurations the paper's approach produces.
+	HybridCycles int
+	// SuppressedLoads counts selections that wanted a new configuration
+	// but were held back by the residency timer.
+	SuppressedLoads int
+}
+
+// Manager is the configuration manager: selection unit plus loader, bound
+// to a fabric and a steering basis.
+type Manager struct {
+	basis [3]config.Configuration
+	// basisAvail caches each basis configuration's availability counts
+	// (unit mix + FFUs) — the hard-wired CEM inputs of Fig. 3(b).
+	basisAvail [3]arch.Counts
+	fabric     *rfu.Fabric
+	// ExactCEM switches the error metric generators to the paper's
+	// "more accurate divider" variant (the X3 ablation).
+	ExactCEM bool
+	// MinResidency suppresses loading a new configuration until at
+	// least this many cycles have passed since the last load — a
+	// residency timer that damps per-cycle selection thrash on short
+	// loops whose demand oscillates within one loop body (the X11
+	// study). Zero (the paper's design) reloads every cycle the
+	// selection changes.
+	MinResidency int
+
+	sinceLoad int
+	stats     Stats
+}
+
+// NewManager binds a configuration manager to a fabric, steering with the
+// given predefined configurations. Invalid basis configurations panic.
+func NewManager(fabric *rfu.Fabric, basis [3]config.Configuration) *Manager {
+	m := &Manager{basis: basis, fabric: fabric}
+	for i, c := range basis {
+		if err := c.Validate(); err != nil {
+			panic(fmt.Sprintf("core: invalid steering configuration: %v", err))
+		}
+		m.basisAvail[i] = c.Counts().Add(config.FFUCounts())
+	}
+	return m
+}
+
+// Basis returns the manager's predefined steering configurations.
+func (m *Manager) Basis() [3]config.Configuration { return m.basis }
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// errorOf runs one CEM generator.
+func (m *Manager) errorOf(required, available arch.Counts) int {
+	if m.ExactCEM {
+		return cem.ErrorExact(required, available)
+	}
+	return cem.Error(required, available)
+}
+
+// Select runs the selection unit over the requirement counts of the
+// unscheduled queue instructions and returns the chosen configuration.
+// Availability counts include the FFUs for every candidate ("…relative
+// to each of the four configurations including the FFUs", §3.1).
+func (m *Manager) Select(required arch.Counts) Selection {
+	alloc := m.fabric.Allocation()
+
+	var sel Selection
+	sel.Required = required
+	sel.Errors[0] = m.errorOf(required, m.fabric.TotalCounts())
+	sel.Distances[0] = 0
+	for i := range m.basis {
+		sel.Errors[i+1] = m.errorOf(required, m.basisAvail[i])
+		sel.Distances[i+1] = alloc.Distance(m.basis[i])
+	}
+	sel.Choice = MinimalErrorSelect(sel.Errors, sel.Distances)
+	return sel
+}
+
+// Load steers the fabric toward the selected configuration: when a
+// predefined configuration won, every unit span of its layout that
+// differs from the live allocation is rewritten if its slots are idle,
+// and deferred otherwise. Keeping the current configuration loads
+// nothing. It returns the number of span rewrites started.
+func (m *Manager) Load(sel Selection) int {
+	if sel.Current() {
+		return 0
+	}
+	target := m.basis[sel.Choice-1]
+	started := 0
+	for _, u := range target.Units() {
+		if m.fabric.Allocation().Slots[u.Slot] == arch.Encode(u.Type) {
+			continue // already implements the specified unit (§3.2)
+		}
+		if !m.fabric.CanReconfigure(u.Type, u.Slot) {
+			m.stats.DeferredSlots += u.Span
+			continue
+		}
+		if m.fabric.Reconfigure(u.Type, u.Slot) {
+			started++
+		}
+	}
+	m.stats.Reconfigurations += started
+	return started
+}
+
+// Step performs one cycle of configuration management: encode the queue's
+// requirements, select, and load (subject to the residency timer). It
+// returns the selection for tracing.
+func (m *Manager) Step(required arch.Counts) Selection {
+	sel := m.Select(required)
+	m.stats.Selections[sel.Choice]++
+	if m.isHybrid() {
+		m.stats.HybridCycles++
+	}
+	m.sinceLoad++
+	if !sel.Current() && m.sinceLoad <= m.MinResidency {
+		m.stats.SuppressedLoads++
+		return sel
+	}
+	if m.Load(sel) > 0 {
+		m.sinceLoad = 0
+	}
+	return sel
+}
+
+// isHybrid reports whether the live allocation matches none of the
+// predefined layouts (and is not empty).
+func (m *Manager) isHybrid() bool {
+	slots := m.fabric.Allocation().Slots
+	empty := true
+	for _, e := range slots {
+		if e != arch.EncEmpty {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return false
+	}
+	for _, cfg := range m.basis {
+		if slots == cfg.Layout {
+			return false
+		}
+	}
+	return true
+}

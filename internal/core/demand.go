@@ -1,0 +1,184 @@
+package core
+
+import (
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/rfu"
+)
+
+// DemandManager implements the paper's §5 future-work idea: dynamically
+// reconfiguring the fabric *without* predefined steering configurations.
+// Instead of scoring a fixed basis, every cycle it synthesises a target
+// layout directly from the queue's requirement counts — a greedy packing
+// that repeatedly adds the unit type with the highest unmet demand per
+// already-provided unit until the slots are full — and then loads it with
+// the same partial, idle-only discipline as the steering loader.
+//
+// To avoid thrashing on single-cycle demand noise, the manager only
+// replaces an existing unit when the incoming unit's demand benefit
+// exceeds the kept unit's by at least Hysteresis demand points.
+type DemandManager struct {
+	fabric *rfu.Fabric
+	// Hysteresis is the minimum per-unit demand advantage a new unit
+	// needs before an existing, differently-typed unit is evicted
+	// (default 0: pure greedy).
+	Hysteresis int
+
+	// Syntheses counts cycles on which a non-trivial target was built.
+	Syntheses int
+	// Reconfigurations counts span rewrites started.
+	Reconfigurations int
+	// DeferredSlots counts slot rewrites skipped because spans were
+	// busy.
+	DeferredSlots int
+}
+
+// NewDemandManager binds a demand-driven manager to a fabric.
+func NewDemandManager(fabric *rfu.Fabric) *DemandManager {
+	return &DemandManager{fabric: fabric}
+}
+
+// plan chooses the unit multiset to configure: greedy highest
+// demand-per-unit packing into arch.NumRFUSlots slots. FFUs count as one
+// pre-provided unit of each type, exactly as the CEM's availability does.
+func (m *DemandManager) plan(required arch.Counts) arch.Counts {
+	var planned arch.Counts
+	provided := config.FFUCounts()
+	slotsLeft := arch.NumRFUSlots
+	for {
+		best := -1
+		bestBenefit := 0
+		for _, t := range arch.UnitTypes() {
+			if arch.SlotCost(t) > slotsLeft {
+				continue
+			}
+			// Demand still unserved per unit already provided; scaled
+			// to keep integer arithmetic exact.
+			benefit := required[t] * 8 / (provided[t] + planned[t] + 1) / arch.SlotCost(t)
+			if benefit > bestBenefit {
+				best, bestBenefit = int(t), benefit
+			}
+		}
+		if best < 0 || bestBenefit == 0 {
+			break
+		}
+		planned[best]++
+		slotsLeft -= arch.SlotCost(arch.UnitType(best))
+	}
+	return planned
+}
+
+// synthesize converts the planned multiset into a concrete slot layout,
+// keeping existing units that are part of the plan in place so the
+// loader's diff — and therefore reconfiguration traffic — is minimal.
+func (m *DemandManager) synthesize(planned arch.Counts, required arch.Counts) config.Configuration {
+	cur := config.Configuration{Layout: m.fabric.Allocation().Slots}
+	target := config.Configuration{Name: "demand"}
+
+	// Keep existing units the plan still wants, at their positions.
+	remaining := planned
+	kept := make([]bool, arch.NumRFUSlots)
+	for _, u := range cur.Units() {
+		if remaining[u.Type] > 0 {
+			remaining[u.Type]--
+			target.Layout[u.Slot] = arch.Encode(u.Type)
+			for k := 1; k < u.Span; k++ {
+				target.Layout[u.Slot+k] = arch.EncCont
+			}
+			for k := 0; k < u.Span; k++ {
+				kept[u.Slot+k] = true
+			}
+		}
+	}
+
+	// Place the rest, largest units first so multi-slot spans find
+	// contiguous room, into leftmost non-kept gaps. With hysteresis, a
+	// gap occupied by a live unit is only claimed when the incoming
+	// type's demand beats the occupant's by the margin.
+	order := []arch.UnitType{arch.FPMDU, arch.FPALU, arch.IntMDU, arch.LSU, arch.IntALU}
+	for _, t := range order {
+		for remaining[t] > 0 {
+			slot := m.findGap(target.Layout, kept, cur, t, required)
+			if slot < 0 {
+				break
+			}
+			target.Layout[slot] = arch.Encode(t)
+			for k := 1; k < arch.SlotCost(t); k++ {
+				target.Layout[slot+k] = arch.EncCont
+			}
+			for k := 0; k < arch.SlotCost(t); k++ {
+				kept[slot+k] = true
+			}
+			remaining[t]--
+		}
+	}
+	return target
+}
+
+// findGap locates the leftmost span of non-kept slots where a unit of
+// type t may be placed, honouring the hysteresis rule against live
+// occupants.
+func (m *DemandManager) findGap(layout [arch.NumRFUSlots]arch.Encoding, kept []bool,
+	cur config.Configuration, t arch.UnitType, required arch.Counts) int {
+	span := arch.SlotCost(t)
+	for start := 0; start+span <= arch.NumRFUSlots; start++ {
+		ok := true
+		for k := start; k < start+span; k++ {
+			if kept[k] {
+				ok = false
+				break
+			}
+			if occ := occupantType(cur, k); occ >= 0 && m.Hysteresis > 0 {
+				if required[t]-required[occ] < m.Hysteresis {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+	return -1
+}
+
+// occupantType returns the type of the live unit covering slot k, or -1.
+func occupantType(cur config.Configuration, k int) int {
+	for _, u := range cur.Units() {
+		if k >= u.Slot && k < u.Slot+u.Span {
+			return int(u.Type)
+		}
+	}
+	return -1
+}
+
+// Target returns the layout the manager would synthesise for the given
+// demand — exposed for tests and analysis.
+func (m *DemandManager) Target(required arch.Counts) config.Configuration {
+	return m.synthesize(m.plan(required), required)
+}
+
+// Step performs one cycle of demand-driven management: synthesise a
+// target and partially load it (idle spans only).
+func (m *DemandManager) Step(required arch.Counts) {
+	if required.Total() == 0 {
+		return
+	}
+	target := m.synthesize(m.plan(required), required)
+	m.Syntheses++
+	for _, u := range target.Units() {
+		if m.fabric.Allocation().Slots[u.Slot] == arch.Encode(u.Type) {
+			continue
+		}
+		if !m.fabric.CanReconfigure(u.Type, u.Slot) {
+			m.DeferredSlots += u.Span
+			continue
+		}
+		if m.fabric.Reconfigure(u.Type, u.Slot) {
+			m.Reconfigurations++
+		}
+	}
+}
+
+// Manage adapts the manager to the cpu.Policy interface.
+func (m *DemandManager) Manage(required arch.Counts) { m.Step(required) }

@@ -1,0 +1,877 @@
+// Package cpu ties the substrates into the full processor of Fig. 1: a
+// fetch unit with branch prediction and a trace cache feeds a register
+// update unit (dispatch, dependency tracking, in-order retirement with a
+// store buffer) whose scheduling window is the select-free wake-up array;
+// execution units come from the reconfigurable fabric, and a pluggable
+// configuration policy — the paper's steering manager, or one of the
+// baselines — observes the queue each cycle and reconfigures idle RFUs.
+//
+// The simulator is cycle-level for timing and functionally exact for
+// semantics: instructions execute through isa.Exec at issue, with operand
+// forwarding from the in-flight window and store-to-load forwarding from
+// the store buffer, so a run's architectural outcome is bit-identical to
+// the functional reference interpreter.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/fetch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rfu"
+	"repro/internal/trace"
+	"repro/internal/wakeup"
+)
+
+// Policy is a configuration-management strategy invoked once per cycle
+// with the unit requirements of the unscheduled window instructions. The
+// paper's steering manager is one Policy; package baseline provides the
+// comparison strategies. A nil Policy never reconfigures (a purely static
+// machine).
+type Policy interface {
+	Manage(required arch.Counts)
+}
+
+// Params sizes the machine. Zero values select the defaults of
+// DefaultParams.
+type Params struct {
+	WindowSize    int // wake-up array rows / in-flight instructions (7)
+	DispatchWidth int // instructions dispatched per cycle (4)
+	IssueWidth    int // instructions granted per cycle (4)
+	RetireWidth   int // instructions retired per cycle (4)
+
+	ReconfigLatency int // cycles to rewrite one RFU span (8)
+	ConfigBusWidth  int // max spans reconfiguring at once; 0 = unlimited (Fig. 1 bus model)
+
+	Latencies isa.Latencies
+
+	MemBytes         int // data memory size, power of two (1 MiB)
+	CacheSets        int // direct-mapped data cache sets (64)
+	CacheLineBytes   int // cache line size (32)
+	CacheMissPenalty int // extra cycles on a load miss (10)
+
+	PredictorEntries  int  // predictor / BTB entries (256)
+	GshareHistoryBits uint // >0 selects gshare indexing with this much history
+	TraceCacheLines   int  // trace cache lines (64)
+	TraceCacheLineLen int  // instructions per trace line (8)
+	FetchWidthMem     int  // fetch width from instruction memory (2)
+	FetchWidthTC      int  // fetch width on a trace cache hit (4)
+
+	DisableFFUs bool // X4 ablation: hide the fixed functional units
+
+	// IssueOrder selects which requesting instructions win issue slots:
+	// OrderOldest (default, age priority), OrderYoungest, or
+	// OrderRotate (rotating-priority arbiter) — the X15 scheduler
+	// ablation.
+	IssueOrder IssueOrder
+
+	// ManagerLookahead feeds the configuration manager the unit demands
+	// of fetched-but-not-yet-dispatched instructions in addition to the
+	// scheduling window — the §2 reading of the architecture, where the
+	// fetch unit's pre-decoders supply the manager directly. The default
+	// (false) is the §3.1 reading: the manager sees only the
+	// instruction queue.
+	ManagerLookahead bool
+
+	// SelectFree models the scheduling logic of the paper's reference
+	// [9] (Brown/Stark/Patt) literally: requesters are granted without
+	// a select stage, so when more instructions request a unit type
+	// than units exist, the overflow "pileup" instructions burn their
+	// issue slot and are rescheduled — they replay on a later cycle.
+	// The default (false) is an idealised select stage that never
+	// wastes slots on colliding requesters.
+	SelectFree bool
+}
+
+// DefaultParams returns the reference machine of the experiments.
+func DefaultParams() Params {
+	return Params{
+		WindowSize:        arch.QueueSize,
+		DispatchWidth:     4,
+		IssueWidth:        4,
+		RetireWidth:       4,
+		ReconfigLatency:   8,
+		Latencies:         isa.DefaultLatencies(),
+		MemBytes:          mem.DefaultSize,
+		CacheSets:         64,
+		CacheLineBytes:    32,
+		CacheMissPenalty:  10,
+		PredictorEntries:  256,
+		TraceCacheLines:   64,
+		TraceCacheLineLen: 8,
+		FetchWidthMem:     2,
+		FetchWidthTC:      4,
+	}
+}
+
+// withDefaults fills zero fields from DefaultParams.
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.WindowSize == 0 {
+		p.WindowSize = d.WindowSize
+	}
+	if p.DispatchWidth == 0 {
+		p.DispatchWidth = d.DispatchWidth
+	}
+	if p.IssueWidth == 0 {
+		p.IssueWidth = d.IssueWidth
+	}
+	if p.RetireWidth == 0 {
+		p.RetireWidth = d.RetireWidth
+	}
+	// A zero ReconfigLatency selects the default; near-instant
+	// reconfiguration is modelled with latency 1.
+	if p.ReconfigLatency == 0 {
+		p.ReconfigLatency = d.ReconfigLatency
+	}
+	if p.Latencies == (isa.Latencies{}) {
+		p.Latencies = d.Latencies
+	}
+	if p.MemBytes == 0 {
+		p.MemBytes = d.MemBytes
+	}
+	if p.CacheSets == 0 {
+		p.CacheSets = d.CacheSets
+	}
+	if p.CacheLineBytes == 0 {
+		p.CacheLineBytes = d.CacheLineBytes
+	}
+	if p.CacheMissPenalty == 0 {
+		p.CacheMissPenalty = d.CacheMissPenalty
+	}
+	if p.PredictorEntries == 0 {
+		p.PredictorEntries = d.PredictorEntries
+	}
+	if p.TraceCacheLines == 0 {
+		p.TraceCacheLines = d.TraceCacheLines
+	}
+	if p.TraceCacheLineLen == 0 {
+		p.TraceCacheLineLen = d.TraceCacheLineLen
+	}
+	if p.FetchWidthMem == 0 {
+		p.FetchWidthMem = d.FetchWidthMem
+	}
+	if p.FetchWidthTC == 0 {
+		p.FetchWidthTC = d.FetchWidthTC
+	}
+	return p
+}
+
+// IssueOrder names a scheduler grant-priority policy.
+type IssueOrder int
+
+const (
+	// OrderOldest grants the oldest requesters first (the default).
+	OrderOldest IssueOrder = iota
+	// OrderYoungest grants the youngest requesters first.
+	OrderYoungest
+	// OrderRotate grants round-robin: the starting priority position
+	// rotates by one each cycle, as in rotating-priority arbiters.
+	OrderRotate
+)
+
+// newPredictor builds the configured branch predictor.
+func newPredictor(params Params) *fetch.Predictor {
+	if params.GshareHistoryBits > 0 {
+		return fetch.NewGsharePredictor(params.PredictorEntries, params.GshareHistoryBits)
+	}
+	return fetch.NewPredictor(params.PredictorEntries)
+}
+
+// robEntry is one register-update-unit entry. The RUU doubles as reorder
+// buffer and store buffer; its rows map one-to-one onto wake-up array
+// rows.
+type robEntry struct {
+	valid bool
+	seq   uint64
+	inst  isa.Inst
+	pc    uint32
+	row   int // wake-up array row
+
+	predNext  uint32
+	predTaken bool
+
+	issued   bool
+	executed bool
+
+	hasDest bool
+	dest    uint8
+	value   uint32
+
+	isStore   bool
+	storeAddr uint32
+	storeSize int
+	storeVal  uint32
+
+	actualNext uint32
+	halts      bool
+}
+
+// Stats accumulates machine activity over a run.
+type Stats struct {
+	Cycles  int
+	Retired int
+	Flushed int // instructions squashed by misprediction recovery
+
+	Mispredicts      int
+	BranchesResolved int
+
+	IssuedByType arch.Counts // instructions granted, per unit type
+
+	DispatchStallFull int // dispatch attempts blocked by a full window
+	IssueContention   int // requests unserved because units ran out
+	Pileups           int // select-free mode: grants rescheduled on unit collision
+
+	// Per-cycle bottleneck classification: every simulated cycle falls
+	// into exactly one bucket.
+	CyclesIssued   int // at least one instruction was granted
+	CyclesFrontend int // window empty: waiting on fetch/dispatch
+	CyclesUnits    int // ready instructions existed but no unit of their type was free
+	CyclesDeps     int // in-flight work only waiting on results (or draining)
+
+	Halted bool // the program retired its HALT
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// Processor is one simulated machine instance bound to a program.
+type Processor struct {
+	params Params
+	prog   isa.Program
+
+	memory *mem.Memory
+	dcache *mem.Cache
+	front  *fetch.Unit
+	pred   *fetch.Predictor
+	tcache *fetch.TraceCache
+	fabric *rfu.Fabric
+	array  *wakeup.Array
+	policy Policy
+
+	reg    [isa.NumRegs]uint32
+	halted bool
+
+	rob   []robEntry
+	head  int
+	count int
+	seq   uint64
+
+	// regProducer maps each register to the RUU slot of its youngest
+	// in-flight producer, or -1.
+	regProducer [isa.NumRegs]int
+
+	fetchBuf []fetchedEntry
+
+	tracer        trace.Recorder
+	lastReconfigs int
+	reqSnapshot   []bool // per-row request lines, rebuilt each issue cycle
+
+	stats Stats
+}
+
+// fetchedEntry pairs a fetched instruction with the cycle it left the
+// front end, for tracing.
+type fetchedEntry struct {
+	f     fetch.Fetched
+	cycle int
+}
+
+// New builds a processor for prog with the given parameters and
+// configuration policy (nil for a static machine). The fabric starts
+// empty: only the FFUs exist until a policy loads RFU configurations; use
+// Fabric().Install to preset a static machine.
+func New(prog isa.Program, params Params, policy Policy) *Processor {
+	params = params.withDefaults()
+	if params.WindowSize < 1 {
+		panic("cpu: window size must be positive")
+	}
+	p := &Processor{
+		params: params,
+		prog:   prog,
+		memory: mem.NewMemory(params.MemBytes),
+		dcache: mem.NewCache(params.CacheSets, params.CacheLineBytes, params.CacheMissPenalty),
+		pred:   newPredictor(params),
+		tcache: fetch.NewTraceCache(params.TraceCacheLines, params.TraceCacheLineLen),
+		fabric: rfu.New(params.ReconfigLatency),
+		array:  wakeup.New(params.WindowSize),
+		policy: policy,
+		rob:    make([]robEntry, params.WindowSize),
+	}
+	p.front = fetch.NewUnit(prog, p.pred, p.tcache)
+	p.front.MemWidth = params.FetchWidthMem
+	p.front.TCWidth = params.FetchWidthTC
+	if params.DisableFFUs {
+		p.fabric.SetFFUsEnabled(false)
+	}
+	p.fabric.SetConfigBusWidth(params.ConfigBusWidth)
+	for i := range p.regProducer {
+		p.regProducer[i] = -1
+	}
+	return p
+}
+
+// Fabric exposes the execution fabric (for policies, presets and stats).
+func (p *Processor) Fabric() *rfu.Fabric { return p.fabric }
+
+// SetPolicy installs the configuration policy. Policies usually need the
+// fabric, which exists only after New, so the common pattern is:
+//
+//	p := cpu.New(prog, params, nil)
+//	p.SetPolicy(baseline.NewSteering(p.Fabric()))
+func (p *Processor) SetPolicy(policy Policy) { p.policy = policy }
+
+// SetTracer installs a pipeline event recorder (nil disables tracing).
+func (p *Processor) SetTracer(t trace.Recorder) { p.tracer = t }
+
+// emit records a pipeline event when tracing is enabled.
+func (p *Processor) emit(kind trace.Kind, seq uint64, pc uint32, latency int, text string) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Record(trace.Event{
+		Cycle:   p.stats.Cycles,
+		Kind:    kind,
+		Seq:     uint32(seq),
+		PC:      pc,
+		Latency: latency,
+		Text:    text,
+	})
+}
+
+// Memory exposes the data memory for input/output setup.
+func (p *Processor) Memory() *mem.Memory { return p.memory }
+
+// DCache exposes the data cache statistics.
+func (p *Processor) DCache() *mem.Cache { return p.dcache }
+
+// Predictor exposes the branch predictor statistics.
+func (p *Processor) Predictor() *fetch.Predictor { return p.pred }
+
+// TraceCache exposes the trace cache statistics.
+func (p *Processor) TraceCache() *fetch.TraceCache { return p.tcache }
+
+// FetchUnit exposes the fetch unit statistics.
+func (p *Processor) FetchUnit() *fetch.Unit { return p.front }
+
+// Window exposes the wake-up array (read-only use intended).
+func (p *Processor) Window() *wakeup.Array { return p.array }
+
+// Reg returns architectural register r (unified index).
+func (p *Processor) Reg(r uint8) uint32 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return p.reg[r]
+}
+
+// SetReg presets architectural register r before a run.
+func (p *Processor) SetReg(r uint8, v uint32) {
+	if r != isa.RegZero {
+		p.reg[r] = v
+	}
+}
+
+// Halted reports whether the program's HALT has retired.
+func (p *Processor) Halted() bool { return p.halted }
+
+// Stats returns a copy of the run statistics so far.
+func (p *Processor) Stats() Stats {
+	s := p.stats
+	s.Halted = p.halted
+	return s
+}
+
+// slotAt returns the ROB slot holding the i-th oldest in-flight
+// instruction.
+func (p *Processor) slotAt(i int) int { return (p.head + i) % len(p.rob) }
+
+// Cycle advances the machine one clock: timers tick, the oldest complete
+// instructions retire, the configuration policy observes the queue and
+// steers the fabric, ready instructions issue and execute, decoded
+// instructions dispatch into the window, and the front end fetches.
+func (p *Processor) Cycle() {
+	if p.halted {
+		return
+	}
+	p.stats.Cycles++
+	p.array.Tick()
+	p.fabric.Tick()
+	p.retire()
+	if p.halted {
+		// The final cycle retired the HALT; count it with the useful
+		// cycles so the bottleneck buckets partition the run exactly.
+		p.stats.CyclesIssued++
+		return
+	}
+	if p.policy != nil {
+		required := p.array.RequiredCounts()
+		if p.params.ManagerLookahead {
+			for i := range p.fetchBuf {
+				required[p.fetchBuf[i].f.Inst.Unit()]++
+			}
+		}
+		p.policy.Manage(required)
+		if p.tracer != nil {
+			if n := p.fabric.Reconfigurations(); n > p.lastReconfigs {
+				p.emit(trace.KindReconfig, 0, 0, 0,
+					fmt.Sprintf("%d span(s) -> %v", n-p.lastReconfigs, p.fabric.Allocation().Slots))
+				p.lastReconfigs = n
+			}
+		}
+	}
+	p.issue()
+	p.dispatch()
+	p.fill()
+}
+
+// Run executes until HALT retires or maxCycles elapse. It returns the
+// stats and an error when the cycle budget ran out — which, with FFUs
+// enabled, indicates a genuine simulator bug, and with FFUs disabled is
+// the expected starvation outcome of the X4 ablation.
+func (p *Processor) Run(maxCycles int) (Stats, error) {
+	for !p.halted && p.stats.Cycles < maxCycles {
+		p.Cycle()
+	}
+	if !p.halted {
+		return p.Stats(), fmt.Errorf("cpu: no HALT within %d cycles (retired %d)", maxCycles, p.stats.Retired)
+	}
+	return p.Stats(), nil
+}
+
+// retire commits the oldest complete instructions in order.
+func (p *Processor) retire() {
+	for n := 0; n < p.params.RetireWidth && p.count > 0; n++ {
+		slot := p.head
+		e := &p.rob[slot]
+		if !e.issued || !p.array.ResultAvailable(e.row) {
+			return
+		}
+		if e.isStore {
+			p.commitStore(e)
+		}
+		if e.hasDest {
+			p.reg[e.dest] = e.value
+			if p.regProducer[e.dest] == slot {
+				p.regProducer[e.dest] = -1
+			}
+		}
+		p.array.Release(e.row)
+		e.valid = false
+		p.head = (p.head + 1) % len(p.rob)
+		p.count--
+		p.stats.Retired++
+		p.emit(trace.KindRetire, e.seq, e.pc, 0, "")
+		if e.halts {
+			p.halted = true
+			return
+		}
+	}
+}
+
+// commitStore applies a retiring store to memory.
+func (p *Processor) commitStore(e *robEntry) {
+	switch e.storeSize {
+	case 1:
+		p.memory.StoreByte(e.storeAddr, uint8(e.storeVal))
+	case 2:
+		p.memory.StoreHalf(e.storeAddr, uint16(e.storeVal))
+	case 4:
+		p.memory.StoreWord(e.storeAddr, e.storeVal)
+	default:
+		panic(fmt.Sprintf("cpu: store of size %d", e.storeSize))
+	}
+}
+
+// issue grants execution to the oldest requesting instructions that can
+// claim a unit, and executes them functionally.
+func (p *Processor) issue() {
+	// Requests are computed combinationally at the start of the cycle —
+	// a grant this cycle cannot wake a consumer until the next cycle —
+	// then served in age order (oldest first).
+	unitAvail := p.fabric.AllAvailable()
+	if p.reqSnapshot == nil {
+		p.reqSnapshot = make([]bool, p.array.Size())
+	}
+	anyRequest := false
+	for r := range p.reqSnapshot {
+		p.reqSnapshot[r] = p.array.Used(r) && p.array.Request(r, unitAvail)
+		anyRequest = anyRequest || p.reqSnapshot[r]
+	}
+	if !anyRequest {
+		p.classifyCycle(0)
+		return
+	}
+	granted := 0
+	initialCount := p.count
+	for n := 0; n < initialCount && granted < p.params.IssueWidth; n++ {
+		i := n // OrderOldest: age position == visit order
+		switch p.params.IssueOrder {
+		case OrderYoungest:
+			i = initialCount - 1 - n
+		case OrderRotate:
+			i = (n + p.stats.Cycles) % initialCount
+		}
+		slot := p.slotAt(i)
+		e := &p.rob[slot]
+		if !e.valid || e.issued || !p.reqSnapshot[e.row] {
+			continue
+		}
+		latency := p.params.Latencies.Of(e.inst.Op)
+		ref, ok := p.fabric.Acquire(e.inst.Unit(), latency)
+		if !ok {
+			p.stats.IssueContention++
+			if p.params.SelectFree {
+				// No select stage: the colliding requester was granted
+				// anyway, wastes its issue slot and replays later.
+				p.array.Grant(e.row)
+				p.array.Reschedule(e.row)
+				p.stats.Pileups++
+				granted++
+			}
+			continue
+		}
+		p.array.Grant(e.row)
+		e.issued = true
+		granted++
+		p.stats.IssuedByType[e.inst.Unit()]++
+		p.execute(slot, ref)
+		if p.halted {
+			return
+		}
+		// execute may have flushed younger entries; the loop re-checks
+		// validity and the requesting set each iteration, so squashed
+		// rows are skipped naturally.
+	}
+	p.classifyCycle(granted)
+}
+
+// classifyCycle buckets the cycle by its bottleneck for the X14 study.
+func (p *Processor) classifyCycle(granted int) {
+	switch {
+	case granted > 0:
+		p.stats.CyclesIssued++
+	case p.count == 0:
+		p.stats.CyclesFrontend++
+	default:
+		// Ready work blocked only by unit availability?
+		unitBound := false
+		for i := 0; i < p.count; i++ {
+			e := &p.rob[p.slotAt(i)]
+			if !e.issued && p.array.Ready(e.row) {
+				unitBound = true
+				break
+			}
+		}
+		if unitBound {
+			p.stats.CyclesUnits++
+		} else {
+			p.stats.CyclesDeps++
+		}
+	}
+}
+
+// execute runs the instruction at the given ROB slot functionally,
+// recording its result, store effect, memory timing and branch outcome.
+func (p *Processor) execute(slot int, ref rfu.UnitRef) {
+	e := &p.rob[slot]
+	shim := &execMem{p: p, seq: e.seq}
+	var st isa.State
+	st.PC = e.pc
+	st.Mem = shim
+	st.Reg[e.inst.Rs1] = p.operand(e.inst.Rs1, e.seq)
+	st.Reg[e.inst.Rs2] = p.operand(e.inst.Rs2, e.seq)
+	if err := isa.Exec(e.inst, &st); err != nil {
+		panic(fmt.Sprintf("cpu: execute %v at pc %d: %v", e.inst, e.pc, err))
+	}
+	if dest, ok := e.inst.Dest(); ok {
+		e.hasDest = true
+		e.dest = dest
+		e.value = st.Reg[dest]
+	}
+	if shim.stored {
+		e.isStore = true
+		e.storeAddr = shim.storeAddr
+		e.storeSize = shim.storeSize
+		e.storeVal = shim.storeVal
+	}
+	latency := p.params.Latencies.Of(e.inst.Op)
+	if shim.loaded {
+		if extra := p.dcache.Access(shim.loadAddr); extra > 0 {
+			p.array.ExtendTimer(e.row, extra)
+			p.fabric.ExtendBusy(ref, extra)
+			latency += extra
+		}
+	}
+	e.actualNext = st.PC
+	e.halts = st.Halted
+	e.executed = true
+	if p.tracer != nil {
+		p.emit(trace.KindIssue, e.seq, e.pc, latency, e.inst.String())
+	}
+
+	if e.inst.Op.IsBranch() {
+		p.resolveBranch(slot)
+	}
+}
+
+// resolveBranch trains the predictor and recovers from mispredictions by
+// squashing younger instructions and redirecting fetch.
+func (p *Processor) resolveBranch(slot int) {
+	e := &p.rob[slot]
+	p.stats.BranchesResolved++
+	taken := e.actualNext != e.pc+1
+	switch e.inst.Op {
+	case isa.JAL:
+		// Static target, always taken: never mispredicts.
+	case isa.JALR:
+		p.pred.UpdateTarget(e.pc, e.actualNext)
+	default:
+		p.pred.UpdateTaken(e.pc, taken)
+	}
+	correct := e.actualNext == e.predNext
+	p.pred.RecordOutcome(correct)
+	if correct {
+		return
+	}
+	p.stats.Mispredicts++
+	p.flushYoungerThan(e.seq)
+	p.fetchBuf = p.fetchBuf[:0]
+	p.front.Redirect(e.actualNext)
+}
+
+// flushYoungerThan squashes every in-flight instruction younger than seq
+// and rebuilds the register producer map from the survivors.
+func (p *Processor) flushYoungerThan(seq uint64) {
+	for p.count > 0 {
+		tail := p.slotAt(p.count - 1)
+		e := &p.rob[tail]
+		if e.seq <= seq {
+			break
+		}
+		p.array.Release(e.row)
+		e.valid = false
+		p.count--
+		p.stats.Flushed++
+		if p.tracer != nil {
+			p.emit(trace.KindFlush, e.seq, e.pc, 0, e.inst.String())
+		}
+	}
+	for i := range p.regProducer {
+		p.regProducer[i] = -1
+	}
+	for i := 0; i < p.count; i++ {
+		slot := p.slotAt(i)
+		e := &p.rob[slot]
+		if d, ok := e.inst.Dest(); ok {
+			p.regProducer[d] = slot
+		}
+	}
+}
+
+// operand returns the value register r holds for an instruction with the
+// given sequence number: the youngest older in-flight producer's result,
+// or the architectural register file. The wake-up dependencies guarantee
+// the producer has executed by issue time; a violation panics.
+func (p *Processor) operand(r uint8, seq uint64) uint32 {
+	if r == isa.RegZero {
+		return 0
+	}
+	best := -1
+	var bestSeq uint64
+	for i := 0; i < p.count; i++ {
+		slot := p.slotAt(i)
+		e := &p.rob[slot]
+		if e.seq >= seq {
+			break
+		}
+		if d, ok := e.inst.Dest(); ok && d == r {
+			if best < 0 || e.seq > bestSeq {
+				best, bestSeq = slot, e.seq
+			}
+		}
+	}
+	if best >= 0 {
+		e := &p.rob[best]
+		if !e.executed {
+			panic(fmt.Sprintf("cpu: operand %s read before producer executed (seq %d -> %d)",
+				isa.RegName(r), seq, e.seq))
+		}
+		return e.value
+	}
+	return p.reg[r]
+}
+
+// specByte returns the value memory byte addr holds for a load with the
+// given sequence number: architectural memory overlaid, in program order,
+// with older in-flight stores (store-to-load forwarding through the store
+// buffer).
+func (p *Processor) specByte(addr uint32, seq uint64) uint8 {
+	v := p.memory.LoadByte(addr)
+	for i := 0; i < p.count; i++ {
+		slot := p.slotAt(i)
+		e := &p.rob[slot]
+		if e.seq >= seq {
+			break
+		}
+		if !e.valid || !e.isStore || !e.executed {
+			continue
+		}
+		if addr >= e.storeAddr && addr < e.storeAddr+uint32(e.storeSize) {
+			shift := 8 * (addr - e.storeAddr)
+			v = uint8(e.storeVal >> shift)
+		}
+	}
+	return v
+}
+
+// dispatch moves decoded instructions from the fetch buffer into the
+// window, recording register and memory-ordering dependencies.
+func (p *Processor) dispatch() {
+	for n := 0; n < p.params.DispatchWidth && len(p.fetchBuf) > 0; n++ {
+		if p.count == len(p.rob) || p.array.Free() == 0 {
+			p.stats.DispatchStallFull++
+			return
+		}
+		entry := p.fetchBuf[0]
+		f := entry.f
+
+		deps := p.collectDeps(f.Inst)
+		latency := p.params.Latencies.Of(f.Inst.Op)
+		slot := p.slotAt(p.count)
+		row, ok := p.array.Allocate(f.Inst.Unit(), deps, latency, uint64(slot))
+		if !ok {
+			p.stats.DispatchStallFull++
+			return
+		}
+		p.fetchBuf = p.fetchBuf[1:]
+
+		p.seq++
+		p.rob[slot] = robEntry{
+			valid:     true,
+			seq:       p.seq,
+			inst:      f.Inst,
+			pc:        f.PC,
+			row:       row,
+			predNext:  f.PredNext,
+			predTaken: f.PredTaken,
+		}
+		p.count++
+		if d, ok := f.Inst.Dest(); ok {
+			p.regProducer[d] = slot
+		}
+		if p.tracer != nil {
+			p.tracer.Record(trace.Event{
+				Cycle: entry.cycle, Kind: trace.KindFetch,
+				Seq: uint32(p.seq), PC: f.PC, Text: f.Inst.String(),
+			})
+			p.emit(trace.KindDispatch, p.seq, f.PC, 0, f.Inst.String())
+		}
+	}
+}
+
+// collectDeps returns the wake-up rows the instruction must wait for:
+// the youngest in-flight producer of each source register, plus — for
+// loads — every older in-flight store (conservative memory
+// disambiguation, so store-to-load forwarding always sees resolved
+// addresses).
+func (p *Processor) collectDeps(in isa.Inst) []int {
+	var deps []int
+	add := func(row int) {
+		for _, d := range deps {
+			if d == row {
+				return
+			}
+		}
+		deps = append(deps, row)
+	}
+	for _, r := range in.Sources() {
+		if r == isa.RegZero {
+			continue
+		}
+		if slot := p.regProducer[r]; slot >= 0 && p.rob[slot].valid {
+			add(p.rob[slot].row)
+		}
+	}
+	if in.Op.IsLoad() {
+		for i := 0; i < p.count; i++ {
+			slot := p.slotAt(i)
+			e := &p.rob[slot]
+			if e.valid && e.inst.Op.IsStore() {
+				add(e.row)
+			}
+		}
+	}
+	return deps
+}
+
+// fill tops up the fetch buffer from the front end.
+func (p *Processor) fill() {
+	const bufCap = 16
+	if len(p.fetchBuf) >= bufCap {
+		return
+	}
+	for _, f := range p.front.Fetch() {
+		p.fetchBuf = append(p.fetchBuf, fetchedEntry{f: f, cycle: p.stats.Cycles})
+	}
+}
+
+// execMem adapts the processor's speculative memory view to
+// isa.DataMemory for functional execution at issue: loads read through
+// the store buffer overlay, stores are recorded for the buffer instead of
+// being applied.
+type execMem struct {
+	p   *Processor
+	seq uint64
+
+	loaded   bool
+	loadAddr uint32
+
+	stored    bool
+	storeAddr uint32
+	storeSize int
+	storeVal  uint32
+}
+
+func (m *execMem) noteLoad(addr uint32) {
+	if !m.loaded {
+		m.loaded = true
+		m.loadAddr = addr
+	}
+}
+
+func (m *execMem) LoadByte(addr uint32) uint8 {
+	m.noteLoad(addr)
+	return m.p.specByte(addr, m.seq)
+}
+
+func (m *execMem) LoadHalf(addr uint32) uint16 {
+	m.noteLoad(addr)
+	return uint16(m.p.specByte(addr, m.seq)) | uint16(m.p.specByte(addr+1, m.seq))<<8
+}
+
+func (m *execMem) LoadWord(addr uint32) uint32 {
+	m.noteLoad(addr)
+	return uint32(m.LoadHalf(addr)) | uint32(m.LoadHalf(addr+2))<<16
+}
+
+func (m *execMem) record(addr uint32, size int, v uint32) {
+	if m.stored {
+		panic("cpu: instruction performed two stores")
+	}
+	m.stored = true
+	m.storeAddr = addr
+	m.storeSize = size
+	m.storeVal = v
+}
+
+func (m *execMem) StoreByte(addr uint32, v uint8)  { m.record(addr, 1, uint32(v)) }
+func (m *execMem) StoreHalf(addr uint32, v uint16) { m.record(addr, 2, uint32(v)) }
+func (m *execMem) StoreWord(addr uint32, v uint32) { m.record(addr, 4, v) }

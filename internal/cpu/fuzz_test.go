@@ -1,0 +1,98 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// TestDifferentialFuzzBranchy generates random control-flow-heavy
+// programs and checks that the pipelined simulator's architectural
+// outcome — registers, memory, dynamic instruction count — is
+// bit-identical to the functional interpreter under several policies and
+// machine shapes. This is the main speculation/squash/store-buffer fuzz.
+func TestDifferentialFuzzBranchy(t *testing.T) {
+	const memBytes = 1 << 16
+	policies := []string{"steering", "none", "full-reconfig", "static-int"}
+	shapes := []Params{
+		{},
+		{WindowSize: 4, IssueWidth: 2, DispatchWidth: 2, RetireWidth: 2},
+		{WindowSize: 16, IssueWidth: 8, DispatchWidth: 8, RetireWidth: 8, SelectFree: true},
+		{CacheSets: 2, CacheLineBytes: 8, CacheMissPenalty: 25},
+		{ManagerLookahead: true, ConfigBusWidth: 1},
+		{IssueOrder: OrderRotate, GshareHistoryBits: 6},
+		{IssueOrder: OrderYoungest, ReconfigLatency: 32},
+	}
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		prog := workload.SynthesizeBranchy(20, workload.SynthParams{Seed: int64(seed)})
+		ref := &isa.State{Mem: mem.NewMemory(memBytes)}
+		steps, err := isa.Run(prog, ref, 10_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		refMem := ref.Mem.(*mem.Memory)
+
+		policy := policies[seed%len(policies)]
+		shape := shapes[seed%len(shapes)]
+		shape.MemBytes = memBytes
+		p := buildProcessor(prog, shape, policy)
+		stats, err := p.Run(10_000_000)
+		if err != nil {
+			t.Fatalf("seed %d policy %s: %v", seed, policy, err)
+		}
+		if stats.Retired != steps {
+			t.Errorf("seed %d policy %s: retired %d, reference %d", seed, policy, stats.Retired, steps)
+		}
+		for r := uint8(0); r < isa.NumRegs; r++ {
+			if p.Reg(r) != ref.ReadReg(r) {
+				t.Errorf("seed %d policy %s: register %s = %#x, reference %#x",
+					seed, policy, isa.RegName(r), p.Reg(r), ref.ReadReg(r))
+			}
+		}
+		for addr := uint32(0); addr < memBytes; addr += 4 {
+			if got, want := p.Memory().LoadWord(addr), refMem.LoadWord(addr); got != want {
+				t.Fatalf("seed %d policy %s: memory[%#x] = %#x, reference %#x",
+					seed, policy, addr, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialFuzzStraightline runs the straight-line synthesizer
+// across many seeds as a lighter-weight complement.
+func TestDifferentialFuzzStraightline(t *testing.T) {
+	const memBytes = 1 << 16
+	seeds := 15
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 100; seed < 100+seeds; seed++ {
+		prog := workload.Synthesize([]workload.Phase{
+			{Mix: workload.MixUniform, Instructions: 400},
+		}, workload.SynthParams{Seed: int64(seed), DepDensity: 0.7})
+		ref := &isa.State{Mem: mem.NewMemory(memBytes)}
+		steps, err := isa.Run(prog, ref, 10_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		p := buildProcessor(prog, Params{MemBytes: memBytes}, "steering")
+		stats, err := p.Run(10_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if stats.Retired != steps {
+			t.Errorf("seed %d: retired %d, reference %d", seed, stats.Retired, steps)
+		}
+		for r := uint8(0); r < isa.NumRegs; r++ {
+			if p.Reg(r) != ref.ReadReg(r) {
+				t.Errorf("seed %d: register %s differs", seed, isa.RegName(r))
+			}
+		}
+	}
+}

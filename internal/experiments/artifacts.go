@@ -1,0 +1,307 @@
+// Package experiments regenerates every artefact of the paper — Table 1
+// and Figures 1-7 as structural/behavioural reproductions — plus the
+// quantitative extension studies X1-X6 indexed in DESIGN.md. Each
+// function returns printable text; cmd/paperrepro is the CLI front end
+// and EXPERIMENTS.md records the outputs.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/avail"
+	"repro/internal/cem"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/hwcost"
+	"repro/internal/rfu"
+	"repro/internal/stats"
+	"repro/internal/wakeup"
+)
+
+// Table1 reproduces the paper's Table 1: the number of each functional
+// unit type provided by the fixed units and by each configuration, plus
+// the 3-bit resource-type encodings.
+func Table1() string {
+	t := stats.NewTable("Table 1 — functional units per configuration (counts in the reconfigurable fabric; FFUs add one of each type)",
+		"", "IntALU", "IntMDU", "LSU", "FPALU", "FPMDU", "slots")
+	ffu := config.FFUCounts()
+	t.AddRow("FFUs", ffu[0], ffu[1], ffu[2], ffu[3], ffu[4], "-")
+	t.AddRow("Config 0 (current)", "dyn", "dyn", "dyn", "dyn", "dyn", arch.NumRFUSlots)
+	for i, cfg := range config.DefaultBasis() {
+		c := cfg.Counts()
+		t.AddRow(fmt.Sprintf("Config %d (%s)", i+1, cfg.Name), c[0], c[1], c[2], c[3], c[4], c.Slots())
+	}
+
+	e := stats.NewTable("Resource type encodings (3-bit, allocation vector)",
+		"resource", "encoding")
+	e.AddRow("(empty slot)", fmt.Sprintf("%03b", arch.EncEmpty))
+	for _, ty := range arch.UnitTypes() {
+		e.AddRow(ty.String(), fmt.Sprintf("%03b", arch.Encode(ty)))
+	}
+	e.AddRow("(continuation)", fmt.Sprintf("%03b", arch.EncCont))
+
+	s := stats.NewTable("Slot costs (§4.2)", "unit type", "slots")
+	for _, ty := range arch.UnitTypes() {
+		s.AddRow(ty.String(), arch.SlotCost(ty))
+	}
+	return t.String() + "\n" + e.String() + "\n" + s.String()
+}
+
+// Fig1 reproduces Figure 1 as the live module inventory of a constructed
+// machine: the fixed modules, the fixed functional units, and the
+// reconfigurable slot fabric with the three predefined configurations.
+func Fig1() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — partially run-time reconfigurable architecture (live inventory)\n\n")
+	b.WriteString("Fixed modules: instruction memory, fetch unit, trace cache, instruction decoder,\n")
+	b.WriteString("               configuration manager (selection unit + loader), register update unit,\n")
+	b.WriteString("               register files (32 int + 32 fp), data memory + cache\n\n")
+	b.WriteString("Fixed functional units (one per type):\n")
+	for _, ty := range arch.UnitTypes() {
+		fmt.Fprintf(&b, "  FFU %-6s  latency class %s\n", ty, ty)
+	}
+	fmt.Fprintf(&b, "\nReconfigurable fabric: %d slots, partial per-span reconfiguration\n", arch.NumRFUSlots)
+	b.WriteString("Predefined steering configurations:\n")
+	for i, cfg := range config.DefaultBasis() {
+		fmt.Fprintf(&b, "  Config %d %v\n", i+1, cfg)
+	}
+	b.WriteString("Config 0 (current): the live allocation vector — generally a hybrid of the above\n")
+	return b.String()
+}
+
+// Fig2 reproduces Figure 2 by tracing the four selection-unit stages on a
+// demand scenario: a fresh fabric steered first by FP-heavy demand, then
+// by integer demand, then settling.
+func Fig2() string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — configuration selection unit, staged trace\n\n")
+	fabric := rfu.New(0)
+	m := core.NewManager(fabric, config.DefaultBasis())
+
+	scenario := []struct {
+		name  string
+		units []arch.UnitType
+	}{
+		{"FP burst", []arch.UnitType{arch.FPALU, arch.FPALU, arch.FPMDU, arch.FPMDU, arch.LSU}},
+		{"same FP burst (settled)", []arch.UnitType{arch.FPALU, arch.FPALU, arch.FPMDU, arch.FPMDU, arch.LSU}},
+		{"integer burst", []arch.UnitType{arch.IntALU, arch.IntALU, arch.IntALU, arch.IntALU, arch.IntMDU}},
+		{"memory burst", []arch.UnitType{arch.LSU, arch.LSU, arch.LSU, arch.LSU, arch.IntALU}},
+	}
+	for step, sc := range scenario {
+		fmt.Fprintf(&b, "cycle %d: queue = %s\n", step, sc.name)
+		b.WriteString("  stage 1 (unit decoders, one-hot):\n")
+		for _, u := range sc.units {
+			oneHot := core.UnitDecoder(u)
+			bits := make([]byte, arch.NumUnitTypes)
+			for i, set := range oneHot {
+				bits[i] = '0'
+				if set {
+					bits[i] = '1'
+				}
+			}
+			fmt.Fprintf(&b, "    %-7s -> %s\n", u, bits)
+		}
+		req := core.EncodeRequirements(sc.units)
+		fmt.Fprintf(&b, "  stage 2 (requirement encoders): %v\n", req)
+		sel := m.Step(req)
+		fmt.Fprintf(&b, "  stage 3 (CEM generators):       errors = %v\n", sel.Errors)
+		fmt.Fprintf(&b, "  stage 4 (minimal error select): choice = %d (%s), 2-bit output %02b\n",
+			sel.Choice, choiceName(m, sel.Choice), sel.Choice)
+		fmt.Fprintf(&b, "  fabric after load: %v\n\n", fabric.Allocation().Slots)
+	}
+	return b.String()
+}
+
+func choiceName(m *core.Manager, choice int) string {
+	if choice == 0 {
+		return "current"
+	}
+	return m.Basis()[choice-1].Name
+}
+
+// Fig3 reproduces Figure 3: the shifter-control truth table of 3(c), a
+// sweep of the error metric against the exact divider (the approximation
+// study), and the exhaustive circuit-equivalence verdict for 3(b).
+func Fig3() string {
+	var b strings.Builder
+	b.WriteString("Figure 3 — configuration error metric generation\n\n")
+
+	tc := stats.NewTable("Fig. 3(c) — shifter control from availability quantity (upper two bits)",
+		"avail (3-bit)", "q2 q1", "shift", "divisor")
+	for q := 0; q < 8; q++ {
+		s := cem.Shift(q)
+		tc.AddRow(q, fmt.Sprintf("%d  %d", q>>2&1, q>>1&1), s, 1<<s)
+	}
+	b.WriteString(tc.String() + "\n")
+
+	ta := stats.NewTable("Fig. 3(a) — per-type error term: shifter approximation vs exact divider",
+		"required", "available", "approx req>>s", "exact floor(req/avail)", "delta")
+	for req := 0; req <= 7; req++ {
+		for _, av := range []int{0, 1, 2, 3, 4, 7} {
+			a := cem.Contribution(req, av)
+			var x int
+			if av <= 1 {
+				x = req
+			} else {
+				x = req / av
+			}
+			if req == 0 && av > 0 {
+				continue // zero rows add noise
+			}
+			ta.AddRow(req, av, a, x, a-x)
+		}
+	}
+	b.WriteString(ta.String() + "\n")
+
+	// Circuit equivalence: exhaust the per-type path.
+	mismatches := 0
+	for r := 0; r < 8; r++ {
+		for a := 0; a < 8; a++ {
+			req := arch.Counts{r, 0, 0, 0, 0}
+			av := arch.Counts{a, 7, 7, 7, 7}
+			if cem.CircuitError(req, av) != cem.Error(req, av) {
+				mismatches++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "Fig. 3(b) gate-level circuit vs behavioural equation: %d/64 per-type mismatches (exhaustive)\n", mismatches)
+	return b.String()
+}
+
+// Fig5 reproduces Figures 4-6: the paper's seven-instruction example as a
+// dependency list, the wake-up array matrix of Fig. 5, and a
+// cycle-by-cycle request/grant schedule through the Fig. 6 logic.
+func Fig5() string {
+	var b strings.Builder
+	b.WriteString("Figures 4-6 — wake-up array worked example\n\n")
+	a, rows := wakeup.PaperExample()
+	labels := wakeup.PaperExampleLabels
+
+	b.WriteString("Fig. 4 — dependency graph:\n")
+	for i, r := range rows {
+		var deps []string
+		for j := 0; j < a.Size(); j++ {
+			if a.DependsOn(r, j) {
+				for k, rr := range rows {
+					if rr == j {
+						deps = append(deps, labels[k])
+					}
+				}
+			}
+		}
+		if len(deps) == 0 {
+			fmt.Fprintf(&b, "  %-6s (entry %d, %v): no dependencies\n", labels[i], i+1, a.Unit(r))
+		} else {
+			fmt.Fprintf(&b, "  %-6s (entry %d, %v): depends on %s\n", labels[i], i+1, a.Unit(r), strings.Join(deps, ", "))
+		}
+	}
+
+	b.WriteString("\nFig. 5 — wake-up array (unit columns, then result-required-from columns):\n")
+	b.WriteString(a.Dump(labels))
+
+	b.WriteString("\nFig. 6 — request/grant schedule with all units available:\n")
+	allAvail := [arch.NumUnitTypes]bool{}
+	for i := range allAvail {
+		allAvail[i] = true
+	}
+	granted := map[int]bool{}
+	for cycle := 0; len(granted) < len(rows) && cycle < 40; cycle++ {
+		reqs := a.Requests(allAvail)
+		var names []string
+		for _, r := range reqs {
+			for k, rr := range rows {
+				if rr == r {
+					names = append(names, labels[k])
+				}
+			}
+			a.Grant(r)
+			granted[r] = true
+		}
+		if len(names) > 0 {
+			fmt.Fprintf(&b, "  cycle %2d: grant %s\n", cycle, strings.Join(names, ", "))
+		} else {
+			fmt.Fprintf(&b, "  cycle %2d: (waiting on results)\n", cycle)
+		}
+		a.Tick()
+	}
+	return b.String()
+}
+
+// CostTable reports the hardware cost of every paper circuit — the
+// quantitative backing for the paper's "fast and efficient" selection
+// circuit claim.
+func CostTable() string {
+	var b strings.Builder
+	b.WriteString("Hardware cost of the paper's circuits (netlist model: ripple-carry adders,\n")
+	b.WriteString("linear comparator chains; MUX counted as 3 two-input equivalents)\n\n")
+	t := stats.NewTable("",
+		"circuit", "inputs", "and", "or", "xor", "not", "mux", "2-in equiv", "depth")
+	for _, c := range hwcost.All() {
+		t.AddRow(c.Name, c.Inputs,
+			c.Gates["and"], c.Gates["or"], c.Gates["xor"], c.Gates["not"], c.Gates["mux"],
+			c.TwoInputEquivalent(), c.Depth)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nThe full selection unit (stages 2-4 of Fig. 2) fits in ~1.5k two-input\ngates — small beside a single 32-bit adder-class functional unit —\nsupporting the paper's efficiency claim for per-cycle configuration\nselection.\n")
+	return b.String()
+}
+
+// Fig7 reproduces Figure 7 / Equation 1: availability scenarios over a
+// populated allocation vector, plus the exhaustive circuit-equivalence
+// verdict.
+func Fig7() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 / Eq. 1 — resource availability computation\n\n")
+
+	v := config.NewAllocationVector()
+	v.Slots = config.DefaultBasis()[2].Layout // floating config
+	alloc := v.Entries()
+	fmt.Fprintf(&b, "allocation vector: %v\n\n", v)
+
+	scenarios := []struct {
+		name string
+		busy func(sig []bool)
+	}{
+		{"everything idle", func(sig []bool) {}},
+		{"RFU FPALU busy (head slot 2)", func(sig []bool) { sig[2] = false }},
+		{"all FFUs busy", func(sig []bool) {
+			for i := arch.NumRFUSlots; i < len(sig); i++ {
+				sig[i] = false
+			}
+		}},
+		{"everything busy", func(sig []bool) {
+			for i := range sig {
+				sig[i] = false
+			}
+		}},
+	}
+	t := stats.NewTable("available(t) per scenario", "scenario", "IntALU", "IntMDU", "LSU", "FPALU", "FPMDU")
+	for _, sc := range scenarios {
+		sig := make([]bool, len(alloc))
+		for i := range sig {
+			sig[i] = true
+		}
+		sc.busy(sig)
+		got := avail.AllAvailable(alloc, sig)
+		t.AddRow(sc.name, got[0], got[1], got[2], got[3], got[4])
+	}
+	b.WriteString(t.String())
+
+	mismatches, total := 0, 0
+	for enc := 0; enc < 8; enc++ {
+		for sigBit := 0; sigBit < 2; sigBit++ {
+			for _, ty := range arch.UnitTypes() {
+				al := []arch.Encoding{arch.Encoding(enc)}
+				sg := []bool{sigBit == 1}
+				total++
+				if avail.CircuitAvailable(ty, al, sg) != avail.Available(ty, al, sg) {
+					mismatches++
+				}
+			}
+		}
+	}
+	fmt.Fprintf(&b, "\nFig. 7 gate-level circuit vs Eq. 1: %d/%d mismatches (exhaustive per-entry)\n", mismatches, total)
+	return b.String()
+}

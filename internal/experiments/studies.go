@@ -1,0 +1,908 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/baseline"
+	"repro/internal/cem"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// MaxCycles bounds every study run; exceeding it is reported as DNF.
+const MaxCycles = 20_000_000
+
+// Policies enumerated by the comparison studies.
+var studyPolicies = []string{
+	"steering", "demand", "static-int", "static-mem", "static-fp",
+	"ffu-only", "full-reconfig", "oracle", "random",
+}
+
+// buildMachine constructs a processor with the named policy.
+func buildMachine(prog isa.Program, params cpu.Params, policy string) *cpu.Processor {
+	if policy == "oracle" {
+		params.ReconfigLatency = 1
+	}
+	p := cpu.New(prog, params, nil)
+	basis := config.DefaultBasis()
+	switch policy {
+	case "steering":
+		p.SetPolicy(baseline.NewSteering(p.Fabric()))
+	case "static-int":
+		p.Fabric().Install(basis[0])
+	case "static-mem":
+		p.Fabric().Install(basis[1])
+	case "static-fp":
+		p.Fabric().Install(basis[2])
+	case "ffu-only":
+		// empty fabric
+	case "full-reconfig":
+		p.SetPolicy(baseline.NewFullReconfig(p.Fabric()))
+	case "oracle":
+		p.SetPolicy(baseline.NewOracle(p.Fabric()))
+	case "random":
+		p.SetPolicy(baseline.NewRandom(p.Fabric(), 1))
+	case "demand":
+		p.SetPolicy(core.NewDemandManager(p.Fabric()))
+	default:
+		panic("experiments: unknown policy " + policy)
+	}
+	return p
+}
+
+// ipcOf runs prog under the policy and returns its IPC, or -1 on DNF.
+func ipcOf(prog isa.Program, params cpu.Params, policy string) float64 {
+	p := buildMachine(prog, params, policy)
+	st, err := p.Run(MaxCycles)
+	if err != nil {
+		return -1
+	}
+	return st.IPC()
+}
+
+// fmtIPC renders an IPC cell, marking runs that did not finish.
+func fmtIPC(v float64) string {
+	if v < 0 {
+		return "DNF"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// PhasedWorkload is the standard synthetic program of the studies:
+// alternating integer, floating-point, memory and multiply/divide phases.
+func PhasedWorkload(seed int64) isa.Program {
+	return workload.Synthesize([]workload.Phase{
+		{Mix: workload.MixIntHeavy, Instructions: 800},
+		{Mix: workload.MixFPHeavy, Instructions: 800},
+		{Mix: workload.MixMemHeavy, Instructions: 800},
+		{Mix: workload.MixMDUHeavy, Instructions: 400},
+		{Mix: workload.MixFPHeavy, Instructions: 800},
+	}, workload.SynthParams{Seed: seed})
+}
+
+// X1 compares steering against every baseline across the phased synthetic
+// workload, single-mix workloads and the kernel library.
+func X1() string {
+	var b strings.Builder
+	b.WriteString("X1 — IPC: steering vs baselines\n\n")
+	params := cpu.DefaultParams()
+
+	// Synthetic workloads.
+	synth := stats.NewTable("Synthetic workloads (IPC; higher is better)",
+		append([]string{"workload"}, studyPolicies...)...)
+	workloads := []struct {
+		name string
+		prog isa.Program
+	}{
+		{"phased (int/fp/mem/mdu/fp)", PhasedWorkload(7)},
+		{"int-heavy", workload.Synthesize([]workload.Phase{{Mix: workload.MixIntHeavy, Instructions: 2500}}, workload.SynthParams{Seed: 8})},
+		{"fp-heavy", workload.Synthesize([]workload.Phase{{Mix: workload.MixFPHeavy, Instructions: 2500}}, workload.SynthParams{Seed: 9})},
+		{"mem-heavy", workload.Synthesize([]workload.Phase{{Mix: workload.MixMemHeavy, Instructions: 2500}}, workload.SynthParams{Seed: 10})},
+		{"uniform", workload.Synthesize([]workload.Phase{{Mix: workload.MixUniform, Instructions: 2500}}, workload.SynthParams{Seed: 11})},
+	}
+	// The grid's cells are independent simulations; sweep them in
+	// parallel, rows and columns staying in deterministic order.
+	synthGrid := sweep.Grid(len(workloads), len(studyPolicies), 0, func(row, col int) string {
+		return fmtIPC(ipcOf(workloads[row].prog, params, studyPolicies[col]))
+	})
+	for i, w := range workloads {
+		cells := []interface{}{w.name}
+		for _, cell := range synthGrid[i] {
+			cells = append(cells, cell)
+		}
+		synth.AddRow(cells...)
+	}
+	b.WriteString(synth.String() + "\n")
+
+	// Kernels.
+	kt := stats.NewTable("Kernel library (IPC)", append([]string{"kernel"}, studyPolicies...)...)
+	kernels := workload.Kernels()
+	kernelGrid := sweep.Grid(len(kernels), len(studyPolicies), 0, func(row, col int) string {
+		k := kernels[row]
+		p := buildMachine(k.Program(), params, studyPolicies[col])
+		if k.Setup != nil {
+			k.Setup(p.Memory(), p.SetReg)
+		}
+		st, err := p.Run(MaxCycles)
+		if err != nil {
+			return "DNF"
+		}
+		if k.Validate != nil {
+			if err := k.Validate(p.Reg, p.Memory()); err != nil {
+				return "WRONG"
+			}
+		}
+		return fmtIPC(st.IPC())
+	})
+	for i, k := range kernels {
+		cells := []interface{}{k.Name}
+		for _, cell := range kernelGrid[i] {
+			cells = append(cells, cell)
+		}
+		kt.AddRow(cells...)
+	}
+	b.WriteString(kt.String())
+	return b.String()
+}
+
+// X1Seeds re-runs the phased-workload comparison across many generator
+// seeds, reporting the distribution — the robustness check that the X1
+// headline is not a single-seed artefact.
+func X1Seeds() string {
+	var b strings.Builder
+	b.WriteString("X1-seeds — steering vs best static across 10 phased-workload seeds\n\n")
+	params := cpu.DefaultParams()
+	const n = 10
+
+	type row struct {
+		steering, bestStatic, ffuOnly float64
+	}
+	rows := sweep.Run(n, 0, func(i int) row {
+		prog := PhasedWorkload(int64(100 + i))
+		best := 0.0
+		for _, pol := range []string{"static-int", "static-mem", "static-fp"} {
+			if v := ipcOf(prog, params, pol); v > best {
+				best = v
+			}
+		}
+		return row{
+			steering:   ipcOf(prog, params, "steering"),
+			bestStatic: best,
+			ffuOnly:    ipcOf(prog, params, "ffu-only"),
+		}
+	})
+
+	t := stats.NewTable("per-seed IPC", "seed", "steering", "best static", "ffu-only", "steering/best-static")
+	var speedups stats.Series
+	wins := 0
+	for i, r := range rows {
+		t.AddRow(100+i, r.steering, r.bestStatic, r.ffuOnly, stats.Ratio(r.steering, r.bestStatic))
+		speedups.Add(r.steering / r.bestStatic)
+		if r.steering > r.bestStatic {
+			wins++
+		}
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nsteering beats the best static configuration on %d/%d seeds;\n", wins, n)
+	fmt.Fprintf(&b, "speedup over best static: geomean %.3fx, min %.3fx, max %.3fx\n",
+		speedups.GeoMean(), speedups.Min(), speedups.Max())
+	return b.String()
+}
+
+// X2 sweeps the per-span reconfiguration latency, contrasting partial
+// (steering) with whole-fabric (full-reconfig) loading.
+func X2() string {
+	prog := PhasedWorkload(7)
+	t := stats.NewTable("X2 — IPC vs reconfiguration latency (phased workload)",
+		"latency (cycles/span)", "steering", "full-reconfig", "static-int (ref)")
+	staticRef := ipcOf(prog, cpu.DefaultParams(), "static-int")
+	for _, lat := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		params := cpu.DefaultParams()
+		params.ReconfigLatency = lat
+		t.AddRow(lat,
+			fmtIPC(ipcOf(prog, params, "steering")),
+			fmtIPC(ipcOf(prog, params, "full-reconfig")),
+			fmtIPC(staticRef))
+	}
+	return t.String()
+}
+
+// X3 measures how often the shifter-approximate CEM selects differently
+// from the exact divider, and what that costs in IPC.
+func X3() string {
+	var b strings.Builder
+	b.WriteString("X3 — approximate (barrel shifter) vs exact divider CEM\n\n")
+
+	// Selection agreement over all demand vectors with <= 7 total.
+	agree, total := 0, 0
+	basis := config.DefaultBasis()
+	ffu := config.FFUCounts()
+	var walk func(t int, left int, req arch.Counts)
+	var disagreeExamples []string
+	walk = func(ti, left int, req arch.Counts) {
+		if ti == arch.NumUnitTypes {
+			total++
+			var errA, errX [arch.NumConfigs]int
+			var dist [arch.NumConfigs]int
+			// Distances on a fresh fabric are the full layouts.
+			fresh := config.NewAllocationVector()
+			errA[0] = cem.Error(req, ffu)
+			errX[0] = cem.ErrorExact(req, ffu)
+			for i, cfg := range basis {
+				av := cfg.Counts().Add(ffu)
+				errA[i+1] = cem.Error(req, av)
+				errX[i+1] = cem.ErrorExact(req, av)
+				dist[i+1] = fresh.Distance(cfg)
+			}
+			a := core.MinimalErrorSelect(errA, dist)
+			x := core.MinimalErrorSelect(errX, dist)
+			if a == x {
+				agree++
+			} else if len(disagreeExamples) < 5 {
+				disagreeExamples = append(disagreeExamples,
+					fmt.Sprintf("  req=%v approx->%d exact->%d", req, a, x))
+			}
+			return
+		}
+		for n := 0; n <= left; n++ {
+			req[ti] = n
+			walk(ti+1, left-n, req)
+		}
+	}
+	walk(0, arch.QueueSize, arch.Counts{})
+	fmt.Fprintf(&b, "selection agreement over all %d legal demand vectors: %d (%.1f%%)\n",
+		total, agree, 100*float64(agree)/float64(total))
+	if len(disagreeExamples) > 0 {
+		b.WriteString("example disagreements:\n" + strings.Join(disagreeExamples, "\n") + "\n")
+	}
+
+	// End-to-end IPC cost.
+	prog := PhasedWorkload(7)
+	params := cpu.DefaultParams()
+	run := func(exact bool) float64 {
+		p := cpu.New(prog, params, nil)
+		m := core.NewManager(p.Fabric(), config.DefaultBasis())
+		m.ExactCEM = exact
+		p.SetPolicy(&baseline.Steering{M: m})
+		st, err := p.Run(MaxCycles)
+		if err != nil {
+			return -1
+		}
+		return st.IPC()
+	}
+	a, x := run(false), run(true)
+	fmt.Fprintf(&b, "\nphased workload IPC: approximate %.3f, exact %.3f (delta %.1f%%)\n",
+		a, x, 100*(x-a)/a)
+	return b.String()
+}
+
+// X4 studies the forward-progress role of the FFUs: machines with and
+// without fixed units under steering and under no management.
+func X4() string {
+	prog := PhasedWorkload(7)
+	t := stats.NewTable("X4 — FFU ablation (phased workload)",
+		"machine", "IPC", "outcome")
+	cases := []struct {
+		name    string
+		disable bool
+		policy  string
+	}{
+		{"FFUs + steering", false, "steering"},
+		{"FFUs only (no policy)", false, "ffu-only"},
+		{"no FFUs + steering", true, "steering"},
+		{"no FFUs, no policy", true, "ffu-only"},
+	}
+	for _, c := range cases {
+		params := cpu.DefaultParams()
+		params.DisableFFUs = c.disable
+		p := buildMachine(prog, params, c.policy)
+		st, err := p.Run(2_000_000)
+		if err != nil {
+			t.AddRow(c.name, "-", fmt.Sprintf("starved after %d retired", st.Retired))
+			continue
+		}
+		t.AddRow(c.name, st.IPC(), "completed")
+	}
+	return t.String() + "\nThe paper's guarantee: with FFUs every instruction eventually executes;\nwithout them an unmanaged fabric starves immediately, and even a steered\nfabric depends on the basis covering every unit type in use.\n"
+}
+
+// X5 sweeps the wake-up array / window size.
+func X5() string {
+	prog := PhasedWorkload(7)
+	t := stats.NewTable("X5 — IPC vs scheduling window size (steering)",
+		"window", "IPC", "reconfigs")
+	for _, w := range []int{2, 4, 7, 12, 16, 24, 32} {
+		params := cpu.DefaultParams()
+		params.WindowSize = w
+		p := buildMachine(prog, params, "steering")
+		st, err := p.Run(MaxCycles)
+		ipc := -1.0
+		if err == nil {
+			ipc = st.IPC()
+		}
+		t.AddRow(w, fmtIPC(ipc), p.Fabric().Reconfigurations())
+	}
+	return t.String()
+}
+
+// X6 compares steering bases — the paper's §5 future-work question of
+// choosing an orthogonal basis.
+func X6() string {
+	prog := PhasedWorkload(7)
+	params := cpu.DefaultParams()
+
+	bases := []struct {
+		name  string
+		basis [3]config.Configuration
+	}{
+		{"default (int/mem/fp)", config.DefaultBasis()},
+		{"all-integer (degenerate)", [3]config.Configuration{
+			config.MustNew("int-a", arch.IntALU, arch.IntALU, arch.IntALU, arch.IntALU, arch.IntALU, arch.IntALU, arch.IntALU, arch.IntALU),
+			config.MustNew("int-b", arch.IntALU, arch.IntALU, arch.IntALU, arch.IntALU, arch.IntMDU, arch.IntMDU),
+			config.MustNew("int-c", arch.IntALU, arch.IntALU, arch.LSU, arch.LSU, arch.LSU, arch.LSU, arch.LSU, arch.LSU),
+		}},
+		{"balanced trio", [3]config.Configuration{
+			config.MustNew("bal-a", arch.IntALU, arch.IntALU, arch.LSU, arch.LSU, arch.IntMDU, arch.IntALU, arch.IntALU),
+			config.MustNew("bal-b", arch.LSU, arch.LSU, arch.FPALU, arch.IntALU, arch.IntALU),
+			config.MustNew("bal-c", arch.FPALU, arch.FPMDU, arch.IntALU, arch.LSU),
+		}},
+		{"fp-rich", [3]config.Configuration{
+			config.MustNew("fp-a", arch.FPALU, arch.FPMDU, arch.IntALU, arch.LSU),
+			config.MustNew("fp-b", arch.FPMDU, arch.FPMDU, arch.IntALU, arch.LSU),
+			config.MustNew("fp-c", arch.FPALU, arch.FPALU, arch.IntALU, arch.LSU),
+		}},
+	}
+	t := stats.NewTable("X6 — steering basis study (phased workload)",
+		"basis", "IPC", "reconfigs", "hybrid cycles")
+	for _, bc := range bases {
+		p := cpu.New(prog, params, nil)
+		m := core.NewManager(p.Fabric(), bc.basis)
+		p.SetPolicy(&baseline.Steering{M: m})
+		st, err := p.Run(MaxCycles)
+		ipc := -1.0
+		if err == nil {
+			ipc = st.IPC()
+		}
+		t.AddRow(bc.name, fmtIPC(ipc), p.Fabric().Reconfigurations(), m.Stats().HybridCycles)
+	}
+	return t.String()
+}
+
+// X7 evaluates the paper's §5 future-work direction implemented in
+// core.DemandManager: synthesising configurations directly from demand,
+// with no predefined basis, across workloads and hysteresis settings.
+func X7() string {
+	var b strings.Builder
+	b.WriteString("X7 — demand-driven configuration synthesis (no predefined basis, §5 future work)\n\n")
+	params := cpu.DefaultParams()
+
+	workloads := []struct {
+		name string
+		prog isa.Program
+	}{
+		{"phased", PhasedWorkload(7)},
+		{"fp-heavy", workload.Synthesize([]workload.Phase{{Mix: workload.MixFPHeavy, Instructions: 2500}}, workload.SynthParams{Seed: 9})},
+		{"uniform", workload.Synthesize([]workload.Phase{{Mix: workload.MixUniform, Instructions: 2500}}, workload.SynthParams{Seed: 11})},
+	}
+	t := stats.NewTable("IPC: basis steering vs demand-driven synthesis",
+		"workload", "steering", "demand h=0", "demand h=1", "demand h=2", "oracle")
+	for _, w := range workloads {
+		row := []interface{}{w.name, fmtIPC(ipcOf(w.prog, params, "steering"))}
+		for _, h := range []int{0, 1, 2} {
+			p := cpu.New(w.prog, params, nil)
+			m := core.NewDemandManager(p.Fabric())
+			m.Hysteresis = h
+			p.SetPolicy(m)
+			st, err := p.Run(MaxCycles)
+			if err != nil {
+				row = append(row, "DNF")
+				continue
+			}
+			row = append(row, fmtIPC(st.IPC()))
+		}
+		row = append(row, fmtIPC(ipcOf(w.prog, params, "oracle")))
+		t.AddRow(row...)
+	}
+	b.WriteString(t.String())
+
+	// Reconfiguration traffic comparison on the phased workload.
+	prog := PhasedWorkload(7)
+	ps := cpu.New(prog, params, nil)
+	ps.SetPolicy(baseline.NewSteering(ps.Fabric()))
+	ps.Run(MaxCycles)
+	pd := cpu.New(prog, params, nil)
+	pd.SetPolicy(core.NewDemandManager(pd.Fabric()))
+	pd.Run(MaxCycles)
+	fmt.Fprintf(&b, "\nreconfiguration spans on phased workload: steering %d, demand-driven %d\n",
+		ps.Fabric().Reconfigurations(), pd.Fabric().Reconfigurations())
+	return b.String()
+}
+
+// X8 renders the adaptation timeline: windowed IPC, fabric state and
+// reconfiguration activity as the steering machine crosses the phase
+// boundaries of the phased workload — the paper's steering story made
+// visible over time.
+func X8() string {
+	var b strings.Builder
+	b.WriteString("X8 — steering adaptation timeline (phased workload: int -> fp -> mem -> mdu -> fp)\n\n")
+
+	prog := PhasedWorkload(7)
+	params := cpu.DefaultParams()
+	p := cpu.New(prog, params, nil)
+	steer := baseline.NewSteering(p.Fabric())
+	p.SetPolicy(steer)
+
+	const window = 250
+	basis := config.DefaultBasis()
+	classify := func() string {
+		slots := p.Fabric().Allocation().Slots
+		for _, cfg := range basis {
+			if slots == cfg.Layout {
+				return cfg.Name
+			}
+		}
+		empty := true
+		for _, e := range slots {
+			if e != arch.EncEmpty {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return "(empty)"
+		}
+		return "hybrid"
+	}
+
+	t := stats.NewTable("per-window machine state",
+		"cycles", "retired", "window IPC", "fabric state", "reconfigs", "fp units", "lsu units")
+	lastRetired, lastReconfigs := 0, 0
+	for !p.Halted() && p.Stats().Cycles < MaxCycles {
+		for i := 0; i < window && !p.Halted(); i++ {
+			p.Cycle()
+		}
+		st := p.Stats()
+		counts := p.Fabric().TotalCounts()
+		t.AddRow(
+			fmt.Sprintf("%d-%d", st.Cycles-window, st.Cycles),
+			st.Retired,
+			float64(st.Retired-lastRetired)/float64(window),
+			classify(),
+			p.Fabric().Reconfigurations()-lastReconfigs,
+			counts[arch.FPALU]+counts[arch.FPMDU],
+			counts[arch.LSU],
+		)
+		lastRetired = st.Retired
+		lastReconfigs = p.Fabric().Reconfigurations()
+	}
+	b.WriteString(t.String())
+	mst := steer.M.Stats()
+	fmt.Fprintf(&b, "\nselection totals: current=%d integer=%d memory=%d floating=%d, hybrid cycles=%d\n",
+		mst.Selections[0], mst.Selections[1], mst.Selections[2], mst.Selections[3], mst.HybridCycles)
+	return b.String()
+}
+
+// X9 contrasts the idealised select stage with the literal select-free
+// scheduling of the paper's reference [9], where colliding requesters
+// pile up, waste their issue slot and replay.
+func X9() string {
+	var b strings.Builder
+	b.WriteString("X9 — select-free scheduling pileups (reference [9]) vs idealised select\n\n")
+	workloads := []struct {
+		name string
+		prog isa.Program
+	}{
+		{"phased", PhasedWorkload(7)},
+		{"int-heavy", workload.Synthesize([]workload.Phase{{Mix: workload.MixIntHeavy, Instructions: 2500}}, workload.SynthParams{Seed: 8})},
+		{"mem-heavy", workload.Synthesize([]workload.Phase{{Mix: workload.MixMemHeavy, Instructions: 2500}}, workload.SynthParams{Seed: 10})},
+	}
+	for _, width := range []int{4, 1} {
+		t := stats.NewTable(
+			fmt.Sprintf("steering machine, issue width %d: IPC and pileup replays", width),
+			"workload", "ideal select IPC", "select-free IPC", "slowdown", "pileups", "pileups/1k retired")
+		for _, w := range workloads {
+			run := func(selectFree bool) cpu.Stats {
+				params := cpu.DefaultParams()
+				params.IssueWidth = width
+				params.SelectFree = selectFree
+				p := buildMachine(w.prog, params, "steering")
+				st, err := p.Run(MaxCycles)
+				if err != nil {
+					return cpu.Stats{}
+				}
+				return st
+			}
+			ideal := run(false)
+			free := run(true)
+			t.AddRow(w.name,
+				fmtIPC(ideal.IPC()), fmtIPC(free.IPC()),
+				fmt.Sprintf("%.1f%%", 100*(ideal.IPC()-free.IPC())/ideal.IPC()),
+				free.Pileups,
+				fmt.Sprintf("%.1f", 1000*float64(free.Pileups)/float64(free.Retired)))
+		}
+		b.WriteString(t.String() + "\n")
+	}
+	b.WriteString("\nThe paper adopts [9]'s wake-up arrays; this study quantifies the pileup\ncost the select-free design trades for its shorter scheduling critical path.\n")
+	return b.String()
+}
+
+// X10 compares the two readings of where the configuration manager gets
+// its demand vector: §3.1's instruction-queue view (default) vs §2's
+// fetch-fed pre-decoder view, which sees fetched-but-undispatched
+// instructions too (Params.ManagerLookahead).
+func X10() string {
+	var b strings.Builder
+	b.WriteString("X10 — manager demand source: instruction queue (§3.1) vs fetch pre-decode lookahead (§2)\n\n")
+	t := stats.NewTable("steering IPC",
+		"workload", "queue view", "lookahead view", "delta")
+	row := func(name string, prog isa.Program, setup func(p *cpu.Processor)) {
+		run := func(lookahead bool) float64 {
+			params := cpu.DefaultParams()
+			params.ManagerLookahead = lookahead
+			p := buildMachine(prog, params, "steering")
+			if setup != nil {
+				setup(p)
+			}
+			st, err := p.Run(MaxCycles)
+			if err != nil {
+				return -1
+			}
+			return st.IPC()
+		}
+		q, l := run(false), run(true)
+		t.AddRow(name, fmtIPC(q), fmtIPC(l), fmt.Sprintf("%+.1f%%", 100*(l-q)/q))
+	}
+	row("phased", PhasedWorkload(7), nil)
+	row("fp-heavy", workload.Synthesize([]workload.Phase{{Mix: workload.MixFPHeavy, Instructions: 2500}}, workload.SynthParams{Seed: 9}), nil)
+	for _, name := range []string{"saxpy", "matmul", "dot"} {
+		k := workload.KernelByName(name)
+		row(name, k.Program(), func(p *cpu.Processor) {
+			if k.Setup != nil {
+				k.Setup(p.Memory(), p.SetReg)
+			}
+		})
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nLookahead widens the demand sample the CEM generators see, smoothing the\nper-cycle oscillation of narrow windows.\n")
+	return b.String()
+}
+
+// X11 sweeps the residency timer that damps selection thrash — motivated
+// by the X1 observation that per-cycle reloading hurts short loops whose
+// demand oscillates within one loop body (saxpy).
+func X11() string {
+	var b strings.Builder
+	b.WriteString("X11 — configuration residency timer (thrash damping)\n\n")
+	workloads := []struct {
+		name  string
+		prog  isa.Program
+		setup func(p *cpu.Processor)
+	}{
+		{"saxpy", workload.KernelByName("saxpy").Program(), func(p *cpu.Processor) {
+			k := workload.KernelByName("saxpy")
+			k.Setup(p.Memory(), p.SetReg)
+		}},
+		{"phased", PhasedWorkload(7), nil},
+	}
+	for _, w := range workloads {
+		t := stats.NewTable(fmt.Sprintf("%s: IPC vs minimum residency", w.name),
+			"min residency (cycles)", "IPC", "reconfigs", "suppressed loads")
+		for _, res := range []int{0, 4, 8, 16, 32, 64, 128} {
+			p := cpu.New(w.prog, cpu.DefaultParams(), nil)
+			m := core.NewManager(p.Fabric(), config.DefaultBasis())
+			m.MinResidency = res
+			p.SetPolicy(&baseline.Steering{M: m})
+			if w.setup != nil {
+				w.setup(p)
+			}
+			st, err := p.Run(MaxCycles)
+			ipc := -1.0
+			if err == nil {
+				ipc = st.IPC()
+			}
+			t.AddRow(res, fmtIPC(ipc), p.Fabric().Reconfigurations(), m.Stats().SuppressedLoads)
+		}
+		b.WriteString(t.String() + "\n")
+	}
+	return b.String()
+}
+
+// X12 sweeps the machine's superscalar widths (fetch/dispatch/issue/
+// retire together) at several window sizes, locating where steering's
+// benefit saturates.
+func X12() string {
+	var b strings.Builder
+	b.WriteString("X12 — superscalar width and window scaling (phased workload, steering)\n\n")
+	prog := PhasedWorkload(7)
+	widths := []int{1, 2, 4, 8}
+	windows := []int{7, 16, 32}
+	t := stats.NewTable("IPC by width x window",
+		append([]string{"width \\ window"}, func() []string {
+			var h []string
+			for _, w := range windows {
+				h = append(h, fmt.Sprint(w))
+			}
+			return h
+		}()...)...)
+	grid := sweep.Grid(len(widths), len(windows), 0, func(r, c int) string {
+		params := cpu.DefaultParams()
+		params.DispatchWidth = widths[r]
+		params.IssueWidth = widths[r]
+		params.RetireWidth = widths[r]
+		params.FetchWidthMem = widths[r]
+		params.FetchWidthTC = widths[r] * 2
+		params.WindowSize = windows[c]
+		return fmtIPC(ipcOf(prog, params, "steering"))
+	})
+	for i, w := range widths {
+		cells := []interface{}{fmt.Sprint(w)}
+		for _, cell := range grid[i] {
+			cells = append(cells, cell)
+		}
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nWider machines need deeper windows to feed them; the paper's 7-entry\nqueue pairs naturally with a ~4-wide machine.\n")
+	return b.String()
+}
+
+// X13 studies the front end: branch predictor size and the trace cache's
+// fetch-widening effect, on the branchy kernel set.
+func X13() string {
+	var b strings.Builder
+	b.WriteString("X13 — front-end study: predictor size and trace cache\n\n")
+
+	kernelNames := []string{"sort", "gcdbatch", "mandel", "strsearch"}
+	pt := stats.NewTable("IPC vs bimodal predictor entries",
+		append([]string{"kernel"}, "16", "64", "256", "1024")...)
+	sizes := []int{16, 64, 256, 1024}
+	grid := sweep.Grid(len(kernelNames), len(sizes), 0, func(r, c int) string {
+		k := workload.KernelByName(kernelNames[r])
+		params := cpu.DefaultParams()
+		params.PredictorEntries = sizes[c]
+		p := buildMachine(k.Program(), params, "steering")
+		if k.Setup != nil {
+			k.Setup(p.Memory(), p.SetReg)
+		}
+		st, err := p.Run(MaxCycles)
+		if err != nil {
+			return "DNF"
+		}
+		return fmtIPC(st.IPC())
+	})
+	for i, name := range kernelNames {
+		cells := []interface{}{name}
+		for _, cell := range grid[i] {
+			cells = append(cells, cell)
+		}
+		pt.AddRow(cells...)
+	}
+	b.WriteString(pt.String() + "\n")
+
+	// Trace cache ablation: normal widths vs trace-cache width clamped
+	// to the memory width (no fetch widening).
+	tt := stats.NewTable("trace cache fetch widening (IPC)",
+		"kernel", "with trace cache (2->4)", "without (2->2)", "delta")
+	for _, name := range []string{"sort", "matmul", "memcpy", "fib"} {
+		k := workload.KernelByName(name)
+		run := func(tcWidth int) float64 {
+			params := cpu.DefaultParams()
+			params.FetchWidthTC = tcWidth
+			p := buildMachine(k.Program(), params, "steering")
+			if k.Setup != nil {
+				k.Setup(p.Memory(), p.SetReg)
+			}
+			st, err := p.Run(MaxCycles)
+			if err != nil {
+				return -1
+			}
+			return st.IPC()
+		}
+		with, without := run(4), run(2)
+		tt.AddRow(name, fmtIPC(with), fmtIPC(without), fmt.Sprintf("%+.1f%%", 100*(with-without)/without))
+	}
+	b.WriteString(tt.String())
+	return b.String()
+}
+
+// X14 breaks every cycle down by bottleneck — issuing, front-end-starved,
+// unit-bound, dependency-bound — showing *where* steering's win comes
+// from: it converts unit-bound cycles into issuing ones.
+func X14() string {
+	var b strings.Builder
+	b.WriteString("X14 — cycle bottleneck breakdown (phased workload)\n\n")
+	prog := PhasedWorkload(7)
+	t := stats.NewTable("fraction of cycles by bottleneck",
+		"policy", "issuing", "unit-bound", "dep-bound", "frontend", "IPC")
+	for _, pol := range []string{"steering", "static-int", "static-fp", "ffu-only", "oracle"} {
+		p := buildMachine(prog, cpu.DefaultParams(), pol)
+		st, err := p.Run(MaxCycles)
+		if err != nil {
+			t.AddRow(pol, "DNF", "", "", "", "")
+			continue
+		}
+		frac := func(n int) string { return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(st.Cycles)) }
+		t.AddRow(pol, frac(st.CyclesIssued), frac(st.CyclesUnits),
+			frac(st.CyclesDeps), frac(st.CyclesFrontend), fmt.Sprintf("%.3f", st.IPC()))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nSteering's gain over the FFU-only machine comes almost entirely out of\nthe unit-bound bucket — the configuration manager's whole purpose.\n")
+	return b.String()
+}
+
+// X15 compares scheduler grant-priority policies: oldest-first (the
+// default), youngest-first (pathological) and a rotating-priority
+// arbiter.
+func X15() string {
+	var b strings.Builder
+	b.WriteString("X15 — scheduler grant priority (steering machine)\n\n")
+	orders := []struct {
+		name  string
+		order cpu.IssueOrder
+	}{
+		{"oldest-first", cpu.OrderOldest},
+		{"rotating", cpu.OrderRotate},
+		{"youngest-first", cpu.OrderYoungest},
+	}
+	workloads := []struct {
+		name string
+		prog isa.Program
+	}{
+		{"phased", PhasedWorkload(7)},
+		{"mem-heavy", workload.Synthesize([]workload.Phase{{Mix: workload.MixMemHeavy, Instructions: 2500}}, workload.SynthParams{Seed: 10})},
+	}
+	t := stats.NewTable("IPC by grant priority",
+		"workload", "oldest-first", "rotating", "youngest-first")
+	for _, w := range workloads {
+		cells := []interface{}{w.name}
+		for _, o := range orders {
+			params := cpu.DefaultParams()
+			params.IssueOrder = o.order
+			cells = append(cells, fmtIPC(ipcOf(w.prog, params, "steering")))
+		}
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nAge priority wins: starving the oldest instructions delays retirement,\nwhich stalls the in-order RUU head and shrinks the effective window.\n")
+	return b.String()
+}
+
+// X16 compares branch predictors — bimodal vs gshare at several history
+// lengths — on the control-flow-heavy kernels.
+func X16() string {
+	var b strings.Builder
+	b.WriteString("X16 — branch prediction: bimodal vs gshare\n\n")
+	kernelNames := []string{"branchy-synthetic", "sort", "mandel", "strsearch"}
+	configs := []struct {
+		name string
+		bits uint
+	}{
+		{"bimodal", 0}, {"gshare-4", 4}, {"gshare-8", 8},
+	}
+	t := stats.NewTable("IPC (predictor accuracy in parentheses)",
+		append([]string{"kernel"}, func() []string {
+			var h []string
+			for _, c := range configs {
+				h = append(h, c.name)
+			}
+			return h
+		}()...)...)
+	for _, name := range kernelNames {
+		cells := []interface{}{name}
+		for _, cfg := range configs {
+			params := cpu.DefaultParams()
+			params.GshareHistoryBits = cfg.bits
+			var p *cpu.Processor
+			if name == "branchy-synthetic" {
+				prog := workload.SynthesizeBranchy(200, workload.SynthParams{Seed: 5})
+				p = buildMachine(prog, params, "steering")
+			} else {
+				k := workload.KernelByName(name)
+				p = buildMachine(k.Program(), params, "steering")
+				if k.Setup != nil {
+					k.Setup(p.Memory(), p.SetReg)
+				}
+			}
+			st, err := p.Run(MaxCycles)
+			if err != nil {
+				cells = append(cells, "DNF")
+				continue
+			}
+			acc, _ := p.Predictor().Accuracy()
+			cells = append(cells, fmt.Sprintf("%.3f (%.1f%%)", st.IPC(), 100*acc))
+		}
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// X17 models the configuration bus of Fig. 1: a width-w bus allows at
+// most w spans to reconfigure concurrently, so width 1 serialises all
+// configuration loading.
+func X17() string {
+	var b strings.Builder
+	b.WriteString("X17 — configuration bus width (Fig. 1 bus model, phased workload)\n\n")
+	prog := PhasedWorkload(7)
+	t := stats.NewTable("steering IPC vs bus width",
+		"bus width (spans)", "IPC", "reconfigs")
+	for _, w := range []int{1, 2, 4, 0} {
+		params := cpu.DefaultParams()
+		params.ConfigBusWidth = w
+		p := buildMachine(prog, params, "steering")
+		st, err := p.Run(MaxCycles)
+		ipc := -1.0
+		if err == nil {
+			ipc = st.IPC()
+		}
+		label := fmt.Sprint(w)
+		if w == 0 {
+			label = "unlimited"
+		}
+		t.AddRow(label, fmtIPC(ipc), p.Fabric().Reconfigurations())
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nA single bus (the literal Fig. 1) costs little: steering rarely needs\nmore than one span in flight because deferrals already stagger loads.\n")
+	return b.String()
+}
+
+// All runs every artefact and study in order.
+func All() string {
+	sections := []struct {
+		name string
+		f    func() string
+	}{
+		{"table1", Table1}, {"fig1", Fig1}, {"fig2", Fig2}, {"fig3", Fig3},
+		{"fig5", Fig5}, {"fig7", Fig7}, {"cost", CostTable},
+		{"x1", X1}, {"x1seeds", X1Seeds}, {"x2", X2}, {"x3", X3}, {"x4", X4}, {"x5", X5}, {"x6", X6}, {"x7", X7}, {"x8", X8}, {"x9", X9}, {"x10", X10}, {"x11", X11}, {"x12", X12}, {"x13", X13}, {"x14", X14}, {"x15", X15}, {"x16", X16}, {"x17", X17},
+	}
+	var b strings.Builder
+	for i, s := range sections {
+		if i > 0 {
+			b.WriteString("\n" + strings.Repeat("=", 78) + "\n\n")
+		}
+		b.WriteString(s.f())
+	}
+	return b.String()
+}
+
+// Artifacts maps CLI artefact names to their generators.
+func Artifacts() map[string]func() string {
+	return map[string]func() string{
+		"table1":  Table1,
+		"fig1":    Fig1,
+		"fig2":    Fig2,
+		"fig3":    Fig3,
+		"fig4":    Fig5, // figures 4-6 are one worked example
+		"fig5":    Fig5,
+		"fig6":    Fig5,
+		"fig7":    Fig7,
+		"cost":    CostTable,
+		"x1":      X1,
+		"x1seeds": X1Seeds,
+		"x2":      X2,
+		"x3":      X3,
+		"x4":      X4,
+		"x5":      X5,
+		"x6":      X6,
+		"x7":      X7,
+		"x8":      X8,
+		"x9":      X9,
+		"x10":     X10,
+		"x11":     X11,
+		"x12":     X12,
+		"x13":     X13,
+		"x14":     X14,
+		"x15":     X15,
+		"x16":     X16,
+		"x17":     X17,
+		"all":     All,
+	}
+}

@@ -1,0 +1,478 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly source into a Program. The syntax is one
+// instruction or label per line; ';' and '#' start comments. Operands
+// follow the disassembly forms produced by Inst.String:
+//
+//	add r1, r2, r3        fadd f1, f2, f3       fabs f1, f2
+//	addi r1, r2, -5       lui r1, 100           jal r31, loop
+//	lw r1, 8(r2)          sw r3, 4(r2)          flw f1, 0(r5)
+//	beq r1, r2, done      nop                   halt
+//
+// Branch and jump targets may be labels or numeric word offsets. The
+// pseudo-instructions are:
+//
+//	li rd, const   — addi (small constants) or lui+ori (large)
+//	mv rd, rs      — addi rd, rs, 0
+//	j label        — jal r0, label
+//	ret            — jalr r0, r31, 0
+func Assemble(src string) (Program, error) {
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: assign an instruction index to every label. Pseudo-ops
+	// may expand to more than one instruction, so widths are computed
+	// here too.
+	labels := make(map[string]int)
+	type pending struct {
+		line int // 1-based source line, for errors
+		text string
+		pc   int
+	}
+	var insts []pending
+	pc := 0
+	for lineNo, raw := range lines {
+		text := stripComment(raw)
+		for {
+			text = strings.TrimSpace(text)
+			colon := strings.Index(text, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:colon])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = pc
+			text = text[colon+1:]
+		}
+		if text == "" {
+			continue
+		}
+		width, err := instWidth(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+		}
+		insts = append(insts, pending{lineNo + 1, text, pc})
+		pc += width
+	}
+
+	// Pass 2: parse each instruction with labels resolved.
+	prog := make(Program, 0, pc)
+	for _, p := range insts {
+		expanded, err := parseInst(p.text, p.pc, labels)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", p.line, err)
+		}
+		prog = append(prog, expanded...)
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble for known-good sources (tests, examples,
+// built-in kernels); it panics on error.
+func MustAssemble(src string) Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders a program one instruction per line with indices.
+func Disassemble(p Program) string {
+	var b strings.Builder
+	for i, in := range p {
+		fmt.Fprintf(&b, "%4d: %s\n", i, in)
+	}
+	return b.String()
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// mnemonics maps assembler names to opcodes.
+var mnemonics = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// liWidth reports how many instructions "li rd, const" expands to.
+func liWidth(c int32) int {
+	if c >= MinImm14 && c <= MaxImm14 {
+		return 1
+	}
+	return 2
+}
+
+// instWidth returns the number of instructions a source line expands to.
+func instWidth(text string) (int, error) {
+	mnem, rest := splitMnemonic(text)
+	switch mnem {
+	case "li":
+		ops := splitOperands(rest)
+		if len(ops) != 2 {
+			return 0, fmt.Errorf("li wants 2 operands, got %d", len(ops))
+		}
+		c, err := parseConst(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		return liWidth(c), nil
+	case "mv", "j", "ret":
+		return 1, nil
+	}
+	if _, ok := mnemonics[mnem]; !ok {
+		return 0, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	return 1, nil
+}
+
+func splitMnemonic(text string) (mnem, rest string) {
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		return strings.ToLower(text[:i]), strings.TrimSpace(text[i+1:])
+	}
+	return strings.ToLower(text), ""
+}
+
+func splitOperands(rest string) []string {
+	if strings.TrimSpace(rest) == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseReg parses "rN"/"xN" or "fN" into a raw 5-bit index plus an FP
+// flag.
+func parseReg(s string) (idx uint8, fp bool, err error) {
+	if len(s) < 2 {
+		return 0, false, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r', 'x', 'R', 'X':
+	case 'f', 'F':
+		fp = true
+	default:
+		return 0, false, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumIntRegs {
+		return 0, false, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), fp, nil
+}
+
+func parseConst(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad constant %q", s)
+	}
+	if v < -(1<<31) || v > 1<<32-1 {
+		return 0, fmt.Errorf("constant %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseTarget resolves a branch/jump target: a label (PC-relative word
+// offset is computed) or a numeric offset used as-is.
+func parseTarget(s string, pc int, labels map[string]int) (int32, error) {
+	if target, ok := labels[s]; ok {
+		return int32(target - pc), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("unknown label or bad offset %q", s)
+	}
+	return int32(v), nil
+}
+
+// parseMemOperand parses "imm(rN)".
+func parseMemOperand(s string) (imm int32, base string, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, "", fmt.Errorf("bad memory operand %q", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		immStr = "0"
+	}
+	imm, err = parseConst(immStr)
+	if err != nil {
+		return 0, "", err
+	}
+	return imm, strings.TrimSpace(s[open+1 : len(s)-1]), nil
+}
+
+// checkClass verifies that a register operand is from the file the opcode
+// expects.
+func checkClass(op Opcode, operand string, fp, wantFP bool) error {
+	if fp != wantFP {
+		want := "integer"
+		if wantFP {
+			want = "floating-point"
+		}
+		return fmt.Errorf("%s: operand %q must be a %s register", op, operand, want)
+	}
+	return nil
+}
+
+// parseInst parses a single source line (already label-free) into one or
+// more instructions.
+func parseInst(text string, pc int, labels map[string]int) ([]Inst, error) {
+	mnem, rest := splitMnemonic(text)
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "li":
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("li wants 2 operands")
+		}
+		rd, fp, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if fp {
+			return nil, fmt.Errorf("li destination must be an integer register")
+		}
+		c, err := parseConst(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if liWidth(c) == 1 {
+			return []Inst{New(ADDI, rd, 0, 0, c)}, nil
+		}
+		u := uint32(c)
+		return []Inst{
+			New(LUI, rd, 0, 0, int32(u>>LUIShift)),
+			New(ORI, rd, rd, 0, int32(u&(1<<LUIShift-1))),
+		}, nil
+	case "mv":
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("mv wants 2 operands")
+		}
+		rd, fpd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, fps, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if fpd || fps {
+			return nil, fmt.Errorf("mv works on integer registers")
+		}
+		return []Inst{New(ADDI, rd, rs, 0, 0)}, nil
+	case "j":
+		if len(ops) != 1 {
+			return nil, fmt.Errorf("j wants 1 operand")
+		}
+		off, err := parseTarget(ops[0], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return []Inst{New(JAL, 0, 0, 0, off)}, nil
+	case "ret":
+		if len(ops) != 0 {
+			return nil, fmt.Errorf("ret wants no operands")
+		}
+		return []Inst{New(JALR, 0, 31, 0, 0)}, nil
+	}
+
+	op, ok := mnemonics[mnem]
+	if !ok {
+		return nil, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	info := opTable[op]
+
+	need := map[Format]int{
+		FmtNone: 0, FmtR: 3, FmtR2: 2, FmtI: 3, FmtU: 2, FmtMem: 2, FmtStore: 2, FmtB: 3,
+	}[info.format]
+	if len(ops) != need {
+		return nil, fmt.Errorf("%s wants %d operands, got %d", op, need, len(ops))
+	}
+
+	switch info.format {
+	case FmtNone:
+		return []Inst{New(op, 0, 0, 0, 0)}, nil
+
+	case FmtR:
+		rd, fpd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, fp1, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		rs2, fp2, err := parseReg(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, ops[0], fpd, info.rdFP); err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, ops[1], fp1, info.rs1FP); err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, ops[2], fp2, info.rs2FP); err != nil {
+			return nil, err
+		}
+		return []Inst{New(op, rd, rs1, rs2, 0)}, nil
+
+	case FmtR2:
+		rd, fpd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, fp1, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, ops[0], fpd, info.rdFP); err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, ops[1], fp1, info.rs1FP); err != nil {
+			return nil, err
+		}
+		return []Inst{New(op, rd, rs1, 0, 0)}, nil
+
+	case FmtI:
+		rd, fpd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, fp1, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, ops[0], fpd, info.rdFP); err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, ops[1], fp1, info.rs1FP); err != nil {
+			return nil, err
+		}
+		imm, err := parseConst(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []Inst{New(op, rd, rs1, 0, imm)}, nil
+
+	case FmtU:
+		rd, fpd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, ops[0], fpd, info.rdFP); err != nil {
+			return nil, err
+		}
+		var imm int32
+		if op == JAL {
+			imm, err = parseTarget(ops[1], pc, labels)
+		} else {
+			imm, err = parseConst(ops[1])
+		}
+		if err != nil {
+			return nil, err
+		}
+		return []Inst{New(op, rd, 0, 0, imm)}, nil
+
+	case FmtMem:
+		rd, fpd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, ops[0], fpd, info.rdFP); err != nil {
+			return nil, err
+		}
+		imm, base, err := parseMemOperand(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		rs1, fp1, err := parseReg(base)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, base, fp1, false); err != nil {
+			return nil, err
+		}
+		return []Inst{New(op, rd, rs1, 0, imm)}, nil
+
+	case FmtStore:
+		rs2, fp2, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, ops[0], fp2, info.rs2FP); err != nil {
+			return nil, err
+		}
+		imm, base, err := parseMemOperand(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		rs1, fp1, err := parseReg(base)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkClass(op, base, fp1, false); err != nil {
+			return nil, err
+		}
+		return []Inst{New(op, 0, rs1, rs2, imm)}, nil
+
+	case FmtB:
+		rs1, fp1, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, fp2, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if fp1 || fp2 {
+			return nil, fmt.Errorf("%s compares integer registers", op)
+		}
+		off, err := parseTarget(ops[2], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return []Inst{New(op, 0, rs1, rs2, off)}, nil
+	}
+	return nil, fmt.Errorf("%s: unknown format", op)
+}

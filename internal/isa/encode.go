@@ -1,0 +1,140 @@
+package isa
+
+import "fmt"
+
+// Binary encoding. Instructions are 32-bit words with the opcode in the
+// top byte; the remaining 24 bits are laid out per format:
+//
+//	FmtNone:  op(8) | 0(24)
+//	FmtR:     op(8) | rd(5) | rs1(5) | rs2(5) | 0(9)
+//	FmtR2:    op(8) | rd(5) | rs1(5) | 0(14)
+//	FmtI/Mem: op(8) | rd(5) | rs1(5) | imm(14, signed)
+//	FmtStore: op(8) | rs1(5) | rs2(5) | imm(14, signed)
+//	FmtB:     op(8) | rs1(5) | rs2(5) | imm(14, signed word offset)
+//	FmtU:     op(8) | rd(5) | imm(19) — signed for JAL, unsigned for LUI
+//
+// Register fields hold raw 5-bit indices; whether a field addresses the
+// integer or FP register file is a static property of the opcode.
+const (
+	// ImmBits14 is the width of the I/Mem/Store/B immediate field.
+	ImmBits14 = 14
+	// ImmBits19 is the width of the U-format immediate field.
+	ImmBits19 = 19
+	// LUIShift is the left shift LUI applies to its immediate.
+	LUIShift = 13
+)
+
+// Immediate ranges.
+const (
+	MaxImm14 = 1<<(ImmBits14-1) - 1
+	MinImm14 = -(1 << (ImmBits14 - 1))
+	MaxImm19 = 1<<(ImmBits19-1) - 1
+	MinImm19 = -(1 << (ImmBits19 - 1))
+	// MaxLUI is the largest LUI immediate (unsigned 19-bit field).
+	MaxLUI = 1<<ImmBits19 - 1
+)
+
+// raw5 strips the FP base from a unified register index, returning the
+// 5-bit field value.
+func raw5(r uint8) uint32 { return uint32(r) & 0x1f }
+
+// Encode serialises the instruction to its 32-bit binary form. It returns
+// an error when an immediate does not fit its field or the opcode is
+// undefined.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", uint8(in.Op))
+	}
+	w := uint32(in.Op) << 24
+	switch in.Op.Format() {
+	case FmtNone:
+		return w, nil
+	case FmtR:
+		return w | raw5(in.Rd)<<19 | raw5(in.Rs1)<<14 | raw5(in.Rs2)<<9, nil
+	case FmtR2:
+		return w | raw5(in.Rd)<<19 | raw5(in.Rs1)<<14, nil
+	case FmtI, FmtMem:
+		if in.Imm < MinImm14 || in.Imm > MaxImm14 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of 14-bit range", in.Op, in.Imm)
+		}
+		return w | raw5(in.Rd)<<19 | raw5(in.Rs1)<<14 | uint32(in.Imm)&(1<<ImmBits14-1), nil
+	case FmtStore, FmtB:
+		if in.Imm < MinImm14 || in.Imm > MaxImm14 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of 14-bit range", in.Op, in.Imm)
+		}
+		return w | raw5(in.Rs1)<<19 | raw5(in.Rs2)<<14 | uint32(in.Imm)&(1<<ImmBits14-1), nil
+	case FmtU:
+		if in.Op == LUI {
+			if in.Imm < 0 || in.Imm > MaxLUI {
+				return 0, fmt.Errorf("isa: encode lui: immediate %d out of unsigned 19-bit range", in.Imm)
+			}
+		} else if in.Imm < MinImm19 || in.Imm > MaxImm19 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of 19-bit range", in.Op, in.Imm)
+		}
+		return w | raw5(in.Rd)<<19 | uint32(in.Imm)&(1<<ImmBits19-1), nil
+	}
+	return 0, fmt.Errorf("isa: encode %s: unknown format", in.Op)
+}
+
+// signExtend interprets the low bits of v as a signed bits-wide integer.
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Decode parses a 32-bit binary instruction word. It is the inverse of
+// Encode for every encodable instruction.
+func Decode(w uint32) (Inst, error) {
+	op := Opcode(w >> 24)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode: invalid opcode byte %#x", w>>24)
+	}
+	f1 := uint8(w >> 19 & 0x1f)
+	f2 := uint8(w >> 14 & 0x1f)
+	f3 := uint8(w >> 9 & 0x1f)
+	switch op.Format() {
+	case FmtNone:
+		return New(op, 0, 0, 0, 0), nil
+	case FmtR:
+		return New(op, f1, f2, f3, 0), nil
+	case FmtR2:
+		return New(op, f1, f2, 0, 0), nil
+	case FmtI, FmtMem:
+		return New(op, f1, f2, 0, signExtend(w&(1<<ImmBits14-1), ImmBits14)), nil
+	case FmtStore, FmtB:
+		return New(op, 0, f1, f2, signExtend(w&(1<<ImmBits14-1), ImmBits14)), nil
+	case FmtU:
+		imm := w & (1<<ImmBits19 - 1)
+		if op == LUI {
+			return New(op, f1, 0, 0, int32(imm)), nil
+		}
+		return New(op, f1, 0, 0, signExtend(imm, ImmBits19)), nil
+	}
+	return Inst{}, fmt.Errorf("isa: decode %s: unknown format", op)
+}
+
+// EncodeProgram serialises a whole program.
+func EncodeProgram(p Program) ([]uint32, error) {
+	words := make([]uint32, len(p))
+	for i, in := range p {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// DecodeProgram parses a sequence of binary instruction words.
+func DecodeProgram(words []uint32) (Program, error) {
+	p := make(Program, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("word %d: %w", i, err)
+		}
+		p[i] = in
+	}
+	return p, nil
+}

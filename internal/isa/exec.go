@@ -1,0 +1,269 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// DataMemory is the interface the functional semantics use to touch data
+// memory. Package mem provides the canonical implementation.
+type DataMemory interface {
+	LoadWord(addr uint32) uint32
+	StoreWord(addr uint32, v uint32)
+	LoadHalf(addr uint32) uint16
+	StoreHalf(addr uint32, v uint16)
+	LoadByte(addr uint32) uint8
+	StoreByte(addr uint32, v uint8)
+}
+
+// State is the architectural state of the machine: 32 integer + 32 FP
+// registers addressed through the unified index space, a program counter
+// expressed as an instruction index, and data memory.
+type State struct {
+	Reg    [NumRegs]uint32 // FP registers hold float32 bit patterns
+	PC     uint32          // instruction index, not a byte address
+	Halted bool
+	Mem    DataMemory
+}
+
+// ReadReg returns the value of unified register r; x0 always reads zero.
+func (s *State) ReadReg(r uint8) uint32 {
+	if r == RegZero {
+		return 0
+	}
+	return s.Reg[r]
+}
+
+// WriteReg sets unified register r; writes to x0 are discarded.
+func (s *State) WriteReg(r uint8, v uint32) {
+	if r != RegZero {
+		s.Reg[r] = v
+	}
+}
+
+// ReadFloat returns the float32 held in unified register r.
+func (s *State) ReadFloat(r uint8) float32 {
+	return math.Float32frombits(s.ReadReg(r))
+}
+
+// WriteFloat stores a float32 into unified register r.
+func (s *State) WriteFloat(r uint8, v float32) {
+	s.WriteReg(r, math.Float32bits(v))
+}
+
+// boolWord converts a predicate to the 0/1 word the comparison opcodes
+// produce.
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Exec applies one instruction's architectural semantics to s: registers,
+// memory and the PC. Branch immediates are word offsets relative to the
+// branch's own index. Division by zero follows the RISC-V convention
+// (quotient all-ones, remainder = dividend) so no trap path is needed.
+func Exec(in Inst, s *State) error {
+	nextPC := s.PC + 1
+	a := s.ReadReg(in.Rs1)
+	b := s.ReadReg(in.Rs2)
+	fa := s.ReadFloat(in.Rs1)
+	fb := s.ReadFloat(in.Rs2)
+
+	switch in.Op {
+	case NOP:
+	case HALT:
+		s.Halted = true
+		nextPC = s.PC
+
+	// Integer ALU.
+	case ADD:
+		s.WriteReg(in.Rd, a+b)
+	case SUB:
+		s.WriteReg(in.Rd, a-b)
+	case AND:
+		s.WriteReg(in.Rd, a&b)
+	case OR:
+		s.WriteReg(in.Rd, a|b)
+	case XOR:
+		s.WriteReg(in.Rd, a^b)
+	case SLL:
+		s.WriteReg(in.Rd, a<<(b&31))
+	case SRL:
+		s.WriteReg(in.Rd, a>>(b&31))
+	case SRA:
+		s.WriteReg(in.Rd, uint32(int32(a)>>(b&31)))
+	case SLT:
+		s.WriteReg(in.Rd, boolWord(int32(a) < int32(b)))
+	case SLTU:
+		s.WriteReg(in.Rd, boolWord(a < b))
+	case ADDI:
+		s.WriteReg(in.Rd, a+uint32(in.Imm))
+	case ANDI:
+		s.WriteReg(in.Rd, a&uint32(in.Imm))
+	case ORI:
+		s.WriteReg(in.Rd, a|uint32(in.Imm))
+	case XORI:
+		s.WriteReg(in.Rd, a^uint32(in.Imm))
+	case SLTI:
+		s.WriteReg(in.Rd, boolWord(int32(a) < in.Imm))
+	case SLLI:
+		s.WriteReg(in.Rd, a<<(uint32(in.Imm)&31))
+	case SRLI:
+		s.WriteReg(in.Rd, a>>(uint32(in.Imm)&31))
+	case SRAI:
+		s.WriteReg(in.Rd, uint32(int32(a)>>(uint32(in.Imm)&31)))
+	case LUI:
+		s.WriteReg(in.Rd, uint32(in.Imm)<<LUIShift)
+
+	// Control flow.
+	case BEQ:
+		if a == b {
+			nextPC = s.PC + uint32(in.Imm)
+		}
+	case BNE:
+		if a != b {
+			nextPC = s.PC + uint32(in.Imm)
+		}
+	case BLT:
+		if int32(a) < int32(b) {
+			nextPC = s.PC + uint32(in.Imm)
+		}
+	case BGE:
+		if int32(a) >= int32(b) {
+			nextPC = s.PC + uint32(in.Imm)
+		}
+	case BLTU:
+		if a < b {
+			nextPC = s.PC + uint32(in.Imm)
+		}
+	case BGEU:
+		if a >= b {
+			nextPC = s.PC + uint32(in.Imm)
+		}
+	case JAL:
+		s.WriteReg(in.Rd, s.PC+1)
+		nextPC = s.PC + uint32(in.Imm)
+	case JALR:
+		s.WriteReg(in.Rd, s.PC+1)
+		nextPC = a + uint32(in.Imm)
+
+	// Integer multiply/divide.
+	case MUL:
+		s.WriteReg(in.Rd, uint32(int32(a)*int32(b)))
+	case MULH:
+		s.WriteReg(in.Rd, uint32(int64(int32(a))*int64(int32(b))>>32))
+	case DIV:
+		if b == 0 {
+			s.WriteReg(in.Rd, ^uint32(0))
+		} else if int32(a) == math.MinInt32 && int32(b) == -1 {
+			s.WriteReg(in.Rd, a) // overflow case: quotient = dividend
+		} else {
+			s.WriteReg(in.Rd, uint32(int32(a)/int32(b)))
+		}
+	case DIVU:
+		if b == 0 {
+			s.WriteReg(in.Rd, ^uint32(0))
+		} else {
+			s.WriteReg(in.Rd, a/b)
+		}
+	case REM:
+		if b == 0 {
+			s.WriteReg(in.Rd, a)
+		} else if int32(a) == math.MinInt32 && int32(b) == -1 {
+			s.WriteReg(in.Rd, 0)
+		} else {
+			s.WriteReg(in.Rd, uint32(int32(a)%int32(b)))
+		}
+	case REMU:
+		if b == 0 {
+			s.WriteReg(in.Rd, a)
+		} else {
+			s.WriteReg(in.Rd, a%b)
+		}
+
+	// Loads and stores.
+	case LW:
+		s.WriteReg(in.Rd, s.Mem.LoadWord(a+uint32(in.Imm)))
+	case LH:
+		s.WriteReg(in.Rd, uint32(int32(int16(s.Mem.LoadHalf(a+uint32(in.Imm))))))
+	case LB:
+		s.WriteReg(in.Rd, uint32(int32(int8(s.Mem.LoadByte(a+uint32(in.Imm))))))
+	case LBU:
+		s.WriteReg(in.Rd, uint32(s.Mem.LoadByte(a+uint32(in.Imm))))
+	case SW:
+		s.Mem.StoreWord(a+uint32(in.Imm), b)
+	case SH:
+		s.Mem.StoreHalf(a+uint32(in.Imm), uint16(b))
+	case SB:
+		s.Mem.StoreByte(a+uint32(in.Imm), uint8(b))
+	case FLW:
+		s.WriteReg(in.Rd, s.Mem.LoadWord(a+uint32(in.Imm)))
+	case FSW:
+		s.Mem.StoreWord(a+uint32(in.Imm), b)
+
+	// Floating-point ALU.
+	case FADD:
+		s.WriteFloat(in.Rd, fa+fb)
+	case FSUB:
+		s.WriteFloat(in.Rd, fa-fb)
+	case FMIN:
+		s.WriteFloat(in.Rd, float32(math.Min(float64(fa), float64(fb))))
+	case FMAX:
+		s.WriteFloat(in.Rd, float32(math.Max(float64(fa), float64(fb))))
+	case FABS:
+		s.WriteFloat(in.Rd, float32(math.Abs(float64(fa))))
+	case FNEG:
+		s.WriteFloat(in.Rd, -fa)
+	case FEQ:
+		s.WriteReg(in.Rd, boolWord(fa == fb))
+	case FLT:
+		s.WriteReg(in.Rd, boolWord(fa < fb))
+	case FLE:
+		s.WriteReg(in.Rd, boolWord(fa <= fb))
+	case FCVTWS:
+		s.WriteReg(in.Rd, uint32(int32(fa)))
+	case FCVTSW:
+		s.WriteFloat(in.Rd, float32(int32(a)))
+	case FMVWX:
+		s.WriteReg(in.Rd, a)
+	case FMVXW:
+		s.WriteReg(in.Rd, s.ReadReg(in.Rs1))
+
+	// Floating-point multiply/divide.
+	case FMUL:
+		s.WriteFloat(in.Rd, fa*fb)
+	case FDIV:
+		s.WriteFloat(in.Rd, fa/fb)
+	case FSQRT:
+		s.WriteFloat(in.Rd, float32(math.Sqrt(float64(fa))))
+
+	default:
+		return fmt.Errorf("isa: exec: unimplemented opcode %v", in.Op)
+	}
+
+	s.PC = nextPC
+	return nil
+}
+
+// Run executes the program functionally from the state's current PC until
+// HALT, the PC leaves the program, or maxSteps instructions have retired.
+// It returns the number of instructions executed. Run is the golden
+// reference the pipelined simulator is validated against.
+func Run(p Program, s *State, maxSteps int) (int, error) {
+	steps := 0
+	for !s.Halted && steps < maxSteps {
+		if s.PC >= uint32(len(p)) {
+			return steps, fmt.Errorf("isa: run: PC %d outside program of %d instructions", s.PC, len(p))
+		}
+		if err := Exec(p[s.PC], s); err != nil {
+			return steps, err
+		}
+		steps++
+	}
+	if !s.Halted {
+		return steps, fmt.Errorf("isa: run: no HALT within %d steps", maxSteps)
+	}
+	return steps, nil
+}

@@ -1,0 +1,184 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests pinning each ALU opcode's semantics against direct Go
+// computation over random operands, via testing/quick.
+
+// exec1 runs one R-format instruction over two operand values.
+func exec1(op Opcode, a, b uint32) uint32 {
+	s := newState()
+	s.WriteReg(1, a)
+	s.WriteReg(2, b)
+	if err := Exec(New(op, 3, 1, 2, 0), s); err != nil {
+		panic(err)
+	}
+	return s.ReadReg(3)
+}
+
+func TestQuickIntegerALUSemantics(t *testing.T) {
+	cases := []struct {
+		op Opcode
+		f  func(a, b uint32) uint32
+	}{
+		{ADD, func(a, b uint32) uint32 { return a + b }},
+		{SUB, func(a, b uint32) uint32 { return a - b }},
+		{AND, func(a, b uint32) uint32 { return a & b }},
+		{OR, func(a, b uint32) uint32 { return a | b }},
+		{XOR, func(a, b uint32) uint32 { return a ^ b }},
+		{SLL, func(a, b uint32) uint32 { return a << (b & 31) }},
+		{SRL, func(a, b uint32) uint32 { return a >> (b & 31) }},
+		{SRA, func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) }},
+		{SLT, func(a, b uint32) uint32 {
+			if int32(a) < int32(b) {
+				return 1
+			}
+			return 0
+		}},
+		{SLTU, func(a, b uint32) uint32 {
+			if a < b {
+				return 1
+			}
+			return 0
+		}},
+		{MUL, func(a, b uint32) uint32 { return uint32(int32(a) * int32(b)) }},
+		{MULH, func(a, b uint32) uint32 { return uint32(int64(int32(a)) * int64(int32(b)) >> 32) }},
+	}
+	for _, c := range cases {
+		c := c
+		prop := func(a, b uint32) bool { return exec1(c.op, a, b) == c.f(a, b) }
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%v: %v", c.op, err)
+		}
+	}
+}
+
+func TestQuickDivisionSemantics(t *testing.T) {
+	div := func(a, b uint32) bool {
+		got := exec1(DIV, a, b)
+		var want uint32
+		switch {
+		case b == 0:
+			want = ^uint32(0)
+		case int32(a) == math.MinInt32 && int32(b) == -1:
+			want = a
+		default:
+			want = uint32(int32(a) / int32(b))
+		}
+		return got == want
+	}
+	if err := quick.Check(div, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Errorf("DIV: %v", err)
+	}
+	remu := func(a, b uint32) bool {
+		got := exec1(REMU, a, b)
+		if b == 0 {
+			return got == a
+		}
+		return got == a%b
+	}
+	if err := quick.Check(remu, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Errorf("REMU: %v", err)
+	}
+}
+
+// TestQuickDivRemIdentity: for nonzero divisors without overflow,
+// quotient*divisor + remainder == dividend.
+func TestQuickDivRemIdentity(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		if b == 0 || (int32(a) == math.MinInt32 && int32(b) == -1) {
+			return true
+		}
+		q := int32(exec1(DIV, a, b))
+		r := int32(exec1(REM, a, b))
+		return q*int32(b)+r == int32(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFPSemantics: FP ops match float32 arithmetic bit-for-bit.
+func TestQuickFPSemantics(t *testing.T) {
+	execFP := func(op Opcode, a, b float32) float32 {
+		s := newState()
+		s.WriteFloat(FPBase+1, a)
+		s.WriteFloat(FPBase+2, b)
+		if err := Exec(Inst{Op: op, Rd: FPBase + 3, Rs1: FPBase + 1, Rs2: FPBase + 2}, s); err != nil {
+			panic(err)
+		}
+		return s.ReadFloat(FPBase + 3)
+	}
+	sameBits := func(a, b float32) bool { return math.Float32bits(a) == math.Float32bits(b) }
+	cases := []struct {
+		op Opcode
+		f  func(a, b float32) float32
+	}{
+		{FADD, func(a, b float32) float32 { return a + b }},
+		{FSUB, func(a, b float32) float32 { return a - b }},
+		{FMUL, func(a, b float32) float32 { return a * b }},
+		{FDIV, func(a, b float32) float32 { return a / b }},
+	}
+	for _, c := range cases {
+		c := c
+		prop := func(ab, bb uint32) bool {
+			a := math.Float32frombits(ab)
+			b := math.Float32frombits(bb)
+			got := execFP(c.op, a, b)
+			want := c.f(a, b)
+			if math.IsNaN(float64(want)) {
+				return math.IsNaN(float64(got))
+			}
+			return sameBits(got, want)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%v: %v", c.op, err)
+		}
+	}
+}
+
+// TestQuickImmediateOps: I-format semantics over random operands and
+// in-range immediates.
+func TestQuickImmediateOps(t *testing.T) {
+	prop := func(a uint32, rawImm int16) bool {
+		imm := int32(rawImm) % (MaxImm14 + 1)
+		s := newState()
+		s.WriteReg(1, a)
+		Exec(New(ADDI, 2, 1, 0, imm), s)
+		Exec(New(XORI, 3, 1, 0, imm), s)
+		Exec(New(ORI, 4, 1, 0, imm), s)
+		Exec(New(ANDI, 5, 1, 0, imm), s)
+		return s.ReadReg(2) == a+uint32(imm) &&
+			s.ReadReg(3) == a^uint32(imm) &&
+			s.ReadReg(4) == a|uint32(imm) &&
+			s.ReadReg(5) == a&uint32(imm)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBranchSymmetry: BEQ and BNE are complementary, as are
+// BLT/BGE and BLTU/BGEU.
+func TestQuickBranchSymmetry(t *testing.T) {
+	taken := func(op Opcode, a, b uint32) bool {
+		s := newState()
+		s.WriteReg(1, a)
+		s.WriteReg(2, b)
+		s.PC = 10
+		Exec(New(op, 0, 1, 2, 5), s)
+		return s.PC == 15
+	}
+	prop := func(a, b uint32) bool {
+		return taken(BEQ, a, b) != taken(BNE, a, b) &&
+			taken(BLT, a, b) != taken(BGE, a, b) &&
+			taken(BLTU, a, b) != taken(BGEU, a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Unit is a fully assembled translation unit: the instruction stream plus
+// the initial data-memory image the source's .data sections declared.
+type Unit struct {
+	Program Program
+	Data    []DataSegment
+}
+
+// DataSegment is one initialised span of data memory.
+type DataSegment struct {
+	Addr  uint32
+	Bytes []byte
+}
+
+// DataWriter is the subset of the memory interface needed to apply data
+// segments (satisfied by mem.Memory).
+type DataWriter interface {
+	StoreByte(addr uint32, v uint8)
+}
+
+// Apply writes every data segment into memory.
+func (u *Unit) Apply(m DataWriter) {
+	for _, seg := range u.Data {
+		for i, b := range seg.Bytes {
+			m.StoreByte(seg.Addr+uint32(i), b)
+		}
+	}
+}
+
+// AssembleUnit assembles a source file that may contain data directives
+// alongside code. Directives:
+//
+//	.data 0x1000      switch to data mode at the given byte address
+//	.text             switch back to code mode
+//	.word 1, -2, 0x3  emit 32-bit little-endian words
+//	.half 7, 8        emit 16-bit values
+//	.byte 1, 2, 3     emit bytes
+//	.float 1.5, -2.0  emit float32 bit patterns
+//	.space 64         reserve (zero) bytes
+//
+// Labels defined in data mode name byte addresses; the two-instruction
+// pseudo `la rd, label` (lui+ori) loads such an address — or any code
+// label's instruction index — into a register. Plain Assemble rejects
+// directives; use it for code-only sources.
+func AssembleUnit(src string) (*Unit, error) {
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: walk lines tracking both the instruction counter and the
+	// data cursor; record every label with the value it names.
+	labels := make(map[string]int)
+	type pending struct {
+		line int
+		text string
+		pc   int
+		data bool // directive handled in pass 2's data walk
+	}
+	var items []pending
+	pc := 0
+	dataMode := false
+	dataCursor := 0
+	for lineNo, raw := range lines {
+		text := stripComment(raw)
+		for {
+			text = strings.TrimSpace(text)
+			colon := strings.Index(text, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:colon])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
+			}
+			if dataMode {
+				labels[label] = dataCursor
+			} else {
+				labels[label] = pc
+			}
+			text = text[colon+1:]
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ".") {
+			size, mode, addr, err := directiveSize(text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			switch mode {
+			case "data":
+				dataMode = true
+				dataCursor = addr
+			case "text":
+				dataMode = false
+			default:
+				if !dataMode {
+					return nil, fmt.Errorf("line %d: %s outside a .data section", lineNo+1, text)
+				}
+				items = append(items, pending{lineNo + 1, text, dataCursor, true})
+				dataCursor += size
+			}
+			continue
+		}
+		if dataMode {
+			return nil, fmt.Errorf("line %d: instruction inside a .data section", lineNo+1)
+		}
+		width, err := instWidthUnit(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+		}
+		items = append(items, pending{lineNo + 1, text, pc, false})
+		pc += width
+	}
+
+	// Pass 2: emit code and data.
+	u := &Unit{}
+	var seg *DataSegment
+	for _, it := range items {
+		if it.data {
+			bytes, err := directiveBytes(it.text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", it.line, err)
+			}
+			if seg == nil || int(seg.Addr)+len(seg.Bytes) != it.pc {
+				u.Data = append(u.Data, DataSegment{Addr: uint32(it.pc)})
+				seg = &u.Data[len(u.Data)-1]
+			}
+			seg.Bytes = append(seg.Bytes, bytes...)
+			continue
+		}
+		insts, err := parseInstUnit(it.text, it.pc, labels)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", it.line, err)
+		}
+		u.Program = append(u.Program, insts...)
+	}
+	return u, nil
+}
+
+// MustAssembleUnit is AssembleUnit for known-good sources.
+func MustAssembleUnit(src string) *Unit {
+	u, err := AssembleUnit(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// directiveSize returns the byte size a directive contributes (pass 1),
+// or signals the data/text mode switches.
+func directiveSize(text string) (size int, mode string, addr int, err error) {
+	mnem, rest := splitMnemonic(text)
+	ops := splitOperands(rest)
+	switch mnem {
+	case ".data":
+		if len(ops) != 1 {
+			return 0, "", 0, fmt.Errorf(".data wants an address")
+		}
+		v, err := strconv.ParseUint(ops[0], 0, 32)
+		if err != nil {
+			return 0, "", 0, fmt.Errorf("bad .data address %q", ops[0])
+		}
+		return 0, "data", int(v), nil
+	case ".text":
+		return 0, "text", 0, nil
+	case ".word", ".float":
+		return 4 * len(ops), "", 0, nil
+	case ".half":
+		return 2 * len(ops), "", 0, nil
+	case ".byte":
+		return len(ops), "", 0, nil
+	case ".space":
+		if len(ops) != 1 {
+			return 0, "", 0, fmt.Errorf(".space wants a byte count")
+		}
+		v, err := strconv.ParseUint(ops[0], 0, 24)
+		if err != nil {
+			return 0, "", 0, fmt.Errorf("bad .space count %q", ops[0])
+		}
+		return int(v), "", 0, nil
+	}
+	return 0, "", 0, fmt.Errorf("unknown directive %q", mnem)
+}
+
+// directiveBytes renders a data directive's bytes (pass 2).
+func directiveBytes(text string) ([]byte, error) {
+	mnem, rest := splitMnemonic(text)
+	ops := splitOperands(rest)
+	var out []byte
+	switch mnem {
+	case ".word":
+		for _, op := range ops {
+			v, err := parseConst(op)
+			if err != nil {
+				return nil, err
+			}
+			u := uint32(v)
+			out = append(out, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+		}
+	case ".half":
+		for _, op := range ops {
+			v, err := parseConst(op)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(v), byte(v>>8))
+		}
+	case ".byte":
+		for _, op := range ops {
+			v, err := parseConst(op)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(v))
+		}
+	case ".float":
+		for _, op := range ops {
+			f, err := strconv.ParseFloat(op, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad float %q", op)
+			}
+			u := math.Float32bits(float32(f))
+			out = append(out, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+		}
+	case ".space":
+		v, _ := strconv.ParseUint(ops[0], 0, 24)
+		out = make([]byte, v)
+	default:
+		return nil, fmt.Errorf("unknown directive %q", mnem)
+	}
+	return out, nil
+}
+
+// instWidthUnit extends instWidth with the fixed-width la pseudo.
+func instWidthUnit(text string) (int, error) {
+	mnem, _ := splitMnemonic(text)
+	if mnem == "la" {
+		return 2, nil
+	}
+	return instWidth(text)
+}
+
+// parseInstUnit extends parseInst with the la pseudo: load a label's
+// value (data byte address or code instruction index) via lui+ori.
+func parseInstUnit(text string, pc int, labels map[string]int) ([]Inst, error) {
+	mnem, rest := splitMnemonic(text)
+	if mnem != "la" {
+		return parseInst(text, pc, labels)
+	}
+	ops := splitOperands(rest)
+	if len(ops) != 2 {
+		return nil, fmt.Errorf("la wants 2 operands")
+	}
+	rd, fp, err := parseReg(ops[0])
+	if err != nil {
+		return nil, err
+	}
+	if fp {
+		return nil, fmt.Errorf("la destination must be an integer register")
+	}
+	target, ok := labels[ops[1]]
+	if !ok {
+		return nil, fmt.Errorf("unknown label %q", ops[1])
+	}
+	u := uint32(target)
+	return []Inst{
+		New(LUI, rd, 0, 0, int32(u>>LUIShift)),
+		New(ORI, rd, rd, 0, int32(u&(1<<LUIShift-1))),
+	}, nil
+}

@@ -1,0 +1,314 @@
+// Package logic provides gate-level combinational building blocks — gates,
+// ripple-carry adders, barrel shifters, one-hot coders, comparators and
+// population counters — from which the paper's circuits (the configuration
+// error metric generator of Fig. 3, the wake-up row logic of Fig. 6 and the
+// availability circuit of Fig. 7) are reconstructed bit-for-bit.
+//
+// Everything in this package is a pure function over Bit and Bus values.
+// The simulator proper uses fast behavioural equivalents; the circuit
+// models exist so that tests can prove circuit == behaviour exhaustively,
+// which is the repo's reproduction of the paper's hardware figures.
+package logic
+
+import "fmt"
+
+// Bit is a single logic level.
+type Bit bool
+
+// Bus is a little-endian vector of bits: index 0 is the least-significant
+// bit.
+type Bus []Bit
+
+// Elementary gates.
+
+// Not returns the complement of a.
+func Not(a Bit) Bit { return !a }
+
+// And returns the conjunction of its inputs; And() is true (identity).
+func And(in ...Bit) Bit {
+	for _, b := range in {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+// Or returns the disjunction of its inputs; Or() is false (identity).
+func Or(in ...Bit) Bit {
+	for _, b := range in {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// Xor returns the exclusive-or (odd parity) of its inputs.
+func Xor(in ...Bit) Bit {
+	v := Bit(false)
+	for _, b := range in {
+		v = v != b
+	}
+	return v
+}
+
+// Nand returns NOT(AND(in...)).
+func Nand(in ...Bit) Bit { return Not(And(in...)) }
+
+// Nor returns NOT(OR(in...)).
+func Nor(in ...Bit) Bit { return Not(Or(in...)) }
+
+// Mux2 returns a when sel is false and b when sel is true, built from
+// gates.
+func Mux2(sel, a, b Bit) Bit { return Or(And(Not(sel), a), And(sel, b)) }
+
+// MuxBus selects one of the input buses by the binary value of sel. All
+// inputs must share a width. It panics if sel addresses a missing input.
+func MuxBus(sel Bus, in ...Bus) Bus {
+	idx := sel.Uint()
+	if int(idx) >= len(in) {
+		panic(fmt.Sprintf("logic: MuxBus select %d of %d inputs", idx, len(in)))
+	}
+	w := len(in[0])
+	out := make(Bus, w)
+	for bit := 0; bit < w; bit++ {
+		v := Bit(false)
+		for i, bus := range in {
+			if len(bus) != w {
+				panic("logic: MuxBus width mismatch")
+			}
+			v = Or(v, And(selectLine(sel, uint64(i)), bus[bit]))
+		}
+		out[bit] = v
+	}
+	return out
+}
+
+// selectLine decodes sel == want as a gate network.
+func selectLine(sel Bus, want uint64) Bit {
+	v := Bit(true)
+	for i, b := range sel {
+		bitWanted := want>>uint(i)&1 == 1
+		if bitWanted {
+			v = And(v, b)
+		} else {
+			v = And(v, Not(b))
+		}
+	}
+	return v
+}
+
+// Bus construction and conversion.
+
+// BusFromUint returns the width-bit little-endian bus holding v's low
+// bits.
+func BusFromUint(v uint64, width int) Bus {
+	b := make(Bus, width)
+	for i := 0; i < width; i++ {
+		b[i] = Bit(v>>uint(i)&1 == 1)
+	}
+	return b
+}
+
+// Uint returns the unsigned value carried by the bus.
+func (b Bus) Uint() uint64 {
+	var v uint64
+	for i, bit := range b {
+		if bit {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// String renders the bus MSB-first, e.g. "0b101".
+func (b Bus) String() string {
+	s := "0b"
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] {
+			s += "1"
+		} else {
+			s += "0"
+		}
+	}
+	return s
+}
+
+// Clone returns an independent copy of the bus.
+func (b Bus) Clone() Bus {
+	c := make(Bus, len(b))
+	copy(c, b)
+	return c
+}
+
+// Arithmetic blocks.
+
+// HalfAdder returns the sum and carry of two bits.
+func HalfAdder(a, b Bit) (sum, carry Bit) {
+	return Xor(a, b), And(a, b)
+}
+
+// FullAdder returns the sum and carry of two bits and a carry-in.
+func FullAdder(a, b, cin Bit) (sum, cout Bit) {
+	s1, c1 := HalfAdder(a, b)
+	s2, c2 := HalfAdder(s1, cin)
+	return s2, Or(c1, c2)
+}
+
+// RippleAdder adds two equal-width buses with a carry-in and returns the
+// sum bus and the carry-out. It panics on width mismatch.
+func RippleAdder(a, b Bus, cin Bit) (sum Bus, cout Bit) {
+	if len(a) != len(b) {
+		panic("logic: RippleAdder width mismatch")
+	}
+	sum = make(Bus, len(a))
+	c := cin
+	for i := range a {
+		sum[i], c = FullAdder(a[i], b[i], c)
+	}
+	return sum, c
+}
+
+// SaturatingAdder adds two equal-width buses and clamps the result to the
+// all-ones value on overflow. The paper's CEM generator sums five 3-bit
+// contributions whose total provably fits in three bits, but the
+// saturating form keeps the circuit safe for out-of-spec inputs.
+func SaturatingAdder(a, b Bus) Bus {
+	sum, cout := RippleAdder(a, b, false)
+	out := make(Bus, len(sum))
+	for i := range sum {
+		out[i] = Or(sum[i], cout)
+	}
+	return out
+}
+
+// AdderTree sums any number of equal-width buses with SaturatingAdder
+// stages arranged as a balanced tree, mirroring the paper's "3-bit,
+// 5-operand adder" of Fig. 3(b). AdderTree of no inputs panics.
+func AdderTree(in ...Bus) Bus {
+	switch len(in) {
+	case 0:
+		panic("logic: AdderTree of zero operands")
+	case 1:
+		return in[0].Clone()
+	}
+	mid := len(in) / 2
+	return SaturatingAdder(AdderTree(in[:mid]...), AdderTree(in[mid:]...))
+}
+
+// ShiftRight returns a >> n with zero fill, as a wiring-only operation.
+func ShiftRight(a Bus, n int) Bus {
+	out := make(Bus, len(a))
+	for i := range out {
+		if i+n < len(a) {
+			out[i] = a[i+n]
+		}
+	}
+	return out
+}
+
+// BarrelShiftRight shifts a right by the binary value of the shift bus,
+// implemented as the classic logarithmic stack of 2-way multiplexers: one
+// mux stage per shift-control bit.
+func BarrelShiftRight(a Bus, shift Bus) Bus {
+	cur := a.Clone()
+	for stage, sel := range shift {
+		shifted := ShiftRight(cur, 1<<uint(stage))
+		next := make(Bus, len(cur))
+		for i := range cur {
+			next[i] = Mux2(sel, cur[i], shifted[i])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Comparators.
+
+// Equal reports a == b as an XNOR/AND reduction. Panics on width
+// mismatch.
+func Equal(a, b Bus) Bit {
+	if len(a) != len(b) {
+		panic("logic: Equal width mismatch")
+	}
+	v := Bit(true)
+	for i := range a {
+		v = And(v, Not(Xor(a[i], b[i])))
+	}
+	return v
+}
+
+// LessThan reports a < b (unsigned), built as the standard MSB-first
+// borrow chain. Panics on width mismatch.
+func LessThan(a, b Bus) Bit {
+	if len(a) != len(b) {
+		panic("logic: LessThan width mismatch")
+	}
+	lt := Bit(false)
+	eq := Bit(true)
+	for i := len(a) - 1; i >= 0; i-- {
+		lt = Or(lt, And(eq, Not(a[i]), b[i]))
+		eq = And(eq, Not(Xor(a[i], b[i])))
+	}
+	return lt
+}
+
+// IsZero reports that no bit of the bus is set.
+func IsZero(a Bus) Bit { return Nor(a...) }
+
+// Coders.
+
+// Decoder returns the 2^len(sel)-line one-hot decode of sel.
+func Decoder(sel Bus) Bus {
+	out := make(Bus, 1<<uint(len(sel)))
+	for i := range out {
+		out[i] = selectLine(sel, uint64(i))
+	}
+	return out
+}
+
+// PriorityEncoder returns the index of the lowest set line of in and a
+// valid bit that is false when no line is set. The output bus is wide
+// enough to index every line.
+func PriorityEncoder(in Bus) (idx Bus, valid Bit) {
+	width := 0
+	for 1<<uint(width) < len(in) {
+		width++
+	}
+	idx = make(Bus, width)
+	valid = Or(in...)
+	blocked := Bit(false)
+	for i, line := range in {
+		hit := And(line, Not(blocked))
+		for b := 0; b < width; b++ {
+			if i>>uint(b)&1 == 1 {
+				idx[b] = Or(idx[b], hit)
+			}
+		}
+		blocked = Or(blocked, line)
+	}
+	return idx, valid
+}
+
+// PopCount returns the number of set bits of in as a bus of the minimal
+// width that can hold len(in), built from an adder tree over the input
+// bits.
+func PopCount(in Bus) Bus {
+	width := 1
+	for 1<<uint(width)-1 < len(in) {
+		width++
+	}
+	if len(in) == 0 {
+		return make(Bus, width)
+	}
+	operands := make([]Bus, len(in))
+	for i, b := range in {
+		operand := make(Bus, width)
+		operand[0] = b
+		operands[i] = operand
+	}
+	// The total cannot overflow width bits by construction, so the
+	// saturating tree behaves as an exact adder here.
+	return AdderTree(operands...)
+}

@@ -1,0 +1,305 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGateTruthTables(t *testing.T) {
+	const T, F = Bit(true), Bit(false)
+	if Not(T) != F || Not(F) != T {
+		t.Error("Not truth table wrong")
+	}
+	if And(T, T) != T || And(T, F) != F || And(F, T) != F || And(F, F) != F {
+		t.Error("And truth table wrong")
+	}
+	if Or(T, T) != T || Or(T, F) != T || Or(F, T) != T || Or(F, F) != F {
+		t.Error("Or truth table wrong")
+	}
+	if Xor(T, T) != F || Xor(T, F) != T || Xor(F, T) != T || Xor(F, F) != F {
+		t.Error("Xor truth table wrong")
+	}
+	if Nand(T, T) != F || Nand(F, F) != T {
+		t.Error("Nand truth table wrong")
+	}
+	if Nor(F, F) != T || Nor(T, F) != F {
+		t.Error("Nor truth table wrong")
+	}
+}
+
+func TestGateIdentities(t *testing.T) {
+	if And() != Bit(true) {
+		t.Error("And() should be true")
+	}
+	if Or() != Bit(false) {
+		t.Error("Or() should be false")
+	}
+	if Xor() != Bit(false) {
+		t.Error("Xor() should be false")
+	}
+}
+
+func TestXorIsOddParity(t *testing.T) {
+	f := func(v uint8, n uint8) bool {
+		n = n%8 + 1
+		in := make([]Bit, n)
+		ones := 0
+		for i := range in {
+			in[i] = v>>uint(i)&1 == 1
+			if in[i] {
+				ones++
+			}
+		}
+		return Xor(in...) == Bit(ones%2 == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMux2(t *testing.T) {
+	for _, sel := range []Bit{false, true} {
+		for _, a := range []Bit{false, true} {
+			for _, b := range []Bit{false, true} {
+				want := a
+				if sel {
+					want = b
+				}
+				if got := Mux2(sel, a, b); got != want {
+					t.Errorf("Mux2(%v,%v,%v) = %v, want %v", sel, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBusRoundTrip(t *testing.T) {
+	f := func(v uint16) bool {
+		return BusFromUint(uint64(v), 16).Uint() == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusTruncates(t *testing.T) {
+	if got := BusFromUint(0xff, 3).Uint(); got != 7 {
+		t.Errorf("BusFromUint(0xff,3).Uint() = %d, want 7", got)
+	}
+}
+
+func TestBusString(t *testing.T) {
+	if got := BusFromUint(5, 3).String(); got != "0b101" {
+		t.Errorf("String = %q, want 0b101", got)
+	}
+}
+
+func TestBusCloneIndependent(t *testing.T) {
+	a := BusFromUint(3, 4)
+	b := a.Clone()
+	b[0] = false
+	if a[0] != Bit(true) {
+		t.Error("Clone aliases its receiver")
+	}
+}
+
+// TestRippleAdderExhaustive checks all 4-bit additions with both carry-in
+// values against integer arithmetic.
+func TestRippleAdderExhaustive(t *testing.T) {
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			for cin := uint64(0); cin < 2; cin++ {
+				sum, cout := RippleAdder(BusFromUint(a, 4), BusFromUint(b, 4), Bit(cin == 1))
+				total := a + b + cin
+				if sum.Uint() != total&0xf {
+					t.Fatalf("%d+%d+%d sum = %d, want %d", a, b, cin, sum.Uint(), total&0xf)
+				}
+				if cout != Bit(total > 0xf) {
+					t.Fatalf("%d+%d+%d cout = %v", a, b, cin, cout)
+				}
+			}
+		}
+	}
+}
+
+func TestRippleAdderWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on width mismatch")
+		}
+	}()
+	RippleAdder(make(Bus, 3), make(Bus, 4), false)
+}
+
+// TestSaturatingAdderExhaustive checks all 3-bit saturating additions,
+// the width used throughout the CEM circuit.
+func TestSaturatingAdderExhaustive(t *testing.T) {
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			got := SaturatingAdder(BusFromUint(a, 3), BusFromUint(b, 3)).Uint()
+			want := a + b
+			if want > 7 {
+				want = 7
+			}
+			if got != want {
+				t.Fatalf("sat %d+%d = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestAdderTreeMatchesSequentialSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		operands := make([]Bus, n)
+		sum := uint64(0)
+		for i := range operands {
+			v := uint64(rng.Intn(8))
+			sum += v
+			operands[i] = BusFromUint(v, 3)
+		}
+		want := sum
+		if want > 7 {
+			want = 7
+		}
+		// The tree saturates per stage; when the true sum fits in the
+		// width no stage can saturate, so equality must hold. When it
+		// does not fit the tree must clamp at 7.
+		got := AdderTree(operands...).Uint()
+		if sum <= 7 && got != sum {
+			t.Fatalf("AdderTree exact sum = %d, want %d", got, sum)
+		}
+		if sum > 7 && got != 7 {
+			t.Fatalf("AdderTree overflow sum = %d, want saturated 7", got)
+		}
+	}
+}
+
+func TestAdderTreePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty AdderTree")
+		}
+	}()
+	AdderTree()
+}
+
+func TestShiftRight(t *testing.T) {
+	for v := uint64(0); v < 16; v++ {
+		for n := 0; n < 5; n++ {
+			if got := ShiftRight(BusFromUint(v, 4), n).Uint(); got != v>>uint(n) {
+				t.Fatalf("ShiftRight(%d,%d) = %d, want %d", v, n, got, v>>uint(n))
+			}
+		}
+	}
+}
+
+// TestBarrelShiftRightExhaustive verifies the mux-stack barrel shifter
+// over every 4-bit value and 2-bit shift amount — the configuration used
+// by the CEM circuit's divide-by-1/2/4 shifters.
+func TestBarrelShiftRightExhaustive(t *testing.T) {
+	for v := uint64(0); v < 16; v++ {
+		for s := uint64(0); s < 4; s++ {
+			got := BarrelShiftRight(BusFromUint(v, 4), BusFromUint(s, 2)).Uint()
+			if got != v>>s {
+				t.Fatalf("barrel %d>>%d = %d, want %d", v, s, got, v>>s)
+			}
+		}
+	}
+}
+
+func TestEqualAndLessThanExhaustive(t *testing.T) {
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			ab, bb := BusFromUint(a, 4), BusFromUint(b, 4)
+			if Equal(ab, bb) != Bit(a == b) {
+				t.Fatalf("Equal(%d,%d) wrong", a, b)
+			}
+			if LessThan(ab, bb) != Bit(a < b) {
+				t.Fatalf("LessThan(%d,%d) wrong", a, b)
+			}
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if IsZero(BusFromUint(0, 5)) != Bit(true) {
+		t.Error("IsZero(0) = false")
+	}
+	if IsZero(BusFromUint(4, 5)) != Bit(false) {
+		t.Error("IsZero(4) = true")
+	}
+}
+
+func TestDecoderOneHot(t *testing.T) {
+	for v := uint64(0); v < 8; v++ {
+		out := Decoder(BusFromUint(v, 3))
+		if len(out) != 8 {
+			t.Fatalf("Decoder width %d, want 8", len(out))
+		}
+		for i, line := range out {
+			if line != Bit(uint64(i) == v) {
+				t.Fatalf("Decoder(%d) line %d = %v", v, i, line)
+			}
+		}
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	// No line set: invalid.
+	if _, valid := PriorityEncoder(make(Bus, 8)); valid {
+		t.Error("PriorityEncoder of zero input reported valid")
+	}
+	// Every single-line case plus every two-line case: lowest index wins.
+	for lo := 0; lo < 8; lo++ {
+		for hi := lo; hi < 8; hi++ {
+			in := make(Bus, 8)
+			in[lo] = true
+			in[hi] = true
+			idx, valid := PriorityEncoder(in)
+			if !valid || idx.Uint() != uint64(lo) {
+				t.Fatalf("PriorityEncoder lines {%d,%d} = %d valid=%v, want %d", lo, hi, idx.Uint(), valid, lo)
+			}
+		}
+	}
+}
+
+func TestMuxBus(t *testing.T) {
+	in := []Bus{BusFromUint(1, 3), BusFromUint(3, 3), BusFromUint(5, 3), BusFromUint(7, 3)}
+	for s := uint64(0); s < 4; s++ {
+		got := MuxBus(BusFromUint(s, 2), in...)
+		if got.Uint() != in[s].Uint() {
+			t.Fatalf("MuxBus(%d) = %d, want %d", s, got.Uint(), in[s].Uint())
+		}
+	}
+}
+
+func TestMuxBusPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on out-of-range select")
+		}
+	}()
+	MuxBus(BusFromUint(3, 2), BusFromUint(0, 1), BusFromUint(1, 1))
+}
+
+func TestPopCount(t *testing.T) {
+	for v := uint64(0); v < 1<<7; v++ {
+		in := BusFromUint(v, 7)
+		want := uint64(0)
+		for i := 0; i < 7; i++ {
+			want += v >> uint(i) & 1
+		}
+		if got := PopCount(in).Uint(); got != want {
+			t.Fatalf("PopCount(%07b) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestPopCountEmpty(t *testing.T) {
+	if got := PopCount(nil).Uint(); got != 0 {
+		t.Errorf("PopCount(nil) = %d, want 0", got)
+	}
+}

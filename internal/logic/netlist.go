@@ -1,0 +1,222 @@
+package logic
+
+import "fmt"
+
+// Netlist builds combinational circuits as explicit gate graphs so their
+// hardware cost — gate count by kind and critical-path depth — can be
+// reported. The paper's pitch for the selection unit is that it is a
+// "fast and efficient micro-architectural solution"; the netlist models
+// let the repo quantify that claim for every circuit figure.
+//
+// Signals are identified by opaque handles; inputs have depth 0 and each
+// gate's depth is one more than its deepest input. Gates with a single
+// input (NOT) and wiring (fan-out, constants) are counted separately from
+// 2-input logic, which is the conventional unit of comparison.
+type Netlist struct {
+	name   string
+	inputs int
+	gates  []gate
+	depth  []int // per signal
+	counts map[string]int
+}
+
+// Signal is a handle to a named wire in a netlist.
+type Signal int
+
+type gate struct {
+	kind string
+	in   []Signal
+}
+
+// NewNetlist starts an empty circuit.
+func NewNetlist(name string) *Netlist {
+	return &Netlist{name: name, counts: map[string]int{}}
+}
+
+// Input declares a primary input and returns its signal.
+func (n *Netlist) Input() Signal {
+	n.inputs++
+	n.depth = append(n.depth, 0)
+	n.gates = append(n.gates, gate{kind: "input"})
+	return Signal(len(n.gates) - 1)
+}
+
+// Inputs declares w primary inputs (a bus).
+func (n *Netlist) Inputs(w int) []Signal {
+	out := make([]Signal, w)
+	for i := range out {
+		out[i] = n.Input()
+	}
+	return out
+}
+
+// Constant declares a tied-off signal (no gate cost, depth 0).
+func (n *Netlist) Constant() Signal {
+	n.depth = append(n.depth, 0)
+	n.gates = append(n.gates, gate{kind: "const"})
+	return Signal(len(n.gates) - 1)
+}
+
+// addGate appends a gate and computes its depth.
+func (n *Netlist) addGate(kind string, in ...Signal) Signal {
+	if len(in) == 0 {
+		panic("logic: netlist gate with no inputs")
+	}
+	d := 0
+	for _, s := range in {
+		if int(s) >= len(n.depth) {
+			panic(fmt.Sprintf("logic: netlist %s: undefined signal %d", n.name, s))
+		}
+		if n.depth[s] > d {
+			d = n.depth[s]
+		}
+	}
+	n.counts[kind]++
+	n.depth = append(n.depth, d+1)
+	n.gates = append(n.gates, gate{kind: kind, in: in})
+	return Signal(len(n.gates) - 1)
+}
+
+// Not adds an inverter.
+func (n *Netlist) Not(a Signal) Signal { return n.addGate("not", a) }
+
+// And2 adds a 2-input AND.
+func (n *Netlist) And2(a, b Signal) Signal { return n.addGate("and", a, b) }
+
+// Or2 adds a 2-input OR.
+func (n *Netlist) Or2(a, b Signal) Signal { return n.addGate("or", a, b) }
+
+// Xor2 adds a 2-input XOR.
+func (n *Netlist) Xor2(a, b Signal) Signal { return n.addGate("xor", a, b) }
+
+// And reduces any number of signals with a balanced tree of 2-input ANDs.
+func (n *Netlist) And(in ...Signal) Signal { return n.reduce("and", in) }
+
+// Or reduces any number of signals with a balanced tree of 2-input ORs.
+func (n *Netlist) Or(in ...Signal) Signal { return n.reduce("or", in) }
+
+func (n *Netlist) reduce(kind string, in []Signal) Signal {
+	switch len(in) {
+	case 0:
+		panic("logic: netlist reduce of nothing")
+	case 1:
+		return in[0]
+	}
+	mid := len(in) / 2
+	return n.addGate(kind, n.reduce(kind, in[:mid]), n.reduce(kind, in[mid:]))
+}
+
+// Mux2 adds a 2:1 multiplexer (counted as one mux; depth 1).
+func (n *Netlist) Mux2(sel, a, b Signal) Signal { return n.addGate("mux", sel, a, b) }
+
+// FullAdder adds a full adder cell, returning sum and carry.
+func (n *Netlist) FullAdder(a, b, cin Signal) (sum, cout Signal) {
+	s1 := n.Xor2(a, b)
+	sum = n.Xor2(s1, cin)
+	c1 := n.And2(a, b)
+	c2 := n.And2(s1, cin)
+	cout = n.Or2(c1, c2)
+	return sum, cout
+}
+
+// RippleAdder adds two equal-width buses, returning the sum bus and
+// carry-out.
+func (n *Netlist) RippleAdder(a, b []Signal, cin Signal) (sum []Signal, cout Signal) {
+	if len(a) != len(b) {
+		panic("logic: netlist adder width mismatch")
+	}
+	sum = make([]Signal, len(a))
+	c := cin
+	for i := range a {
+		sum[i], c = n.FullAdder(a[i], b[i], c)
+	}
+	return sum, c
+}
+
+// SaturatingAdder adds with clamp-to-max on carry out.
+func (n *Netlist) SaturatingAdder(a, b []Signal) []Signal {
+	sum, cout := n.RippleAdder(a, b, n.Constant())
+	out := make([]Signal, len(sum))
+	for i := range sum {
+		out[i] = n.Or2(sum[i], cout)
+	}
+	return out
+}
+
+// BarrelShiftRight builds the logarithmic mux stack for a right shift.
+func (n *Netlist) BarrelShiftRight(a []Signal, shift []Signal) []Signal {
+	zero := n.Constant()
+	cur := append([]Signal(nil), a...)
+	for stage, sel := range shift {
+		k := 1 << uint(stage)
+		next := make([]Signal, len(cur))
+		for i := range cur {
+			shifted := zero
+			if i+k < len(cur) {
+				shifted = cur[i+k]
+			}
+			next[i] = n.Mux2(sel, cur[i], shifted)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Equal builds an equality comparator over two equal-width buses.
+func (n *Netlist) Equal(a, b []Signal) Signal {
+	if len(a) != len(b) {
+		panic("logic: netlist equal width mismatch")
+	}
+	terms := make([]Signal, len(a))
+	for i := range a {
+		terms[i] = n.Not(n.Xor2(a[i], b[i]))
+	}
+	return n.And(terms...)
+}
+
+// LessThan builds an unsigned a<b comparator (MSB-first chain).
+func (n *Netlist) LessThan(a, b []Signal) Signal {
+	if len(a) != len(b) {
+		panic("logic: netlist lessthan width mismatch")
+	}
+	lt := n.Constant()
+	eq := n.Not(n.Constant()) // constant 1 via an inverter on constant 0
+	for i := len(a) - 1; i >= 0; i-- {
+		term := n.And2(n.And2(eq, n.Not(a[i])), b[i])
+		lt = n.Or2(lt, term)
+		eq = n.And2(eq, n.Not(n.Xor2(a[i], b[i])))
+	}
+	return lt
+}
+
+// Cost summarises a netlist.
+type Cost struct {
+	Name   string
+	Inputs int
+	Gates  map[string]int // per kind: and, or, xor, not, mux
+	Depth  int            // critical path over all signals
+}
+
+// TwoInputEquivalent returns the conventional 2-input-gate count: AND,
+// OR, XOR count 1; NOT counts 0.5 rounded up in total; MUX counts 3
+// (two ANDs + OR with an inverter amortised).
+func (c Cost) TwoInputEquivalent() int {
+	total := c.Gates["and"] + c.Gates["or"] + c.Gates["xor"] + c.Gates["mux"]*3
+	total += (c.Gates["not"] + 1) / 2
+	return total
+}
+
+// Cost computes the netlist's summary.
+func (n *Netlist) Cost() Cost {
+	depth := 0
+	for _, d := range n.depth {
+		if d > depth {
+			depth = d
+		}
+	}
+	gates := make(map[string]int, len(n.counts))
+	for k, v := range n.counts {
+		gates[k] = v
+	}
+	return Cost{Name: n.name, Inputs: n.inputs, Gates: gates, Depth: depth}
+}

@@ -1,0 +1,133 @@
+package logic
+
+import "testing"
+
+func TestNetlistInputsAndConstants(t *testing.T) {
+	n := NewNetlist("t")
+	in := n.Inputs(3)
+	if len(in) != 3 {
+		t.Fatalf("Inputs(3) returned %d signals", len(in))
+	}
+	c := n.Constant()
+	cost := n.Cost()
+	if cost.Inputs != 3 {
+		t.Errorf("inputs = %d", cost.Inputs)
+	}
+	if cost.Depth != 0 {
+		t.Errorf("depth of wiring-only netlist = %d", cost.Depth)
+	}
+	_ = c
+}
+
+func TestNetlistGateDepths(t *testing.T) {
+	n := NewNetlist("t")
+	a, b := n.Input(), n.Input()
+	x := n.And2(a, b) // depth 1
+	y := n.Or2(x, a)  // depth 2
+	z := n.Not(y)     // depth 3
+	_ = n.Xor2(z, b)  // depth 4
+	if got := n.Cost().Depth; got != 4 {
+		t.Errorf("depth = %d, want 4", got)
+	}
+}
+
+func TestNetlistReduceTreeDepth(t *testing.T) {
+	n := NewNetlist("t")
+	in := n.Inputs(8)
+	n.And(in...)
+	// A balanced 8-input AND tree is 3 levels deep with 7 gates.
+	c := n.Cost()
+	if c.Depth != 3 {
+		t.Errorf("8-input AND depth = %d, want 3", c.Depth)
+	}
+	if c.Gates["and"] != 7 {
+		t.Errorf("8-input AND gates = %d, want 7", c.Gates["and"])
+	}
+	// Single-signal reduce is a wire.
+	m := NewNetlist("t2")
+	s := m.Input()
+	if m.Or(s) != s {
+		t.Error("single-input Or is not the identity")
+	}
+}
+
+func TestNetlistAdders(t *testing.T) {
+	n := NewNetlist("t")
+	a := n.Inputs(3)
+	b := n.Inputs(3)
+	sum, _ := n.RippleAdder(a, b, n.Constant())
+	if len(sum) != 3 {
+		t.Fatalf("sum width %d", len(sum))
+	}
+	sat := n.SaturatingAdder(a, b)
+	if len(sat) != 3 {
+		t.Fatalf("saturating sum width %d", len(sat))
+	}
+	if n.Cost().Gates["xor"] == 0 {
+		t.Error("adders built no XORs")
+	}
+}
+
+func TestNetlistBarrelShift(t *testing.T) {
+	n := NewNetlist("t")
+	out := n.BarrelShiftRight(n.Inputs(4), n.Inputs(2))
+	if len(out) != 4 {
+		t.Fatalf("shift output width %d", len(out))
+	}
+	if n.Cost().Gates["mux"] != 8 { // 4 bits x 2 stages
+		t.Errorf("muxes = %d, want 8", n.Cost().Gates["mux"])
+	}
+}
+
+func TestNetlistComparators(t *testing.T) {
+	n := NewNetlist("t")
+	a, b := n.Inputs(4), n.Inputs(4)
+	n.Equal(a, b)
+	n.LessThan(a, b)
+	if n.Cost().Gates["xor"] == 0 || n.Cost().Gates["and"] == 0 {
+		t.Error("comparators built no logic")
+	}
+}
+
+func TestNetlistPanics(t *testing.T) {
+	cases := map[string]func(){
+		"gate without inputs": func() {
+			n := NewNetlist("t")
+			n.And()
+		},
+		"adder width mismatch": func() {
+			n := NewNetlist("t")
+			n.RippleAdder(n.Inputs(2), n.Inputs(3), n.Constant())
+		},
+		"equal width mismatch": func() {
+			n := NewNetlist("t")
+			n.Equal(n.Inputs(2), n.Inputs(3))
+		},
+		"lessthan width mismatch": func() {
+			n := NewNetlist("t")
+			n.LessThan(n.Inputs(2), n.Inputs(3))
+		},
+		"undefined signal": func() {
+			n := NewNetlist("t")
+			n.Not(Signal(99))
+		},
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTwoInputEquivalentWeights(t *testing.T) {
+	c := Cost{Gates: map[string]int{"and": 2, "or": 1, "xor": 1, "mux": 2, "not": 3}}
+	// 2 + 1 + 1 + 2*3 + ceil(3/2) = 12.
+	if got := c.TwoInputEquivalent(); got != 12 {
+		t.Errorf("TwoInputEquivalent = %d, want 12", got)
+	}
+}

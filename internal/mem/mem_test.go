@@ -1,0 +1,163 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMemoryRejectsBadSizes(t *testing.T) {
+	for _, size := range []int{0, -4, 3, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d accepted", size)
+				}
+			}()
+			NewMemory(size)
+		}()
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	m := NewMemory(1 << 12)
+	f := func(addr uint16, v uint32) bool {
+		a := uint32(addr)
+		m.StoreWord(a, v)
+		return m.LoadWord(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := NewMemory(1 << 10)
+	m.StoreWord(16, 0x04030201)
+	for i, want := range []uint8{1, 2, 3, 4} {
+		if got := m.LoadByte(16 + uint32(i)); got != want {
+			t.Errorf("byte %d = %d, want %d", i, got, want)
+		}
+	}
+	if got := m.LoadHalf(16); got != 0x0201 {
+		t.Errorf("half = %#x", got)
+	}
+	if got := m.LoadHalf(18); got != 0x0403 {
+		t.Errorf("upper half = %#x", got)
+	}
+}
+
+func TestAddressWrap(t *testing.T) {
+	m := NewMemory(1 << 10)
+	m.StoreWord(1<<10, 42) // wraps to 0
+	if got := m.LoadWord(0); got != 42 {
+		t.Errorf("wrapped store landed wrong: %d", got)
+	}
+	if got := m.LoadWord(3 << 10); got != 42 {
+		t.Errorf("wrapped load = %d", got)
+	}
+}
+
+func TestWriteReadWords(t *testing.T) {
+	m := NewMemory(1 << 12)
+	words := []uint32{5, 10, 0xffffffff, 0}
+	m.WriteWords(100, words)
+	got := m.ReadWords(100, len(words))
+	for i := range words {
+		if got[i] != words[i] {
+			t.Errorf("word %d = %d, want %d", i, got[i], words[i])
+		}
+	}
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	cases := []struct{ sets, line, penalty int }{
+		{0, 32, 10}, {64, 0, 10}, {64, 33, 10}, {64, 32, -1},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %+v accepted", c)
+				}
+			}()
+			NewCache(c.sets, c.line, c.penalty)
+		}()
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := NewCache(64, 32, 10)
+	if got := c.Access(0x100); got != 10 {
+		t.Errorf("cold access latency = %d, want 10", got)
+	}
+	if got := c.Access(0x100); got != 0 {
+		t.Errorf("warm access latency = %d, want 0", got)
+	}
+	// Same line, different offset: still a hit.
+	if got := c.Access(0x11f); got != 0 {
+		t.Errorf("same-line access latency = %d, want 0", got)
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheConflictEviction(t *testing.T) {
+	c := NewCache(4, 32, 10)
+	// Addresses 0 and 4*32 map to the same set in a 4-set cache.
+	c.Access(0)
+	if got := c.Access(4 * 32); got != 10 {
+		t.Errorf("conflicting line latency = %d, want miss", got)
+	}
+	if got := c.Access(0); got != 10 {
+		t.Errorf("evicted line latency = %d, want miss", got)
+	}
+}
+
+func TestProbeDoesNotAllocate(t *testing.T) {
+	c := NewCache(16, 32, 10)
+	if c.Probe(0x40) {
+		t.Error("cold probe hit")
+	}
+	if c.Misses() != 0 {
+		t.Error("probe counted as access")
+	}
+	c.Access(0x40)
+	if !c.Probe(0x40) {
+		t.Error("warm probe missed")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := NewCache(16, 32, 10)
+	c.Access(0)
+	c.Flush()
+	if c.Probe(0) {
+		t.Error("line survived flush")
+	}
+}
+
+// TestCacheDeterministicReplay: the same address stream produces the same
+// hit/miss sequence.
+func TestCacheDeterministicReplay(t *testing.T) {
+	addrs := make([]uint32, 2000)
+	rng := rand.New(rand.NewSource(9))
+	for i := range addrs {
+		addrs[i] = uint32(rng.Intn(1 << 14))
+	}
+	run := func() []int {
+		c := NewCache(32, 16, 7)
+		out := make([]int, len(addrs))
+		for i, a := range addrs {
+			out[i] = c.Access(a)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package rfu models the execution fabric of Fig. 1: five fixed
+// functional units (one per type) plus eight reconfigurable slots that
+// partial reconfiguration rewrites at unit granularity. The fabric tracks,
+// per slot, what is configured (the resource allocation vector of §3.2),
+// whether the unit headed there is busy executing, and whether the slot is
+// mid-reconfiguration; it exposes the per-entry availability signals the
+// availability circuit of Fig. 7 consumes and enforces the paper's rule
+// that only idle RFUs are ever reconfigured.
+package rfu
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/config"
+)
+
+// UnitRef identifies one functional-unit instance: a fixed unit (by type)
+// or a reconfigurable unit (by head slot).
+type UnitRef struct {
+	FFU bool
+	Idx int // unit type ordinal for FFUs, head slot index for RFUs
+}
+
+// String renders the reference for traces.
+func (r UnitRef) String() string {
+	if r.FFU {
+		return fmt.Sprintf("FFU(%v)", arch.UnitType(r.Idx))
+	}
+	return fmt.Sprintf("RFU(slot %d)", r.Idx)
+}
+
+// Fabric is the execution fabric. The zero value is unusable; use New.
+type Fabric struct {
+	alloc config.AllocationVector
+
+	// Per reconfigurable slot.
+	busy     [arch.NumRFUSlots]int           // cycles of execution left, tracked at head slots
+	reconfig [arch.NumRFUSlots]int           // cycles of reconfiguration left
+	target   [arch.NumRFUSlots]arch.Encoding // encoding installed when reconfiguration finishes
+	// Per fixed unit.
+	ffuBusy [arch.NumFFUs]int
+
+	latency     int  // cycles to reconfigure one span
+	ffuDisabled bool // X4 ablation: hide the fixed units
+	// busWidth caps how many spans may reconfigure concurrently,
+	// modelling the configuration bus of Fig. 1 (0 = unlimited).
+	busWidth int
+
+	// Statistics.
+	reconfigurations int // spans rewritten
+	reconfigCycles   int // slot-cycles spent reconfiguring
+	busyCycles       int // slot+FFU cycles spent executing
+}
+
+// New returns an empty fabric (no RFU units configured) whose span
+// reconfigurations take latency cycles. A zero latency models free
+// reconfiguration; negative latencies panic.
+func New(latency int) *Fabric {
+	if latency < 0 {
+		panic("rfu: negative reconfiguration latency")
+	}
+	return &Fabric{alloc: config.NewAllocationVector(), latency: latency}
+}
+
+// ReconfigLatency returns the per-span reconfiguration latency.
+func (f *Fabric) ReconfigLatency() int { return f.latency }
+
+// Allocation returns the current resource allocation vector.
+func (f *Fabric) Allocation() config.AllocationVector { return f.alloc }
+
+// TotalCounts returns the unit mix of the whole processor (RFUs + FFUs).
+func (f *Fabric) TotalCounts() arch.Counts { return f.alloc.TotalCounts() }
+
+// headOf returns the head slot of the unit covering slot i, or -1 when
+// the slot is empty or mid-reconfiguration.
+func (f *Fabric) headOf(i int) int {
+	for s := i; s >= 0; s-- {
+		switch e := f.alloc.Slots[s]; {
+		case e == arch.EncCont:
+			continue
+		case e == arch.EncEmpty:
+			return -1
+		default:
+			// A head covers slot i only if its span reaches it.
+			if t, ok := arch.DecodeUnit(e); ok && s+arch.SlotCost(t) > i {
+				return s
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// AvailabilitySignals returns the per-entry availability lines in
+// allocation-vector order (slots then FFUs): a head slot is available
+// when its unit is configured, idle and not reconfiguring; continuation
+// and empty slots are never available (their encodings never match in
+// Eq. 1 anyway); a fixed unit is available when idle.
+func (f *Fabric) AvailabilitySignals() []bool {
+	out := make([]bool, arch.NumRFUSlots+arch.NumFFUs)
+	for i := 0; i < arch.NumRFUSlots; i++ {
+		_, isUnit := arch.DecodeUnit(f.alloc.Slots[i])
+		out[i] = isUnit && f.busy[i] == 0 && f.reconfig[i] == 0
+	}
+	for i := 0; i < arch.NumFFUs; i++ {
+		out[arch.NumRFUSlots+i] = f.ffuBusy[i] == 0 && !f.ffuDisabled
+	}
+	return out
+}
+
+// SetConfigBusWidth caps concurrent span reconfigurations, modelling the
+// configuration bus of Fig. 1: width 1 serialises all configuration
+// loading through one bus; 0 (the default) is unlimited.
+func (f *Fabric) SetConfigBusWidth(w int) {
+	if w < 0 {
+		panic("rfu: negative config bus width")
+	}
+	f.busWidth = w
+}
+
+// activeSpans counts spans currently mid-reconfiguration (span heads are
+// the reconfiguring slots whose pending target is a unit encoding).
+func (f *Fabric) activeSpans() int {
+	n := 0
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if f.reconfig[s] > 0 && f.target[s] != arch.EncCont {
+			n++
+		}
+	}
+	return n
+}
+
+// SetFFUsEnabled hides or restores the fixed functional units — the X4
+// ablation studying the paper's claim that FFUs guarantee forward
+// progress. With FFUs disabled only configured RFUs execute instructions.
+func (f *Fabric) SetFFUsEnabled(enabled bool) { f.ffuDisabled = !enabled }
+
+// FFUsEnabled reports whether the fixed units are visible.
+func (f *Fabric) FFUsEnabled() bool { return !f.ffuDisabled }
+
+// Install loads a full configuration immediately, bypassing the
+// reconfiguration latency — used to preset static-baseline machines
+// before time starts. The fabric must be completely idle.
+func (f *Fabric) Install(cfg config.Configuration) {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("rfu: install of invalid configuration: %v", err))
+	}
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if f.busy[s] > 0 || f.reconfig[s] > 0 {
+			panic("rfu: install on a non-idle fabric")
+		}
+	}
+	f.alloc.Slots = cfg.Layout
+}
+
+// Available reports whether a unit of type t can accept work this cycle
+// (Eq. 1 over the live allocation vector and availability signals). This
+// is an allocation-free fast path; TestFabricAvailabilityMatchesEquation1
+// proves it equivalent to the reference avail.Available over the built
+// vectors.
+func (f *Fabric) Available(t arch.UnitType) bool {
+	want := arch.Encode(t)
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if f.alloc.Slots[s] == want && f.busy[s] == 0 && f.reconfig[s] == 0 {
+			return true
+		}
+	}
+	return f.ffuBusy[t] == 0 && !f.ffuDisabled
+}
+
+// AvailableCount returns how many units of type t can accept work this
+// cycle.
+func (f *Fabric) AvailableCount(t arch.UnitType) int {
+	want := arch.Encode(t)
+	n := 0
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if f.alloc.Slots[s] == want && f.busy[s] == 0 && f.reconfig[s] == 0 {
+			n++
+		}
+	}
+	if f.ffuBusy[t] == 0 && !f.ffuDisabled {
+		n++
+	}
+	return n
+}
+
+// AllAvailable returns the per-type availability lines the wake-up array
+// consumes, without allocating.
+func (f *Fabric) AllAvailable() [arch.NumUnitTypes]bool {
+	var out [arch.NumUnitTypes]bool
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if f.busy[s] != 0 || f.reconfig[s] != 0 {
+			continue
+		}
+		if t, ok := arch.DecodeUnit(f.alloc.Slots[s]); ok {
+			out[t] = true
+		}
+	}
+	if !f.ffuDisabled {
+		for t := 0; t < arch.NumFFUs; t++ {
+			if f.ffuBusy[t] == 0 {
+				out[t] = true
+			}
+		}
+	}
+	return out
+}
+
+// Acquire claims an idle unit of type t for busyCycles cycles of
+// execution, preferring a fixed unit so the reconfigurable fabric stays
+// eligible for steering. It returns ok=false when no unit of the type is
+// available.
+func (f *Fabric) Acquire(t arch.UnitType, busyCycles int) (UnitRef, bool) {
+	if busyCycles < 1 {
+		panic("rfu: acquire with non-positive busy time")
+	}
+	if f.ffuBusy[t] == 0 && !f.ffuDisabled {
+		f.ffuBusy[t] = busyCycles
+		return UnitRef{FFU: true, Idx: int(t)}, true
+	}
+	want := arch.Encode(t)
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if f.alloc.Slots[s] == want && f.busy[s] == 0 && f.reconfig[s] == 0 {
+			f.busy[s] = busyCycles
+			return UnitRef{Idx: s}, true
+		}
+	}
+	return UnitRef{}, false
+}
+
+// ExtendBusy lengthens a claimed unit's remaining execution time — used
+// when an instruction's latency grows in flight (e.g. a cache miss).
+func (f *Fabric) ExtendBusy(r UnitRef, extra int) {
+	if extra < 0 {
+		panic("rfu: negative busy extension")
+	}
+	if r.FFU {
+		if f.ffuBusy[r.Idx] == 0 {
+			panic(fmt.Sprintf("rfu: ExtendBusy of idle %v", r))
+		}
+		f.ffuBusy[r.Idx] += extra
+		return
+	}
+	if f.busy[r.Idx] == 0 {
+		panic(fmt.Sprintf("rfu: ExtendBusy of idle %v", r))
+	}
+	f.busy[r.Idx] += extra
+}
+
+// Busy reports whether the referenced unit is still executing.
+func (f *Fabric) Busy(r UnitRef) bool {
+	if r.FFU {
+		return f.ffuBusy[r.Idx] > 0
+	}
+	return f.busy[r.Idx] > 0
+}
+
+// spanOf returns the slot span [start, start+n) a unit of type t would
+// occupy at head slot start.
+func spanOf(t arch.UnitType, start int) (int, int) {
+	return start, start + arch.SlotCost(t)
+}
+
+// CanReconfigure reports whether the span a unit of type t would occupy
+// at head slot start is reconfigurable right now: the span lies in the
+// fabric and every slot it touches — including all slots of any existing
+// unit overlapping the span — is idle and not already reconfiguring.
+// This is the paper's "only reconfigure RFUs that are not busy" rule at
+// span granularity.
+func (f *Fabric) CanReconfigure(t arch.UnitType, start int) bool {
+	lo, hi := spanOf(t, start)
+	if lo < 0 || hi > arch.NumRFUSlots {
+		return false
+	}
+	if f.busWidth > 0 && f.latency > 0 && f.activeSpans() >= f.busWidth {
+		return false // configuration bus fully occupied
+	}
+	for s := lo; s < hi; s++ {
+		if f.reconfig[s] > 0 {
+			return false
+		}
+		head := f.headOf(s)
+		if head < 0 {
+			continue
+		}
+		// The whole overlapped unit must be idle, and destroying it
+		// must not leave a busy remnant — spans are destroyed whole.
+		if f.busy[head] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reconfigure begins rewriting the span at head slot start to hold a unit
+// of type t. Any existing unit overlapping the span is removed whole (its
+// slots outside the new span become empty). The new unit becomes
+// available after the fabric's reconfiguration latency; with a zero
+// latency it is available immediately. Callers must check CanReconfigure
+// first; violations panic.
+//
+// Reconfigure is idempotent in effect: if the span already holds exactly
+// a unit of type t, it reports false and does nothing ("the RFU will not
+// be reconfigured if it already implements the specified functional
+// unit", §3.2).
+func (f *Fabric) Reconfigure(t arch.UnitType, start int) bool {
+	if !f.CanReconfigure(t, start) {
+		panic(fmt.Sprintf("rfu: illegal reconfiguration of %v at slot %d", t, start))
+	}
+	lo, hi := spanOf(t, start)
+	if f.alloc.Slots[lo] == arch.Encode(t) {
+		return false // already implements the unit
+	}
+	// Remove overlapped units whole.
+	for s := lo; s < hi; s++ {
+		head := f.headOf(s)
+		if head < 0 {
+			continue
+		}
+		ht, _ := arch.DecodeUnit(f.alloc.Slots[head])
+		hlo, hhi := spanOf(ht, head)
+		for k := hlo; k < hhi; k++ {
+			f.alloc.Slots[k] = arch.EncEmpty
+		}
+	}
+	// Install the new span.
+	for s := lo; s < hi; s++ {
+		f.alloc.Slots[s] = arch.EncEmpty
+		f.reconfig[s] = f.latency
+		f.target[s] = arch.EncCont
+	}
+	f.target[lo] = arch.Encode(t)
+	f.reconfigurations++
+	f.reconfigCycles += (hi - lo) * f.latency
+	if f.latency == 0 {
+		for s := lo; s < hi; s++ {
+			f.alloc.Slots[s] = f.target[s]
+		}
+	}
+	return true
+}
+
+// Tick advances one cycle: execution busy timers and reconfiguration
+// timers count down, and spans whose reconfiguration completes install
+// their new encodings.
+func (f *Fabric) Tick() {
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if f.busy[s] > 0 {
+			f.busy[s]--
+			f.busyCycles++
+		}
+		if f.reconfig[s] > 0 {
+			f.reconfig[s]--
+			if f.reconfig[s] == 0 {
+				f.alloc.Slots[s] = f.target[s]
+			}
+		}
+	}
+	for i := range f.ffuBusy {
+		if f.ffuBusy[i] > 0 {
+			f.ffuBusy[i]--
+			f.busyCycles++
+		}
+	}
+}
+
+// Idle reports whether the whole reconfigurable fabric is quiescent: no
+// slot executing and none reconfiguring. The fixed units do not count —
+// they are never reconfigured.
+func (f *Fabric) Idle() bool {
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if f.busy[s] > 0 || f.reconfig[s] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reconfiguring reports whether any slot is mid-reconfiguration.
+func (f *Fabric) Reconfiguring() bool {
+	for _, r := range f.reconfig {
+		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Statistics accessors.
+
+// Reconfigurations returns the number of span rewrites started.
+func (f *Fabric) Reconfigurations() int { return f.reconfigurations }
+
+// ReconfigurationCycles returns total slot-cycles spent reconfiguring.
+func (f *Fabric) ReconfigurationCycles() int { return f.reconfigCycles }
+
+// BusyCycles returns total unit-cycles spent executing.
+func (f *Fabric) BusyCycles() int { return f.busyCycles }

@@ -1,0 +1,252 @@
+// Package trace records cycle-by-cycle pipeline events from the
+// simulator — fetch, dispatch, issue, retire, flush and reconfiguration —
+// and renders them as an event log or as a per-instruction pipeline view
+// (one row per instruction, one column per cycle), the debugging view
+// used to inspect steering behaviour.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a pipeline event.
+type Kind int
+
+// Event kinds, in pipeline order.
+const (
+	KindFetch Kind = iota
+	KindDispatch
+	KindIssue
+	KindRetire
+	KindFlush
+	KindReconfig
+)
+
+var kindNames = map[Kind]string{
+	KindFetch:    "fetch",
+	KindDispatch: "dispatch",
+	KindIssue:    "issue",
+	KindRetire:   "retire",
+	KindFlush:    "flush",
+	KindReconfig: "reconfig",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one pipeline occurrence.
+type Event struct {
+	Cycle int
+	Kind  Kind
+	// Seq identifies the dynamic instruction (dispatch order); zero for
+	// non-instruction events such as reconfigurations.
+	Seq uint32
+	PC  uint32
+	// Latency is the execution latency recorded at issue (including any
+	// cache-miss extension), zero otherwise.
+	Latency int
+	// Text carries the disassembly or event detail.
+	Text string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindReconfig:
+		return fmt.Sprintf("cycle %5d: %-8s %s", e.Cycle, e.Kind, e.Text)
+	case KindIssue:
+		return fmt.Sprintf("cycle %5d: %-8s #%-5d pc=%-5d lat=%-3d %s",
+			e.Cycle, e.Kind, e.Seq, e.PC, e.Latency, e.Text)
+	default:
+		return fmt.Sprintf("cycle %5d: %-8s #%-5d pc=%-5d %s",
+			e.Cycle, e.Kind, e.Seq, e.PC, e.Text)
+	}
+}
+
+// Recorder receives events; implementations must be cheap when disabled.
+type Recorder interface {
+	Record(Event)
+}
+
+// Buffer is a bounded in-memory Recorder: once the limit is reached the
+// oldest events are dropped.
+type Buffer struct {
+	limit  int
+	events []Event
+	start  int // ring start when full
+	full   bool
+}
+
+// NewBuffer builds a Recorder holding at most limit events (limit must be
+// positive).
+func NewBuffer(limit int) *Buffer {
+	if limit <= 0 {
+		panic("trace: buffer limit must be positive")
+	}
+	return &Buffer{limit: limit, events: make([]Event, 0, limit)}
+}
+
+// Record stores the event, evicting the oldest when full.
+func (b *Buffer) Record(e Event) {
+	if len(b.events) < b.limit {
+		b.events = append(b.events, e)
+		return
+	}
+	b.full = true
+	b.events[b.start] = e
+	b.start = (b.start + 1) % b.limit
+}
+
+// Events returns the recorded events, oldest first.
+func (b *Buffer) Events() []Event {
+	if !b.full {
+		out := make([]Event, len(b.events))
+		copy(out, b.events)
+		return out
+	}
+	out := make([]Event, 0, b.limit)
+	out = append(out, b.events[b.start:]...)
+	out = append(out, b.events[:b.start]...)
+	return out
+}
+
+// Len returns the number of events held.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Dropped reports whether the buffer ever evicted events.
+func (b *Buffer) Dropped() bool { return b.full }
+
+// Until wraps a Recorder and drops events after a cycle cutoff — used to
+// trace just the start of a long run without the ring buffer evicting the
+// early events.
+type Until struct {
+	R         Recorder
+	LastCycle int
+}
+
+// Record forwards events at or before the cutoff cycle.
+func (u Until) Record(e Event) {
+	if e.Cycle <= u.LastCycle {
+		u.R.Record(e)
+	}
+}
+
+// Log renders all events one per line.
+func Log(events []Event) string {
+	var sb strings.Builder
+	for _, e := range events {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// instRow collects one dynamic instruction's lifecycle.
+type instRow struct {
+	seq      uint32
+	pc       uint32
+	text     string
+	fetch    int
+	dispatch int
+	issue    int
+	latency  int
+	retire   int
+	flushed  int
+}
+
+// Pipeview renders the classic pipeline chart: one row per dynamic
+// instruction, one column per cycle, with markers
+//
+//	F fetch   D dispatch   I issue   = executing   R retire   x flushed
+//
+// Cycles outside [fromCycle, toCycle] are clipped; instructions entirely
+// outside the range are omitted.
+func Pipeview(events []Event, fromCycle, toCycle int) string {
+	rows := map[uint32]*instRow{}
+	order := []uint32{}
+	get := func(e Event) *instRow {
+		r, ok := rows[e.Seq]
+		if !ok {
+			r = &instRow{seq: e.Seq, pc: e.PC, fetch: -1, dispatch: -1, issue: -1, retire: -1, flushed: -1}
+			rows[e.Seq] = r
+			order = append(order, e.Seq)
+		}
+		return r
+	}
+	for _, e := range events {
+		if e.Kind == KindReconfig {
+			continue
+		}
+		r := get(e)
+		if e.Text != "" {
+			r.text = e.Text
+		}
+		switch e.Kind {
+		case KindFetch:
+			r.fetch = e.Cycle
+		case KindDispatch:
+			r.dispatch = e.Cycle
+		case KindIssue:
+			r.issue = e.Cycle
+			r.latency = e.Latency
+		case KindRetire:
+			r.retire = e.Cycle
+		case KindFlush:
+			r.flushed = e.Cycle
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	width := toCycle - fromCycle + 1
+	if width <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-5s %-26s %s\n", "seq", "pc", "instruction", "cycles "+fmt.Sprint(fromCycle)+"..")
+	for _, seq := range order {
+		r := rows[seq]
+		last := r.retire
+		if r.flushed >= 0 && r.flushed > last {
+			last = r.flushed
+		}
+		if last < fromCycle && last >= 0 {
+			continue
+		}
+		if r.fetch > toCycle && r.fetch >= 0 {
+			continue
+		}
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		mark := func(cycle int, c byte) {
+			if cycle >= fromCycle && cycle <= toCycle {
+				line[cycle-fromCycle] = c
+			}
+		}
+		if r.issue >= 0 {
+			end := r.issue + r.latency - 1
+			for c := r.issue + 1; c <= end; c++ {
+				mark(c, '=')
+			}
+		}
+		mark(r.fetch, 'F')
+		mark(r.dispatch, 'D')
+		mark(r.issue, 'I')
+		mark(r.retire, 'R')
+		mark(r.flushed, 'x')
+		text := r.text
+		if len(text) > 26 {
+			text = text[:26]
+		}
+		fmt.Fprintf(&sb, "%-6d %-5d %-26s %s\n", r.seq, r.pc, text, line)
+	}
+	return sb.String()
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindFetch: "fetch", KindDispatch: "dispatch", KindIssue: "issue",
+		KindRetire: "retire", KindFlush: "flush", KindReconfig: "reconfig",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Error("unknown kind format")
+	}
+}
+
+func TestBufferBounded(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Record(Event{Cycle: i})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if !b.Dropped() {
+		t.Error("Dropped = false after eviction")
+	}
+	evs := b.Events()
+	for i, e := range evs {
+		if e.Cycle != i+2 {
+			t.Errorf("event %d cycle = %d, want %d (oldest-first after eviction)", i, e.Cycle, i+2)
+		}
+	}
+}
+
+func TestBufferUnderLimit(t *testing.T) {
+	b := NewBuffer(10)
+	b.Record(Event{Cycle: 1})
+	b.Record(Event{Cycle: 2})
+	evs := b.Events()
+	if len(evs) != 2 || evs[0].Cycle != 1 || b.Dropped() {
+		t.Errorf("events = %v dropped = %v", evs, b.Dropped())
+	}
+}
+
+func TestBufferPanicsOnBadLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewBuffer(0)
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 12, Kind: KindIssue, Seq: 3, PC: 7, Latency: 4, Text: "mul r1, r2, r3"}
+	s := e.String()
+	for _, want := range []string{"12", "issue", "#3", "lat=4", "mul"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+	r := Event{Cycle: 5, Kind: KindReconfig, Text: "2 span(s)"}
+	if !strings.Contains(r.String(), "2 span(s)") {
+		t.Errorf("reconfig string %q", r.String())
+	}
+}
+
+func TestLog(t *testing.T) {
+	out := Log([]Event{{Cycle: 1, Kind: KindFetch}, {Cycle: 2, Kind: KindRetire}})
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("Log output:\n%s", out)
+	}
+}
+
+func TestPipeviewMarkers(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, Kind: KindFetch, Seq: 1, PC: 0, Text: "add r1, r2, r3"},
+		{Cycle: 1, Kind: KindDispatch, Seq: 1, PC: 0},
+		{Cycle: 2, Kind: KindIssue, Seq: 1, PC: 0, Latency: 3},
+		{Cycle: 6, Kind: KindRetire, Seq: 1, PC: 0},
+		{Cycle: 0, Kind: KindFetch, Seq: 2, PC: 1, Text: "beq r1, r0, 4"},
+		{Cycle: 1, Kind: KindDispatch, Seq: 2, PC: 1},
+		{Cycle: 3, Kind: KindFlush, Seq: 2, PC: 1},
+		{Cycle: 4, Kind: KindReconfig, Text: "ignored by pipeview"},
+	}
+	out := Pipeview(events, 0, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 instructions
+		t.Fatalf("pipeview lines = %d:\n%s", len(lines), out)
+	}
+	// Row 1: F D I = = . R
+	row1 := lines[1]
+	chart1 := row1[strings.LastIndex(row1, " ")+1:]
+	if chart1 != "FDI==.R.." {
+		t.Errorf("row 1 chart = %q, want FDI==.R..", chart1)
+	}
+	row2 := lines[2]
+	chart2 := row2[strings.LastIndex(row2, " ")+1:]
+	if chart2 != "FD.x....." {
+		t.Errorf("row 2 chart = %q, want FD.x.....", chart2)
+	}
+}
+
+func TestUntilCutsOffAfterCycle(t *testing.T) {
+	b := NewBuffer(100)
+	u := Until{R: b, LastCycle: 5}
+	for c := 0; c < 10; c++ {
+		u.Record(Event{Cycle: c})
+	}
+	if b.Len() != 6 { // cycles 0..5 inclusive
+		t.Errorf("recorded %d events, want 6", b.Len())
+	}
+	for _, e := range b.Events() {
+		if e.Cycle > 5 {
+			t.Errorf("event past cutoff recorded: cycle %d", e.Cycle)
+		}
+	}
+}
+
+func TestPipeviewClipsRange(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, Kind: KindDispatch, Seq: 1, Text: "early"},
+		{Cycle: 1, Kind: KindRetire, Seq: 1},
+		{Cycle: 50, Kind: KindDispatch, Seq: 2, Text: "late"},
+		{Cycle: 51, Kind: KindRetire, Seq: 2},
+	}
+	out := Pipeview(events, 40, 60)
+	if strings.Contains(out, "early") {
+		t.Error("instruction entirely before the range not clipped")
+	}
+	if !strings.Contains(out, "late") {
+		t.Error("in-range instruction missing")
+	}
+	if Pipeview(events, 10, 5) != "" {
+		t.Error("inverted range did not produce empty output")
+	}
+}

@@ -1,0 +1,38 @@
+package wakeup
+
+import "repro/internal/arch"
+
+// PaperExampleLabels names the seven instructions of the paper's worked
+// example (Figs. 4–5), in entry order.
+var PaperExampleLabels = []string{"Shift", "Sub", "Add", "Mul", "Load", "FPMul", "FPAdd"}
+
+// PaperExample builds the wake-up array of the paper's Figs. 4–5: seven
+// instructions — Shift, Sub, Add, Mul, Load, FPMul, FPAdd — with the
+// dependency graph of Fig. 4. The text states two rows explicitly (the
+// Load, entry 5, depends on nothing and needs only the LSU; the Multiply,
+// entry 4, needs the IntMDU and depends only on the Subtract, entry 2);
+// the remaining edges are reconstructed from the dependency graph: the
+// Add consumes the Shift and Sub results, the FPMul consumes the Load,
+// and the FPAdd consumes the FPMul.
+//
+// It returns the populated array and the row index of each entry, in the
+// paper's entry order (entry N is rows[N-1]).
+func PaperExample() (*Array, []int) {
+	a := New(arch.QueueSize)
+	rows := make([]int, 7)
+	alloc := func(i int, unit arch.UnitType, latency int, deps ...int) {
+		row, ok := a.Allocate(unit, deps, latency, uint64(i))
+		if !ok {
+			panic("wakeup: paper example does not fit the array")
+		}
+		rows[i] = row
+	}
+	alloc(0, arch.IntALU, 1)                   // entry 1: Shift
+	alloc(1, arch.IntALU, 1)                   // entry 2: Sub
+	alloc(2, arch.IntALU, 1, rows[0], rows[1]) // entry 3: Add <- Shift, Sub
+	alloc(3, arch.IntMDU, 4, rows[1])          // entry 4: Mul <- Sub (explicit in §4.1)
+	alloc(4, arch.LSU, 2)                      // entry 5: Load, no dependencies (explicit)
+	alloc(5, arch.FPMDU, 5, rows[4])           // entry 6: FPMul <- Load
+	alloc(6, arch.FPALU, 3, rows[5])           // entry 7: FPAdd <- FPMul
+	return a, rows
+}

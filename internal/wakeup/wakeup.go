@@ -1,0 +1,344 @@
+// Package wakeup implements the select-free wake-up array of §4.1
+// (Figures 4–6, after Brown, Stark and Patt, "Select-Free Instruction
+// Scheduling Logic", MICRO-34). Each array entry holds a one-hot
+// required-unit vector and one dependency bit per array entry; an entry
+// requests execution when it is unscheduled, its unit type is available,
+// and every entry it depends on has asserted its result-available line.
+// Countdown timers assert result-available lines at the moment a granted
+// instruction's result will be ready; retirement clears the entry's
+// column everywhere so later instructions never wait on a retired
+// producer.
+//
+// The array is select-free: it only raises execution *requests*.
+// Contention between requesters for the same unit type is resolved by the
+// scheduler (package cpu), as in the paper.
+package wakeup
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/logic"
+)
+
+// Entry is one row of the wake-up array.
+type Entry struct {
+	used      bool
+	unit      arch.UnitType
+	deps      []bool // deps[j]: result required from entry j
+	scheduled bool
+	timer     int  // countdown until the result-available line asserts
+	resultOK  bool // the entry's result-available line
+	latency   int
+	tag       uint64 // caller-supplied identity (e.g. RUU id)
+}
+
+// Array is the wake-up array. The zero value is unusable; use New.
+type Array struct {
+	entries []Entry
+	size    int
+}
+
+// New returns an empty wake-up array with the given number of entries
+// (the paper's machine uses arch.QueueSize = 7).
+func New(size int) *Array {
+	if size <= 0 {
+		panic("wakeup: array size must be positive")
+	}
+	a := &Array{entries: make([]Entry, size), size: size}
+	for i := range a.entries {
+		a.entries[i].deps = make([]bool, size)
+	}
+	return a
+}
+
+// Size returns the number of rows.
+func (a *Array) Size() int { return a.size }
+
+// Free returns the number of unused rows.
+func (a *Array) Free() int {
+	n := 0
+	for i := range a.entries {
+		if !a.entries[i].used {
+			n++
+		}
+	}
+	return n
+}
+
+// Allocate inserts an instruction needing the given unit type, dependent
+// on the listed producer rows, with the given execution latency. tag is
+// an opaque caller identity returned by accessors. It returns the row
+// index, or ok=false when the array is full. Dependencies must name used
+// rows other than the allocated one; violations panic, as they indicate a
+// dispatcher bug.
+func (a *Array) Allocate(unit arch.UnitType, deps []int, latency int, tag uint64) (int, bool) {
+	if latency < 1 {
+		panic("wakeup: latency must be at least 1")
+	}
+	row := -1
+	for i := range a.entries {
+		if !a.entries[i].used {
+			row = i
+			break
+		}
+	}
+	if row < 0 {
+		return 0, false
+	}
+	for _, d := range deps {
+		if d < 0 || d >= a.size || d == row || !a.entries[d].used {
+			panic(fmt.Sprintf("wakeup: bad dependency %d for row %d", d, row))
+		}
+	}
+	e := &a.entries[row]
+	e.used = true
+	e.unit = unit
+	e.scheduled = false
+	e.timer = 0
+	e.resultOK = false
+	e.latency = latency
+	e.tag = tag
+	for j := range e.deps {
+		e.deps[j] = false
+	}
+	// A producer whose result-available line is already asserted imposes
+	// no wait; recording the bit anyway is harmless and matches the
+	// hardware, where the line stays high until retirement.
+	for _, d := range deps {
+		e.deps[d] = true
+	}
+	return row, true
+}
+
+// Request reports whether row i requests execution given the per-type
+// unit availability lines — the Fig. 6 logic: not yet scheduled, and for
+// every column either not needed or available.
+func (a *Array) Request(i int, unitAvail [arch.NumUnitTypes]bool) bool {
+	e := &a.entries[i]
+	if !e.used || e.scheduled {
+		return false
+	}
+	if !unitAvail[e.unit] {
+		return false
+	}
+	for j, need := range e.deps {
+		if need && !a.entries[j].resultOK {
+			return false
+		}
+	}
+	return true
+}
+
+// Requests returns the rows requesting execution, in row order.
+func (a *Array) Requests(unitAvail [arch.NumUnitTypes]bool) []int {
+	var out []int
+	for i := range a.entries {
+		if a.Request(i, unitAvail) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Ready reports whether row i's data dependencies are satisfied,
+// regardless of unit availability — the condition the configuration
+// manager's "ready to be executed" queue view uses.
+func (a *Array) Ready(i int) bool {
+	e := &a.entries[i]
+	if !e.used || e.scheduled {
+		return false
+	}
+	for j, need := range e.deps {
+		if need && !a.entries[j].resultOK {
+			return false
+		}
+	}
+	return true
+}
+
+// Grant marks row i scheduled and starts its countdown timer: an
+// instruction of latency N sets the timer to N-1, asserting the
+// result-available line N-1 cycles later; a single-cycle instruction
+// asserts it immediately (§4.1).
+func (a *Array) Grant(i int) {
+	e := &a.entries[i]
+	if !e.used || e.scheduled {
+		panic(fmt.Sprintf("wakeup: grant of row %d in invalid state", i))
+	}
+	e.scheduled = true
+	e.timer = e.latency - 1
+	if e.timer == 0 {
+		e.resultOK = true
+	}
+}
+
+// Reschedule de-asserts row i's scheduled bit so it will request
+// execution again — the replay path used when a granted instruction must
+// be re-executed (§4.1).
+func (a *Array) Reschedule(i int) {
+	e := &a.entries[i]
+	if !e.used {
+		panic(fmt.Sprintf("wakeup: reschedule of unused row %d", i))
+	}
+	e.scheduled = false
+	e.timer = 0
+	e.resultOK = false
+}
+
+// ExtendTimer adds extra cycles to a running countdown — the mechanism
+// the processor uses when an instruction's true latency is discovered in
+// flight (e.g. a cache miss lengthening a load).
+func (a *Array) ExtendTimer(i, extra int) {
+	e := &a.entries[i]
+	if !e.used || !e.scheduled || extra < 0 {
+		panic(fmt.Sprintf("wakeup: bad ExtendTimer(%d, %d)", i, extra))
+	}
+	if e.resultOK {
+		e.resultOK = false
+	}
+	e.timer += extra
+}
+
+// Tick advances every countdown timer one cycle, asserting
+// result-available lines that reach zero.
+func (a *Array) Tick() {
+	for i := range a.entries {
+		e := &a.entries[i]
+		if e.used && e.scheduled && !e.resultOK {
+			if e.timer > 0 {
+				e.timer--
+			}
+			if e.timer == 0 {
+				e.resultOK = true
+			}
+		}
+	}
+}
+
+// Release retires row i: the entry is cleared and its column is cleared
+// in every other row, so instructions that depended on it no longer wait
+// (§4.1: "every wake-up array entry associated with the instruction is
+// cleared").
+func (a *Array) Release(i int) {
+	e := &a.entries[i]
+	if !e.used {
+		panic(fmt.Sprintf("wakeup: release of unused row %d", i))
+	}
+	*e = Entry{deps: e.deps}
+	for j := range e.deps {
+		e.deps[j] = false
+	}
+	for j := range a.entries {
+		a.entries[j].deps[i] = false
+	}
+}
+
+// Row state accessors.
+
+// Used reports whether row i holds an instruction.
+func (a *Array) Used(i int) bool { return a.entries[i].used }
+
+// Scheduled reports whether row i has been granted execution.
+func (a *Array) Scheduled(i int) bool { return a.entries[i].scheduled }
+
+// ResultAvailable reports row i's result-available line.
+func (a *Array) ResultAvailable(i int) bool { return a.entries[i].resultOK }
+
+// Unit returns row i's required unit type.
+func (a *Array) Unit(i int) arch.UnitType { return a.entries[i].unit }
+
+// Tag returns the caller identity stored at allocation.
+func (a *Array) Tag(i int) uint64 { return a.entries[i].tag }
+
+// DependsOn reports whether row i waits on row j.
+func (a *Array) DependsOn(i, j int) bool { return a.entries[i].deps[j] }
+
+// RequiredCounts returns how many units of each type the *unscheduled*
+// instructions in the array require — the requirement-encoder input of
+// the configuration selection unit (§3.1). Scheduled instructions already
+// hold units and are excluded.
+func (a *Array) RequiredCounts() arch.Counts {
+	var c arch.Counts
+	for i := range a.entries {
+		e := &a.entries[i]
+		if e.used && !e.scheduled {
+			c[e.unit]++
+		}
+	}
+	return c
+}
+
+// ReadyCounts is RequiredCounts restricted to rows whose dependencies are
+// already satisfied.
+func (a *Array) ReadyCounts() arch.Counts {
+	var c arch.Counts
+	for i := range a.entries {
+		if a.Ready(i) {
+			c[a.entries[i].unit]++
+		}
+	}
+	return c
+}
+
+// Dump renders the array in the matrix form of Fig. 5: one row per entry
+// with its one-hot execution-unit columns followed by the
+// result-required-from columns. labels, when non-nil, names each row.
+func (a *Array) Dump(labels []string) string {
+	var b strings.Builder
+	b.WriteString("entry")
+	for _, t := range arch.UnitTypes() {
+		fmt.Fprintf(&b, "%8s", t)
+	}
+	for j := 0; j < a.size; j++ {
+		fmt.Fprintf(&b, "  E%d", j+1)
+	}
+	b.WriteString("\n")
+	for i := range a.entries {
+		e := &a.entries[i]
+		name := fmt.Sprintf("E%d", i+1)
+		if labels != nil && i < len(labels) && labels[i] != "" {
+			name = labels[i]
+		}
+		fmt.Fprintf(&b, "%-5s", name)
+		for _, t := range arch.UnitTypes() {
+			mark := 0
+			if e.used && e.unit == t {
+				mark = 1
+			}
+			fmt.Fprintf(&b, "%8d", mark)
+		}
+		for j := 0; j < a.size; j++ {
+			mark := 0
+			if e.deps[j] {
+				mark = 1
+			}
+			fmt.Fprintf(&b, "%4d", mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CircuitRequest is the gate-level reconstruction of Fig. 6 for one
+// resource vector: for each resource column an OR of "not needed" with
+// the availability line, for each entry column an OR of "not needed" with
+// the result-available line, all ANDed together with the complement of
+// the scheduled bit. Inputs are the row's raw vectors so tests can drive
+// it exhaustively.
+func CircuitRequest(unitNeeded [arch.NumUnitTypes]bool, unitAvail [arch.NumUnitTypes]bool,
+	depNeeded, depResultOK []bool, scheduled bool) bool {
+	if len(depNeeded) != len(depResultOK) {
+		panic("wakeup: dependency vector length mismatch")
+	}
+	terms := make([]logic.Bit, 0, arch.NumUnitTypes+len(depNeeded)+1)
+	for t := 0; t < arch.NumUnitTypes; t++ {
+		terms = append(terms, logic.Or(logic.Not(logic.Bit(unitNeeded[t])), logic.Bit(unitAvail[t])))
+	}
+	for j := range depNeeded {
+		terms = append(terms, logic.Or(logic.Not(logic.Bit(depNeeded[j])), logic.Bit(depResultOK[j])))
+	}
+	terms = append(terms, logic.Not(logic.Bit(scheduled)))
+	return bool(logic.And(terms...))
+}

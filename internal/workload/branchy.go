@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// SynthesizeBranchy generates a random but guaranteed-terminating program
+// with real control flow: counted loops (dedicated counter registers the
+// loop body never touches) and data-dependent forward skips. It is the
+// fuzz driver for the simulator's speculation machinery — wrong-path
+// squashing, predictor training, store buffering — whose architectural
+// results are differentially checked against the functional interpreter.
+//
+// Register conventions: r16-r19 are loop counters, r20 is the memory
+// base, r1-r15 are general work registers, f1-f15 FP work registers.
+func SynthesizeBranchy(blocks int, p SynthParams) isa.Program {
+	if p.DepDensity == 0 {
+		p.DepDensity = 0.5
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	var prog isa.Program
+	prog = append(prog,
+		isa.New(isa.LUI, 20, 0, 0, dataBase>>isa.LUIShift),
+		isa.New(isa.ADDI, 1, 0, 0, 3),
+		isa.New(isa.ADDI, 2, 0, 0, 5),
+		isa.New(isa.FCVTSW, 1, 1, 0, 0),
+		isa.New(isa.FCVTSW, 2, 2, 0, 0),
+	)
+
+	workReg := func() uint8 { return uint8(1 + rng.Intn(15)) }
+	offset := func() int32 { return int32(4 * rng.Intn(256)) }
+
+	// straightLine appends n random dependency-bearing instructions.
+	straightLine := func(n int) {
+		for i := 0; i < n; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				ops := []isa.Opcode{isa.ADD, isa.SUB, isa.XOR, isa.OR, isa.AND}
+				prog = append(prog, isa.New(ops[rng.Intn(len(ops))], workReg(), workReg(), workReg(), 0))
+			case 1:
+				prog = append(prog, isa.New(isa.ADDI, workReg(), workReg(), 0, int32(rng.Intn(64))-32))
+			case 2:
+				ops := []isa.Opcode{isa.MUL, isa.REM}
+				prog = append(prog, isa.New(ops[rng.Intn(len(ops))], workReg(), workReg(), workReg(), 0))
+			case 3:
+				if rng.Intn(2) == 0 {
+					prog = append(prog, isa.New(isa.LW, workReg(), 20, 0, offset()))
+				} else {
+					prog = append(prog, isa.New(isa.SW, 0, 20, workReg(), offset()))
+				}
+			case 4:
+				ops := []isa.Opcode{isa.FADD, isa.FSUB, isa.FMIN}
+				prog = append(prog, isa.New(ops[rng.Intn(len(ops))], workReg(), workReg(), workReg(), 0))
+			case 5:
+				prog = append(prog, isa.New(isa.FMUL, workReg(), workReg(), workReg(), 0))
+			}
+		}
+	}
+
+	for b := 0; b < blocks; b++ {
+		switch rng.Intn(3) {
+		case 0: // plain straight-line block
+			straightLine(3 + rng.Intn(6))
+
+		case 1: // counted loop: trip count 1..6, body never touches the counter
+			counter := uint8(16 + rng.Intn(4))
+			trips := int32(1 + rng.Intn(6))
+			prog = append(prog, isa.New(isa.ADDI, counter, 0, 0, trips))
+			top := len(prog)
+			straightLine(2 + rng.Intn(4))
+			prog = append(prog, isa.New(isa.ADDI, counter, counter, 0, -1))
+			back := int32(top - (len(prog) + 1) + 1)
+			prog = append(prog, isa.New(isa.BNE, 0, counter, 0, back))
+
+		case 2: // data-dependent forward skip over 1..4 instructions
+			a, c := workReg(), workReg()
+			condOps := []isa.Opcode{isa.BEQ, isa.BNE, isa.BLT, isa.BGE}
+			op := condOps[rng.Intn(len(condOps))]
+			skipLen := 1 + rng.Intn(4)
+			prog = append(prog, isa.New(op, 0, a, c, int32(skipLen+1)))
+			straightLine(skipLen)
+		}
+	}
+	prog = append(prog, isa.New(isa.HALT, 0, 0, 0, 0))
+	return prog
+}

@@ -1,0 +1,373 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Second tranche of benchmark kernels: control-flow-heavy and
+// serial-dependency shapes that stress the predictor, the wake-up array
+// and the steering manager differently from the streaming kernels.
+
+func init() {
+	extraKernels = []*Kernel{bubbleSort, fib, mandel, transpose, strsearch, gcdBatch, recfib}
+}
+
+// extraKernels is appended to the base library by Kernels.
+var extraKernels []*Kernel
+
+var bubbleSort = &Kernel{
+	Name:        "sort",
+	Description: "bubble sort of 48 words (branch-heavy, LSU read-modify-write)",
+	Source: `
+		li r10, 0x1000
+		li r11, 48       ; n
+		addi r1, r11, -1 ; i = n-1
+	outer:
+		li r2, 0         ; j
+	inner:
+		slli r5, r2, 2
+		add r6, r5, r10
+		lw r3, 0(r6)
+		lw r4, 4(r6)
+		bge r4, r3, noswap
+		sw r4, 0(r6)
+		sw r3, 4(r6)
+	noswap:
+		addi r2, r2, 1
+		bne r2, r1, inner
+		addi r1, r1, -1
+		bne r1, r0, outer
+		halt
+	`,
+	Setup: func(m *mem.Memory, _ func(uint8, uint32)) {
+		for i := 0; i < 48; i++ {
+			m.StoreWord(arrayA+uint32(4*i), uint32((i*31+17)%97))
+		}
+	},
+	Validate: func(_ func(uint8) uint32, m *mem.Memory) error {
+		prev := int32(-1)
+		for i := 0; i < 48; i++ {
+			v := int32(m.LoadWord(arrayA + uint32(4*i)))
+			if v < prev {
+				return fmt.Errorf("not sorted at %d: %d < %d", i, v, prev)
+			}
+			prev = v
+		}
+		return nil
+	},
+}
+
+var fib = &Kernel{
+	Name:        "fib",
+	Description: "iterative Fibonacci(40) (pure serial IntALU dependency chain)",
+	Source: `
+		li r1, 40
+		li r2, 0    ; a
+		li r3, 1    ; b
+	loop:
+		add r4, r2, r3
+		mv r2, r3
+		mv r3, r4
+		addi r1, r1, -1
+		bne r1, r0, loop
+		halt
+	`,
+	Validate: func(reg func(uint8) uint32, _ *mem.Memory) error {
+		a, b := uint32(0), uint32(1)
+		for i := 0; i < 40; i++ {
+			a, b = b, a+b
+		}
+		if got := reg(2); got != a {
+			return fmt.Errorf("fib = %d, want %d", got, a)
+		}
+		return nil
+	},
+}
+
+var mandel = &Kernel{
+	Name:        "mandel",
+	Description: "Mandelbrot membership over an 8x8 grid (FP with data-dependent exits)",
+	Source: `
+		; for each point c = (cx, cy) in an 8x8 grid over [-2,2)^2:
+		;   iterate z = z^2 + c up to 16 times; count points that stay bounded
+		li r1, 0         ; py
+		li r2, 8
+		li r9, 0         ; inside count
+		li r12, 4
+		fcvt.s.w f10, r12 ; 4.0 (escape radius squared)
+	yloop:
+		li r3, 0         ; px
+	xloop:
+		; cx = px/2 - 2, cy = py/2 - 2
+		fcvt.s.w f1, r3
+		li r4, 2
+		fcvt.s.w f9, r4
+		fdiv f1, f1, f9
+		fsub f1, f1, f9  ; cx
+		fcvt.s.w f2, r1
+		fdiv f2, f2, f9
+		fsub f2, f2, f9  ; cy
+		li r5, 0
+		fcvt.s.w f3, r5  ; zx = 0
+		fcvt.s.w f4, r5  ; zy = 0
+		li r6, 16        ; iterations
+	iter:
+		fmul f5, f3, f3  ; zx^2
+		fmul f6, f4, f4  ; zy^2
+		fadd f7, f5, f6  ; |z|^2
+		flt r7, f10, f7
+		bne r7, r0, escaped
+		fsub f8, f5, f6
+		fadd f8, f8, f1  ; zx' = zx^2 - zy^2 + cx
+		fmul f4, f3, f4
+		fadd f4, f4, f4
+		fadd f4, f4, f2  ; zy' = 2 zx zy + cy
+		fmax f3, f8, f8  ; zx = zx' (register move via identity max)
+		addi r6, r6, -1
+		bne r6, r0, iter
+		addi r9, r9, 1   ; stayed bounded
+	escaped:
+		addi r3, r3, 1
+		bne r3, r2, xloop
+		addi r1, r1, 1
+		bne r1, r2, yloop
+		halt
+	`,
+	Validate: func(reg func(uint8) uint32, _ *mem.Memory) error {
+		inside := uint32(0)
+		for py := 0; py < 8; py++ {
+			for px := 0; px < 8; px++ {
+				cx := float32(px)/2 - 2
+				cy := float32(py)/2 - 2
+				zx, zy := float32(0), float32(0)
+				bounded := true
+				for i := 0; i < 16; i++ {
+					zx2, zy2 := zx*zx, zy*zy
+					if zx2+zy2 > 4 {
+						bounded = false
+						break
+					}
+					zx, zy = zx2-zy2+cx, 2*zx*zy+cy
+				}
+				if bounded {
+					inside++
+				}
+			}
+		}
+		if got := reg(9); got != inside {
+			return fmt.Errorf("inside count = %d, want %d", got, inside)
+		}
+		return nil
+	},
+}
+
+var transpose = &Kernel{
+	Name:        "transpose",
+	Description: "16x16 word matrix transpose (strided LSU, cache-conflict prone)",
+	Source: `
+		li r10, 0x1000
+		li r11, 0x3000
+		li r12, 16
+		li r1, 0        ; i
+	iloop:
+		li r2, 0        ; j
+	jloop:
+		mul r5, r1, r12
+		add r5, r5, r2
+		slli r5, r5, 2
+		add r5, r5, r10
+		lw r3, 0(r5)
+		mul r6, r2, r12
+		add r6, r6, r1
+		slli r6, r6, 2
+		add r6, r6, r11
+		sw r3, 0(r6)
+		addi r2, r2, 1
+		bne r2, r12, jloop
+		addi r1, r1, 1
+		bne r1, r12, iloop
+		halt
+	`,
+	Setup: func(m *mem.Memory, _ func(uint8, uint32)) {
+		for i := 0; i < 256; i++ {
+			m.StoreWord(arrayA+uint32(4*i), uint32(i*13+5))
+		}
+	},
+	Validate: func(_ func(uint8) uint32, m *mem.Memory) error {
+		for i := 0; i < 16; i++ {
+			for j := 0; j < 16; j++ {
+				want := uint32((i*16+j)*13 + 5)
+				got := m.LoadWord(arrayOut + uint32(4*(j*16+i)))
+				if got != want {
+					return fmt.Errorf("T[%d][%d] = %d, want %d", j, i, got, want)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+var strsearch = &Kernel{
+	Name:        "strsearch",
+	Description: "naive substring search over 512 bytes (byte loads, short branches)",
+	Source: `
+		li r10, 0x1000  ; haystack
+		li r11, 0x2000  ; needle
+		li r12, 512     ; haystack length
+		li r13, 4       ; needle length
+		li r9, 0        ; match count
+		sub r14, r12, r13
+		li r1, 0        ; i
+	outer:
+		li r2, 0        ; j
+	inner:
+		add r5, r1, r2
+		add r5, r5, r10
+		lbu r3, 0(r5)
+		add r6, r2, r11
+		lbu r4, 0(r6)
+		bne r3, r4, miss
+		addi r2, r2, 1
+		bne r2, r13, inner
+		addi r9, r9, 1  ; full match
+	miss:
+		addi r1, r1, 1
+		bne r1, r14, outer
+		halt
+	`,
+	Setup: func(m *mem.Memory, _ func(uint8, uint32)) {
+		for i := 0; i < 512; i++ {
+			m.StoreByte(arrayA+uint32(i), byte('a'+i%4))
+		}
+		copy := []byte{'a', 'b', 'c', 'd'}
+		for i, c := range copy {
+			m.StoreByte(arrayB+uint32(i), c)
+		}
+	},
+	Validate: func(reg func(uint8) uint32, m *mem.Memory) error {
+		hay := make([]byte, 512)
+		for i := range hay {
+			hay[i] = byte('a' + i%4)
+		}
+		needle := []byte{'a', 'b', 'c', 'd'}
+		want := uint32(0)
+		for i := 0; i < len(hay)-len(needle); i++ {
+			match := true
+			for j := range needle {
+				if hay[i+j] != needle[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				want++
+			}
+		}
+		if got := reg(9); got != want {
+			return fmt.Errorf("matches = %d, want %d", got, want)
+		}
+		return nil
+	},
+}
+
+var recfib = &Kernel{
+	Name:        "recfib",
+	Description: "recursive Fibonacci(12) with a software stack (JAL/JALR call/return stress)",
+	Source: `
+		; r30 = stack pointer, r31 = link register, r1 = argument,
+		; r2 = result. fib(n) = n < 2 ? n : fib(n-1) + fib(n-2).
+		li r30, 0x8000
+		li r1, 12
+		jal r31, fib
+		mv r9, r2         ; final result
+		halt
+	fib:
+		li r3, 2
+		blt r1, r3, base
+		; push link and argument
+		addi r30, r30, -8
+		sw r31, 0(r30)
+		sw r1, 4(r30)
+		addi r1, r1, -1
+		jal r31, fib      ; fib(n-1)
+		; recover n, stash partial result
+		lw r1, 4(r30)
+		sw r2, 4(r30)     ; overwrite saved n with fib(n-1)
+		addi r1, r1, -2
+		jal r31, fib      ; fib(n-2)
+		lw r3, 4(r30)     ; fib(n-1)
+		add r2, r2, r3
+		lw r31, 0(r30)
+		addi r30, r30, 8
+		jalr r0, r31, 0   ; return
+	base:
+		mv r2, r1
+		jalr r0, r31, 0
+	`,
+	Validate: func(reg func(uint8) uint32, _ *mem.Memory) error {
+		fibv := func(n int) uint32 {
+			a, b := uint32(0), uint32(1)
+			for i := 0; i < n; i++ {
+				a, b = b, a+b
+			}
+			return a
+		}
+		if got, want := reg(9), fibv(12); got != want {
+			return fmt.Errorf("recfib = %d, want %d", got, want)
+		}
+		return nil
+	},
+}
+
+var gcdBatch = &Kernel{
+	Name:        "gcdbatch",
+	Description: "gcd of 32 pairs via remainder chains (IntMDU-bound, unpredictable trip counts)",
+	Source: `
+		li r10, 0x1000
+		li r11, 0x2000
+		li r12, 32
+		li r9, 0        ; checksum of gcds
+		li r1, 0
+	pair:
+		slli r5, r1, 2
+		add r6, r5, r10
+		lw r2, 0(r6)
+		add r7, r5, r11
+		lw r3, 0(r7)
+	gcd:
+		beq r3, r0, done
+		rem r4, r2, r3
+		mv r2, r3
+		mv r3, r4
+		j gcd
+	done:
+		add r9, r9, r2
+		addi r1, r1, 1
+		bne r1, r12, pair
+		halt
+	`,
+	Setup: func(m *mem.Memory, _ func(uint8, uint32)) {
+		for i := 0; i < 32; i++ {
+			m.StoreWord(arrayA+uint32(4*i), uint32(1000+i*317))
+			m.StoreWord(arrayB+uint32(4*i), uint32(18+i*41))
+		}
+	},
+	Validate: func(reg func(uint8) uint32, _ *mem.Memory) error {
+		gcd := func(a, b uint32) uint32 {
+			for b != 0 {
+				a, b = b, a%b
+			}
+			return a
+		}
+		want := uint32(0)
+		for i := 0; i < 32; i++ {
+			want += gcd(uint32(1000+i*317), uint32(18+i*41))
+		}
+		if got := reg(9); got != want {
+			return fmt.Errorf("gcd checksum = %d, want %d", got, want)
+		}
+		return nil
+	},
+}

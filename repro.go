@@ -1,0 +1,455 @@
+// Package repro is the public API of the reconfigurable superscalar
+// processor simulator reproducing "Configuration Steering for a
+// Reconfigurable Superscalar Processor" (Veale, Antonio, Tull, IPDPS
+// 2005).
+//
+// The simulator models the paper's machine: a superscalar core with five
+// fixed functional units and eight reconfigurable slots, scheduled by a
+// select-free wake-up array, whose configuration manager steers the
+// reconfigurable fabric toward the unit mix the queued instructions need
+// using partial, idle-only reconfiguration.
+//
+// Quick start:
+//
+//	prog, _ := repro.Assemble(`
+//	        li r1, 10
+//	        li r2, 32
+//	        mul r3, r1, r2
+//	        halt
+//	`)
+//	m := repro.NewMachine(prog, repro.Options{Policy: repro.PolicySteering})
+//	stats, err := m.Run(1_000_000)
+//	fmt.Println(stats.IPC(), m.Reg(3), err)
+//
+// Deeper control — custom steering bases, gate-level circuit models, the
+// wake-up array, the fabric — lives in the internal packages; this facade
+// covers the workflows the experiments and examples use.
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Program is a decoded instruction sequence (see Assemble).
+type Program = isa.Program
+
+// Params sizes the simulated machine; the zero value selects the
+// reference machine of the paper's architecture (7-entry window, 8 RFU
+// slots, 4-wide issue/retire, 8-cycle span reconfiguration).
+type Params = cpu.Params
+
+// Stats is the per-run statistics bundle (cycles, retired instructions,
+// IPC, mispredictions, per-unit issue counts, ...).
+type Stats = cpu.Stats
+
+// DefaultParams returns the reference machine parameters.
+func DefaultParams() Params { return cpu.DefaultParams() }
+
+// Assemble translates assembly source into a Program. See internal/isa
+// for the full syntax; the quick version: RISC-style three-operand
+// mnemonics, integer registers r0-r31 (r0 reads zero), FP registers
+// f0-f31, labels, and li/mv/j/ret pseudo-instructions.
+func Assemble(src string) (Program, error) { return isa.Assemble(src) }
+
+// MustAssemble is Assemble for known-good sources; it panics on error.
+func MustAssemble(src string) Program { return isa.MustAssemble(src) }
+
+// EncodeProgram serialises a program to its 32-bit binary form — the
+// "legacy machine code" representation the architecture executes.
+func EncodeProgram(p Program) ([]uint32, error) { return isa.EncodeProgram(p) }
+
+// DecodeProgram parses 32-bit binary instruction words into a Program.
+func DecodeProgram(words []uint32) (Program, error) { return isa.DecodeProgram(words) }
+
+// Disassemble renders a program one instruction per line.
+func Disassemble(p Program) string { return isa.Disassemble(p) }
+
+// Unit is a fully assembled translation unit: instructions plus the
+// initial data image declared by .data sections.
+type Unit = isa.Unit
+
+// AssembleUnit assembles a source file that may mix code with .data
+// sections (.word/.half/.byte/.float/.space) and the la pseudo. Use
+// NewMachineFromUnit to run the result with its data image applied.
+func AssembleUnit(src string) (*Unit, error) { return isa.AssembleUnit(src) }
+
+// NewMachineFromUnit builds a machine for the unit's program and writes
+// its data segments into the machine's memory.
+func NewMachineFromUnit(u *Unit, opt Options) *Machine {
+	m := NewMachine(u.Program, opt)
+	u.Apply(m.proc.Memory())
+	return m
+}
+
+// Policy selects the configuration-management strategy of a Machine.
+type Policy int
+
+const (
+	// PolicySteering is the paper's configuration manager: per-cycle
+	// selection over the steering basis, partial idle-only loading.
+	PolicySteering Policy = iota
+	// PolicyStaticInteger fixes the fabric to the integer steering
+	// configuration and never reconfigures.
+	PolicyStaticInteger
+	// PolicyStaticMemory fixes the fabric to the memory configuration.
+	PolicyStaticMemory
+	// PolicyStaticFloating fixes the fabric to the floating-point
+	// configuration.
+	PolicyStaticFloating
+	// PolicyNone leaves the fabric empty: only the five fixed units
+	// execute instructions (a conventional single-unit-per-type core).
+	PolicyNone
+	// PolicyFullReconfig swaps whole configurations, waiting for the
+	// fabric to drain — the predecessor architecture the paper extends.
+	PolicyFullReconfig
+	// PolicyOracle selects with the exact divider metric; pair it with
+	// a small ReconfigLatency for an idealised upper bound.
+	PolicyOracle
+	// PolicyRandom loads a random basis configuration periodically.
+	PolicyRandom
+	// PolicyDemand synthesises configurations directly from the queue's
+	// demand every cycle, with no predefined basis — the paper's §5
+	// future-work direction.
+	PolicyDemand
+)
+
+var policyNames = map[Policy]string{
+	PolicySteering:       "steering",
+	PolicyStaticInteger:  "static-integer",
+	PolicyStaticMemory:   "static-memory",
+	PolicyStaticFloating: "static-floating",
+	PolicyNone:           "ffu-only",
+	PolicyFullReconfig:   "full-reconfig",
+	PolicyOracle:         "oracle",
+	PolicyRandom:         "random",
+	PolicyDemand:         "demand",
+}
+
+// String names the policy as the experiment tables do.
+func (p Policy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a policy name from the CLI tools.
+func ParsePolicy(s string) (Policy, error) {
+	for p, name := range policyNames {
+		if name == s {
+			return p, nil
+		}
+	}
+	var known []string
+	for _, name := range policyNames {
+		known = append(known, name)
+	}
+	return 0, fmt.Errorf("unknown policy %q (known: %s)", s, strings.Join(known, ", "))
+}
+
+// Basis is a set of three predefined steering configurations.
+type Basis = [3]config.Configuration
+
+// DefaultBasis returns the calibrated Table 1 steering basis
+// (integer / memory / floating).
+func DefaultBasis() Basis { return config.DefaultBasis() }
+
+// ParseBasis parses a steering basis from JSON: an array of exactly three
+// configurations, each {"name": ..., "units": ["IntALU", ...]}. Units are
+// packed into the eight slots in order.
+func ParseBasis(data []byte) (Basis, error) { return config.ParseBasis(data) }
+
+// MarshalBasis serialises a steering basis to indented JSON.
+func MarshalBasis(b Basis) ([]byte, error) { return config.MarshalBasis(b) }
+
+// Options configures a Machine beyond its sizing parameters.
+type Options struct {
+	// Params sizes the machine; zero fields take defaults.
+	Params Params
+	// Policy selects configuration management (default PolicySteering).
+	Policy Policy
+	// Seed feeds PolicyRandom.
+	Seed int64
+	// Basis overrides the predefined steering configurations for the
+	// steering, full-reconfig, oracle and static policies (nil uses the
+	// default Table 1 basis).
+	Basis *Basis
+	// MinResidency suppresses configuration reloads for this many
+	// cycles after each load — the X11 thrash damper. Applies to
+	// PolicySteering and PolicyOracle.
+	MinResidency int
+}
+
+// Machine is one simulated processor instance bound to a program.
+type Machine struct {
+	proc     *cpu.Processor
+	policy   Policy
+	steering *core.Manager // non-nil for steering-family policies
+	tracer   *trace.Buffer
+}
+
+// NewMachine builds a machine for the program under the given options.
+func NewMachine(prog Program, opt Options) *Machine {
+	p := cpu.New(prog, opt.Params, nil)
+	m := &Machine{proc: p, policy: opt.Policy}
+	basis := config.DefaultBasis()
+	if opt.Basis != nil {
+		basis = *opt.Basis
+	}
+	switch opt.Policy {
+	case PolicySteering:
+		s := baseline.NewSteeringBasis(p.Fabric(), basis)
+		s.M.MinResidency = opt.MinResidency
+		m.steering = s.M
+		p.SetPolicy(s)
+	case PolicyStaticInteger:
+		p.Fabric().Install(basis[0])
+	case PolicyStaticMemory:
+		p.Fabric().Install(basis[1])
+	case PolicyStaticFloating:
+		p.Fabric().Install(basis[2])
+	case PolicyNone:
+		// Empty fabric, FFUs only.
+	case PolicyFullReconfig:
+		p.SetPolicy(baseline.NewFullReconfigBasis(p.Fabric(), basis))
+	case PolicyOracle:
+		p.SetPolicy(baseline.NewOracleBasis(p.Fabric(), basis))
+	case PolicyRandom:
+		p.SetPolicy(baseline.NewRandom(p.Fabric(), opt.Seed))
+	case PolicyDemand:
+		p.SetPolicy(core.NewDemandManager(p.Fabric()))
+	default:
+		panic(fmt.Sprintf("repro: unknown policy %d", opt.Policy))
+	}
+	return m
+}
+
+// Run executes until HALT retires or maxCycles elapse; it returns the run
+// statistics and an error when the budget ran out.
+func (m *Machine) Run(maxCycles int) (Stats, error) { return m.proc.Run(maxCycles) }
+
+// Cycle advances the machine one clock.
+func (m *Machine) Cycle() { m.proc.Cycle() }
+
+// Halted reports whether the program's HALT has retired.
+func (m *Machine) Halted() bool { return m.proc.Halted() }
+
+// Stats returns the statistics so far.
+func (m *Machine) Stats() Stats { return m.proc.Stats() }
+
+// Reg reads integer register rN.
+func (m *Machine) Reg(n uint8) uint32 { return m.proc.Reg(n) }
+
+// FReg reads floating-point register fN.
+func (m *Machine) FReg(n uint8) uint32 { return m.proc.Reg(n + isa.FPBase) }
+
+// SetReg presets integer register rN before a run.
+func (m *Machine) SetReg(n uint8, v uint32) { m.proc.SetReg(n, v) }
+
+// WriteWords stores words into data memory starting at addr.
+func (m *Machine) WriteWords(addr uint32, words []uint32) {
+	m.proc.Memory().WriteWords(addr, words)
+}
+
+// ReadWords loads n words from data memory starting at addr.
+func (m *Machine) ReadWords(addr uint32, n int) []uint32 {
+	return m.proc.Memory().ReadWords(addr, n)
+}
+
+// Reconfigurations returns how many RFU span rewrites occurred.
+func (m *Machine) Reconfigurations() int { return m.proc.Fabric().Reconfigurations() }
+
+// ConfigurationResidency returns, for steering-family policies, how many
+// management cycles each candidate won (current, then the three basis
+// configurations) and how many cycles the fabric held a hybrid layout. It
+// returns ok=false for non-steering policies.
+func (m *Machine) ConfigurationResidency() (selections [arch.NumConfigs]int, hybrid int, ok bool) {
+	if m.steering == nil {
+		return selections, 0, false
+	}
+	st := m.steering.Stats()
+	return st.Selections, st.HybridCycles, true
+}
+
+// Report renders a human-readable run summary.
+func (m *Machine) Report() string {
+	s := m.proc.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy:          %s\n", m.policy)
+	fmt.Fprintf(&b, "cycles:          %d\n", s.Cycles)
+	fmt.Fprintf(&b, "retired:         %d\n", s.Retired)
+	fmt.Fprintf(&b, "IPC:             %.3f\n", s.IPC())
+	fmt.Fprintf(&b, "issued by type:  %v\n", s.IssuedByType)
+	if s.Cycles > 0 {
+		frac := func(n int) float64 { return 100 * float64(n) / float64(s.Cycles) }
+		fmt.Fprintf(&b, "cycle buckets:   issuing %.1f%%, unit-bound %.1f%%, dep-bound %.1f%%, frontend %.1f%%\n",
+			frac(s.CyclesIssued), frac(s.CyclesUnits), frac(s.CyclesDeps), frac(s.CyclesFrontend))
+	}
+	fmt.Fprintf(&b, "branches:        %d resolved, %d mispredicted, %d flushed\n",
+		s.BranchesResolved, s.Mispredicts, s.Flushed)
+	acc, n := m.proc.Predictor().Accuracy()
+	if n > 0 {
+		fmt.Fprintf(&b, "predictor:       %.1f%% over %d branches\n", 100*acc, n)
+	}
+	fmt.Fprintf(&b, "dcache:          %d hits, %d misses\n", m.proc.DCache().Hits(), m.proc.DCache().Misses())
+	tcr, tn := m.proc.TraceCache().HitRate()
+	if tn > 0 {
+		fmt.Fprintf(&b, "trace cache:     %.1f%% hit rate over %d lookups\n", 100*tcr, tn)
+	}
+	fmt.Fprintf(&b, "reconfigs:       %d spans (%d slot-cycles)\n",
+		m.proc.Fabric().Reconfigurations(), m.proc.Fabric().ReconfigurationCycles())
+	if s.Cycles > 0 {
+		// 13 unit positions: 8 RFU slots + 5 FFUs.
+		util := float64(m.proc.Fabric().BusyCycles()) / float64(s.Cycles*13)
+		fmt.Fprintf(&b, "unit utilisation: %.1f%% of slot+FFU cycles executing\n", 100*util)
+	}
+	if sel, hybrid, ok := m.ConfigurationResidency(); ok {
+		fmt.Fprintf(&b, "selections:      current=%d integer=%d memory=%d floating=%d (hybrid cycles: %d)\n",
+			sel[0], sel[1], sel[2], sel[3], hybrid)
+	}
+	fmt.Fprintf(&b, "final fabric:    %v\n", m.proc.Fabric().Allocation().Slots)
+	return b.String()
+}
+
+// Processor exposes the underlying simulator for advanced use (custom
+// policies, direct fabric access).
+func (m *Machine) Processor() *cpu.Processor { return m.proc }
+
+// ReportJSON renders the run's statistics as JSON for downstream
+// tooling: the cpu.Stats fields plus derived rates and subsystem
+// counters.
+func (m *Machine) ReportJSON() ([]byte, error) {
+	s := m.proc.Stats()
+	acc, lookups := m.proc.Predictor().Accuracy()
+	tcRate, tcLookups := m.proc.TraceCache().HitRate()
+	sel, hybrid, steering := m.ConfigurationResidency()
+	doc := struct {
+		Policy string    `json:"policy"`
+		Stats  cpu.Stats `json:"stats"`
+		IPC    float64   `json:"ipc"`
+
+		PredictorAccuracy float64 `json:"predictorAccuracy"`
+		PredictorLookups  int     `json:"predictorLookups"`
+		TraceCacheHitRate float64 `json:"traceCacheHitRate"`
+		TraceCacheLookups int     `json:"traceCacheLookups"`
+		DCacheHits        int     `json:"dcacheHits"`
+		DCacheMisses      int     `json:"dcacheMisses"`
+
+		Reconfigurations      int    `json:"reconfigurations"`
+		ReconfigurationCycles int    `json:"reconfigurationCycles"`
+		Steering              bool   `json:"steering"`
+		Selections            [4]int `json:"selections,omitempty"`
+		HybridCycles          int    `json:"hybridCycles,omitempty"`
+	}{
+		Policy:                m.policy.String(),
+		Stats:                 s,
+		IPC:                   s.IPC(),
+		PredictorAccuracy:     acc,
+		PredictorLookups:      lookups,
+		TraceCacheHitRate:     tcRate,
+		TraceCacheLookups:     tcLookups,
+		DCacheHits:            m.proc.DCache().Hits(),
+		DCacheMisses:          m.proc.DCache().Misses(),
+		Reconfigurations:      m.proc.Fabric().Reconfigurations(),
+		ReconfigurationCycles: m.proc.Fabric().ReconfigurationCycles(),
+		Steering:              steering,
+		Selections:            sel,
+		HybridCycles:          hybrid,
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// EnableTracing records up to limit pipeline events (fetch, dispatch,
+// issue, retire, flush, reconfiguration) for TraceLog and Pipeview. Call
+// before Run. When the run produces more events than the limit, the
+// oldest are dropped.
+func (m *Machine) EnableTracing(limit int) {
+	m.tracer = trace.NewBuffer(limit)
+	m.proc.SetTracer(m.tracer)
+}
+
+// EnableTracingUntil is EnableTracing restricted to events at or before
+// lastCycle, so the beginning of a long run survives the buffer limit.
+func (m *Machine) EnableTracingUntil(limit, lastCycle int) {
+	m.tracer = trace.NewBuffer(limit)
+	m.proc.SetTracer(trace.Until{R: m.tracer, LastCycle: lastCycle})
+}
+
+// TraceLog renders the recorded pipeline events one per line. Empty when
+// tracing was not enabled.
+func (m *Machine) TraceLog() string {
+	if m.tracer == nil {
+		return ""
+	}
+	return trace.Log(m.tracer.Events())
+}
+
+// Pipeview renders the recorded events as a pipeline chart (one row per
+// instruction, one column per cycle) clipped to [fromCycle, toCycle].
+func (m *Machine) Pipeview(fromCycle, toCycle int) string {
+	if m.tracer == nil {
+		return ""
+	}
+	return trace.Pipeview(m.tracer.Events(), fromCycle, toCycle)
+}
+
+// Workload re-exports: the kernel library and synthetic generator.
+
+// Kernel is one benchmark program with setup and validation.
+type Kernel = workload.Kernel
+
+// Kernels returns the benchmark kernel library.
+func Kernels() []*Kernel { return workload.Kernels() }
+
+// KernelByName returns the named kernel or nil.
+func KernelByName(name string) *Kernel { return workload.KernelByName(name) }
+
+// Mix is a unit-type demand profile for synthetic workloads.
+type Mix = workload.Mix
+
+// Phase is one segment of a synthetic workload.
+type Phase = workload.Phase
+
+// Standard synthetic mixes.
+var (
+	MixIntHeavy = workload.MixIntHeavy
+	MixFPHeavy  = workload.MixFPHeavy
+	MixMemHeavy = workload.MixMemHeavy
+	MixMDUHeavy = workload.MixMDUHeavy
+	MixUniform  = workload.MixUniform
+)
+
+// Synthesize generates a phase-structured synthetic program.
+func Synthesize(phases []Phase, seed int64) Program {
+	return workload.Synthesize(phases, workload.SynthParams{Seed: seed})
+}
+
+// RunKernel builds a machine for the kernel (setup applied), runs it, and
+// validates the outcome.
+func RunKernel(k *Kernel, opt Options, maxCycles int) (Stats, error) {
+	m := NewMachine(k.Program(), opt)
+	if k.Setup != nil {
+		k.Setup(m.proc.Memory(), m.proc.SetReg)
+	}
+	stats, err := m.Run(maxCycles)
+	if err != nil {
+		return stats, err
+	}
+	if k.Validate != nil {
+		if err := k.Validate(m.proc.Reg, m.proc.Memory()); err != nil {
+			return stats, fmt.Errorf("kernel %s validation: %w", k.Name, err)
+		}
+	}
+	return stats, nil
+}
