@@ -22,6 +22,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/rfu"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wakeup"
 	"repro/internal/workload"
@@ -394,6 +395,36 @@ func BenchmarkTraceOverhead(b *testing.B) {
 				p.SetPolicy(baseline.NewSteering(p.Fabric()))
 				if traced {
 					p.SetTracer(trace.NewBuffer(1 << 16))
+				}
+				if _, err := p.Run(50_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Telemetry overhead: the X8 timeline workload with the probe absent
+// (the nil-sink path every production run without -metrics takes — one
+// nil check per event), and with a live probe sampling every 100 cycles
+// into an in-memory collector. The "off" case must stay within 2% of
+// the pre-telemetry seed (see EXPERIMENTS.md).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	prog := workload.Synthesize([]workload.Phase{
+		{Mix: workload.MixIntHeavy, Instructions: 400},
+		{Mix: workload.MixFPHeavy, Instructions: 400},
+	}, workload.SynthParams{Seed: 7})
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := cpu.New(prog, cpu.DefaultParams(), nil)
+				steer := baseline.NewSteering(p.Fabric())
+				p.SetPolicy(steer)
+				if mode == "on" {
+					probe := telemetry.NewProbe(100)
+					probe.SetExporter(&telemetry.Collector{})
+					p.SetTelemetry(probe)
+					steer.SetTelemetry(probe)
 				}
 				if _, err := p.Run(50_000_000); err != nil {
 					b.Fatal(err)

@@ -8,12 +8,17 @@
 //	rsssim -kernel matmul -policy static-integer
 //	rsssim -asm prog.s -policy full-reconfig -reconfig-latency 32
 //	rsssim -synthetic phased -policy steering -trace
+//	rsssim -kernel saxpy -metrics run.jsonl                 # telemetry time series
+//	rsssim -kernel matmul -metrics - -metrics-format csv    # to stdout
 //	rsssim -kernels            # list built-in kernels
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro"
@@ -28,16 +33,40 @@ func main() {
 		listK      = flag.Bool("kernels", false, "list built-in kernels and exit")
 		maxCycles  = flag.Int("max-cycles", 50_000_000, "cycle budget")
 		seed       = flag.Int64("seed", 7, "seed for synthetic workloads / random policy")
-		window     = flag.Int("window", 0, "scheduling window size (0 = default 7)")
-		reconfig   = flag.Int("reconfig-latency", 0, "cycles per RFU span reconfiguration (0 = default 8)")
+		window     = flag.Int("window", 0, "scheduling window size; 0 means use the default (7), negative is an error")
+		reconfig   = flag.Int("reconfig-latency", 0, "cycles per RFU span reconfiguration; 0 means use the default (8), negative is an error (near-instant reconfiguration is 1)")
 		disableFFU = flag.Bool("no-ffus", false, "disable the fixed functional units (X4 ablation)")
 		traceN     = flag.Int("trace", 0, "print a pipeline trace and chart of the first N cycles")
 		basisPath  = flag.String("basis", "", "JSON file with a custom 3-configuration steering basis")
 		lookahead  = flag.Bool("lookahead", false, "feed the manager fetched-but-undispatched demand too (X10)")
 		residency  = flag.Int("residency", 0, "minimum cycles between configuration loads (X11)")
 		jsonOut    = flag.Bool("json", false, "emit the run report as JSON instead of text")
+
+		metricsPath     = flag.String("metrics", "", "write telemetry to this file (\"-\" for stdout)")
+		metricsInterval = flag.Int("metrics-interval", repro.DefaultMetricsInterval, "cycles between telemetry samples")
+		metricsFormat   = flag.String("metrics-format", "jsonl", "telemetry format: jsonl, csv, prom")
+		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for profiling the simulator")
 	)
 	flag.Parse()
+
+	if *window < 0 {
+		fail(fmt.Errorf("-window must be non-negative (0 selects the default of 7), got %d", *window))
+	}
+	if *reconfig < 0 {
+		fail(fmt.Errorf("-reconfig-latency must be non-negative (0 selects the default of 8; use 1 for near-instant reconfiguration), got %d", *reconfig))
+	}
+	if *metricsInterval <= 0 {
+		fail(fmt.Errorf("-metrics-interval must be positive, got %d", *metricsInterval))
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rsssim: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	if *listK {
 		for _, k := range repro.Kernels() {
@@ -111,8 +140,32 @@ func main() {
 	if *traceN > 0 {
 		m.EnableTracingUntil(64**traceN, *traceN)
 	}
+	var metricsFile *os.File
+	if *metricsPath != "" {
+		var w io.Writer
+		if *metricsPath == "-" {
+			w = os.Stdout
+		} else {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				fail(err)
+			}
+			metricsFile = f
+			w = f
+		}
+		if _, err := m.EnableTelemetry(w, *metricsFormat, *metricsInterval); err != nil {
+			fail(err)
+		}
+	}
 	if _, err := m.Run(*maxCycles); err != nil {
 		fail(err)
+	}
+	if metricsFile != nil {
+		// Run flushed the exporter; surface close errors so a full disk
+		// is not silent.
+		if err := metricsFile.Close(); err != nil {
+			fail(err)
+		}
 	}
 	if validate != nil {
 		if err := validate(); err != nil {

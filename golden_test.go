@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryJSONLSchemaGolden pins the JSONL telemetry schema: the
+// field names and JSON types of sample and decision records from a
+// saxpy steering run must match testdata/telemetry_schema.golden.
+// Downstream tooling parses these streams, so adding a field means
+// regenerating the golden file deliberately (delete it and re-run the
+// test with -run TelemetryJSONLSchemaGolden to print the new schema).
+func TestTelemetryJSONLSchemaGolden(t *testing.T) {
+	k := KernelByName("saxpy")
+	if k == nil {
+		t.Fatal("saxpy kernel missing")
+	}
+	var buf bytes.Buffer
+	m := NewMachine(k.Program(), Options{Policy: PolicySteering})
+	if k.Setup != nil {
+		k.Setup(m.Processor().Memory(), m.Processor().SetReg)
+	}
+	if _, err := m.EnableTelemetry(&buf, "jsonl", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Take the first record of each kind and derive its schema.
+	schemas := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		kind, _ := rec["record"].(string)
+		if kind == "" {
+			t.Fatalf("record missing record tag: %s", line)
+		}
+		if _, seen := schemas[kind]; !seen {
+			schemas[kind] = schemaOf(rec)
+		}
+	}
+	for _, kind := range []string{"sample", "decision"} {
+		if schemas[kind] == "" {
+			t.Fatalf("no %s record in the saxpy run", kind)
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("# JSONL telemetry schema: field -> JSON type, per record kind.\n")
+	sb.WriteString("# Regenerate: delete this file, run go test -run TelemetryJSONLSchemaGolden,\n")
+	sb.WriteString("# and copy the schema the failure prints.\n")
+	kinds := make([]string, 0, len(schemas))
+	for kind := range schemas {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		fmt.Fprintf(&sb, "[%s]\n%s", kind, schemas[kind])
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "telemetry_schema.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s (current schema below, save it there if this is a new checkout):\n%s\n%v",
+			goldenPath, got, err)
+	}
+	if got != string(want) {
+		t.Errorf("telemetry JSONL schema drifted from %s.\ngot:\n%s\nwant:\n%s",
+			goldenPath, got, want)
+	}
+}
+
+// schemaOf renders a JSON object's schema as sorted "field: type" lines.
+func schemaOf(rec map[string]any) string {
+	fields := make([]string, 0, len(rec))
+	for name := range rec {
+		fields = append(fields, name)
+	}
+	sort.Strings(fields)
+	var sb strings.Builder
+	for _, name := range fields {
+		fmt.Fprintf(&sb, "%s: %s\n", name, jsonType(rec[name]))
+	}
+	return sb.String()
+}
+
+func jsonType(v any) string {
+	switch vv := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "bool"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case map[string]any:
+		return "object"
+	case []any:
+		elem := "any"
+		if len(vv) > 0 {
+			elem = jsonType(vv[0])
+		}
+		return "array of " + elem
+	}
+	return fmt.Sprintf("%T", v)
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/rfu"
+	"repro/internal/telemetry"
 )
 
 // Steering adapts the paper's configuration manager to cpu.Policy.
@@ -41,6 +42,9 @@ func NewSteeringBasis(fabric *rfu.Fabric, basis [3]config.Configuration) *Steeri
 
 // Manage runs one selection/load cycle of the steering manager.
 func (s *Steering) Manage(required arch.Counts) { s.M.Step(required) }
+
+// SetTelemetry forwards a telemetry probe to the manager.
+func (s *Steering) SetTelemetry(p *telemetry.Probe) { s.M.SetTelemetry(p) }
 
 // Static is the no-reconfiguration baseline; the machine keeps whatever
 // the fabric was preloaded with (see rfu.Fabric.Install).
@@ -67,6 +71,8 @@ type FullReconfig struct {
 	// Blocked counts cycles a wanted swap waited for the fabric to
 	// drain.
 	Blocked int
+
+	probe *telemetry.Probe
 }
 
 // NewFullReconfig builds the whole-configuration-swap policy with the
@@ -91,6 +97,9 @@ func (f *FullReconfig) Manage(required arch.Counts) {
 		return
 	}
 	sel := f.m.Select(required)
+	if f.probe != nil {
+		f.probe.Selection(sel.Errors, sel.Choice)
+	}
 	if sel.Current() {
 		return
 	}
@@ -102,8 +111,45 @@ func (f *FullReconfig) Manage(required arch.Counts) {
 	if f.fabric.Allocation().Slots == target.Layout {
 		return
 	}
+	if f.probe != nil {
+		diff := f.fabric.Allocation().Distance(target)
+		f.probe.ConfigSwitch(telemetry.Decision{
+			From:            classifyAllocation(f.fabric, f.m.Basis()),
+			To:              target.Name,
+			Choice:          sel.Choice,
+			DiffSlots:       diff,
+			SlotsLoading:    diff,
+			StallSlotCycles: diff * f.fabric.ReconfigLatency(),
+		})
+	}
 	f.pending = &target
 	f.stream()
+}
+
+// SetTelemetry installs a telemetry probe: selections and whole-fabric
+// swap decisions are logged (nil disables).
+func (f *FullReconfig) SetTelemetry(p *telemetry.Probe) { f.probe = p }
+
+// classifyAllocation names the live allocation for decision records: a
+// basis configuration's name, "(empty)", or "hybrid".
+func classifyAllocation(fabric *rfu.Fabric, basis [3]config.Configuration) string {
+	slots := fabric.Allocation().Slots
+	empty := true
+	for _, e := range slots {
+		if e != arch.EncEmpty {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return "(empty)"
+	}
+	for _, cfg := range basis {
+		if slots == cfg.Layout {
+			return cfg.Name
+		}
+	}
+	return "hybrid"
 }
 
 // stream pushes the pending swap's remaining spans through the
@@ -145,6 +191,9 @@ func NewOracleBasis(fabric *rfu.Fabric, basis [3]config.Configuration) *Oracle {
 
 // Manage runs one exact-metric selection/load cycle.
 func (o *Oracle) Manage(required arch.Counts) { o.m.Step(required) }
+
+// SetTelemetry forwards a telemetry probe to the manager.
+func (o *Oracle) SetTelemetry(p *telemetry.Probe) { o.m.SetTelemetry(p) }
 
 // Random loads a random steering configuration every Period cycles — the
 // control showing that steering's wins come from matching, not from

@@ -15,6 +15,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/logic"
 	"repro/internal/rfu"
+	"repro/internal/telemetry"
 )
 
 // UnitDecoder is stage 1 of the selection unit: it turns one queued
@@ -159,6 +160,7 @@ type Manager struct {
 
 	sinceLoad int
 	stats     Stats
+	probe     *telemetry.Probe
 }
 
 // NewManager binds a configuration manager to a fabric, steering with the
@@ -176,6 +178,10 @@ func NewManager(fabric *rfu.Fabric, basis [3]config.Configuration) *Manager {
 
 // Basis returns the manager's predefined steering configurations.
 func (m *Manager) Basis() [3]config.Configuration { return m.basis }
+
+// SetTelemetry installs a telemetry probe receiving every selection pass
+// and a steering-decision record per configuration switch (nil disables).
+func (m *Manager) SetTelemetry(probe *telemetry.Probe) { m.probe = probe }
 
 // Stats returns a copy of the activity counters.
 func (m *Manager) Stats() Stats { return m.stats }
@@ -217,21 +223,64 @@ func (m *Manager) Load(sel Selection) int {
 		return 0
 	}
 	target := m.basis[sel.Choice-1]
-	started := 0
+	from := ""
+	diff := 0
+	if m.probe != nil {
+		// Snapshot the pre-load state for the steering-decision record.
+		from = m.classifyAllocation()
+		diff = m.fabric.Allocation().Distance(target)
+	}
+	started, loading, deferred := 0, 0, 0
 	for _, u := range target.Units() {
 		if m.fabric.Allocation().Slots[u.Slot] == arch.Encode(u.Type) {
 			continue // already implements the specified unit (§3.2)
 		}
 		if !m.fabric.CanReconfigure(u.Type, u.Slot) {
-			m.stats.DeferredSlots += u.Span
+			deferred += u.Span
 			continue
 		}
 		if m.fabric.Reconfigure(u.Type, u.Slot) {
 			started++
+			loading += u.Span
 		}
 	}
 	m.stats.Reconfigurations += started
+	m.stats.DeferredSlots += deferred
+	if m.probe != nil && started > 0 {
+		m.probe.ConfigSwitch(telemetry.Decision{
+			From:            from,
+			To:              target.Name,
+			Choice:          sel.Choice,
+			DiffSlots:       diff,
+			Spans:           started,
+			SlotsLoading:    loading,
+			DeferredSlots:   deferred,
+			StallSlotCycles: loading * m.fabric.ReconfigLatency(),
+		})
+	}
 	return started
+}
+
+// classifyAllocation names the live allocation for the decision log: a
+// basis configuration's name, "(empty)", or "hybrid".
+func (m *Manager) classifyAllocation() string {
+	slots := m.fabric.Allocation().Slots
+	empty := true
+	for _, e := range slots {
+		if e != arch.EncEmpty {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return "(empty)"
+	}
+	for _, cfg := range m.basis {
+		if slots == cfg.Layout {
+			return cfg.Name
+		}
+	}
+	return "hybrid"
 }
 
 // Step performs one cycle of configuration management: encode the queue's
@@ -240,6 +289,9 @@ func (m *Manager) Load(sel Selection) int {
 func (m *Manager) Step(required arch.Counts) Selection {
 	sel := m.Select(required)
 	m.stats.Selections[sel.Choice]++
+	if m.probe != nil {
+		m.probe.Selection(sel.Errors, sel.Choice)
+	}
 	if m.isHybrid() {
 		m.stats.HybridCycles++
 	}
@@ -256,22 +308,4 @@ func (m *Manager) Step(required arch.Counts) Selection {
 
 // isHybrid reports whether the live allocation matches none of the
 // predefined layouts (and is not empty).
-func (m *Manager) isHybrid() bool {
-	slots := m.fabric.Allocation().Slots
-	empty := true
-	for _, e := range slots {
-		if e != arch.EncEmpty {
-			empty = false
-			break
-		}
-	}
-	if empty {
-		return false
-	}
-	for _, cfg := range m.basis {
-		if slots == cfg.Layout {
-			return false
-		}
-	}
-	return true
-}
+func (m *Manager) isHybrid() bool { return m.classifyAllocation() == "hybrid" }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/rfu"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wakeup"
 )
@@ -271,6 +272,7 @@ type Processor struct {
 	fetchBuf []fetchedEntry
 
 	tracer        trace.Recorder
+	probe         *telemetry.Probe
 	lastReconfigs int
 	reqSnapshot   []bool // per-row request lines, rebuilt each issue cycle
 
@@ -330,6 +332,40 @@ func (p *Processor) SetPolicy(policy Policy) { p.policy = policy }
 
 // SetTracer installs a pipeline event recorder (nil disables tracing).
 func (p *Processor) SetTracer(t trace.Recorder) { p.tracer = t }
+
+// SetTelemetry installs a telemetry probe (nil disables instrumentation;
+// the instrumented paths then cost one branch per event). The probe also
+// reaches into the fabric for reconfiguration-start events.
+func (p *Processor) SetTelemetry(probe *telemetry.Probe) {
+	p.probe = probe
+	p.fabric.SetTelemetry(probe)
+}
+
+// telemetryState snapshots the machine for the sampler. Called only on
+// sampling boundaries, so its cost is off the per-cycle hot path.
+func (p *Processor) telemetryState() telemetry.CoreState {
+	rfuBusy, rfuUnits, ffuBusy := p.fabric.UnitStates()
+	return telemetry.CoreState{
+		Cycle:         p.stats.Cycles,
+		Retired:       p.stats.Retired,
+		Occupancy:     p.count,
+		Demand:        p.array.RequiredCounts(),
+		RFUUnits:      rfuUnits,
+		RFUBusy:       rfuBusy,
+		FFUBusy:       ffuBusy,
+		Slots:         p.fabric.Allocation().Slots,
+		ReconfigSlots: p.fabric.ReconfiguringSlots(),
+		Buckets: [4]int{p.stats.CyclesIssued, p.stats.CyclesUnits,
+			p.stats.CyclesDeps, p.stats.CyclesFrontend},
+	}
+}
+
+// sampleTelemetry emits a sample when the probe's interval is due.
+func (p *Processor) sampleTelemetry() {
+	if p.probe != nil && p.probe.SampleDue() {
+		p.probe.EmitSample(p.telemetryState())
+	}
+}
 
 // emit records a pipeline event when tracing is enabled.
 func (p *Processor) emit(kind trace.Kind, seq uint64, pc uint32, latency int, text string) {
@@ -402,6 +438,9 @@ func (p *Processor) Cycle() {
 		return
 	}
 	p.stats.Cycles++
+	if p.probe != nil {
+		p.probe.BeginCycle(p.stats.Cycles)
+	}
 	p.array.Tick()
 	p.fabric.Tick()
 	p.retire()
@@ -409,6 +448,7 @@ func (p *Processor) Cycle() {
 		// The final cycle retired the HALT; count it with the useful
 		// cycles so the bottleneck buckets partition the run exactly.
 		p.stats.CyclesIssued++
+		p.sampleTelemetry()
 		return
 	}
 	if p.policy != nil {
@@ -430,6 +470,7 @@ func (p *Processor) Cycle() {
 	p.issue()
 	p.dispatch()
 	p.fill()
+	p.sampleTelemetry()
 }
 
 // Run executes until HALT retires or maxCycles elapse. It returns the
@@ -468,6 +509,9 @@ func (p *Processor) retire() {
 		p.head = (p.head + 1) % len(p.rob)
 		p.count--
 		p.stats.Retired++
+		if p.probe != nil {
+			p.probe.Retire()
+		}
 		p.emit(trace.KindRetire, e.seq, e.pc, 0, "")
 		if e.halts {
 			p.halted = true
@@ -542,6 +586,9 @@ func (p *Processor) issue() {
 		e.issued = true
 		granted++
 		p.stats.IssuedByType[e.inst.Unit()]++
+		if p.probe != nil {
+			p.probe.Issue(e.inst.Unit())
+		}
 		p.execute(slot, ref)
 		if p.halted {
 			return
@@ -650,6 +697,7 @@ func (p *Processor) resolveBranch(slot int) {
 // flushYoungerThan squashes every in-flight instruction younger than seq
 // and rebuilds the register producer map from the survivors.
 func (p *Processor) flushYoungerThan(seq uint64) {
+	flushedBefore := p.stats.Flushed
 	for p.count > 0 {
 		tail := p.slotAt(p.count - 1)
 		e := &p.rob[tail]
@@ -663,6 +711,9 @@ func (p *Processor) flushYoungerThan(seq uint64) {
 		if p.tracer != nil {
 			p.emit(trace.KindFlush, e.seq, e.pc, 0, e.inst.String())
 		}
+	}
+	if p.probe != nil {
+		p.probe.Flushed(p.stats.Flushed - flushedBefore)
 	}
 	for i := range p.regProducer {
 		p.regProducer[i] = -1
@@ -738,6 +789,9 @@ func (p *Processor) dispatch() {
 	for n := 0; n < p.params.DispatchWidth && len(p.fetchBuf) > 0; n++ {
 		if p.count == len(p.rob) || p.array.Free() == 0 {
 			p.stats.DispatchStallFull++
+			if p.probe != nil {
+				p.probe.DispatchStall()
+			}
 			return
 		}
 		entry := p.fetchBuf[0]
@@ -749,6 +803,9 @@ func (p *Processor) dispatch() {
 		row, ok := p.array.Allocate(f.Inst.Unit(), deps, latency, uint64(slot))
 		if !ok {
 			p.stats.DispatchStallFull++
+			if p.probe != nil {
+				p.probe.DispatchStall()
+			}
 			return
 		}
 		p.fetchBuf = p.fetchBuf[1:]
@@ -764,6 +821,9 @@ func (p *Processor) dispatch() {
 			predTaken: f.PredTaken,
 		}
 		p.count++
+		if p.probe != nil {
+			p.probe.Dispatch()
+		}
 		if d, ok := f.Inst.Dest(); ok {
 			p.regProducer[d] = slot
 		}

@@ -200,6 +200,21 @@ func TestArtifactsRegistryComplete(t *testing.T) {
 	}
 }
 
+// TestX18TelemetryComparison: the telemetry-backed policy comparison
+// must produce a row per policy, log steering decisions for the
+// selection-family policies, and none for the static ones.
+func TestX18TelemetryComparison(t *testing.T) {
+	out := X18()
+	for _, policy := range []string{"steering", "demand", "full-reconfig", "oracle", "random", "static-int", "ffu-only"} {
+		if !strings.Contains(out, policy) {
+			t.Errorf("X18 output missing policy row %q", policy)
+		}
+	}
+	if !strings.Contains(out, "stall slot-cycles") {
+		t.Error("X18 output missing the decision-log stall column")
+	}
+}
+
 // TestX8TimelineTracksPhases: during the fp phase of the phased workload
 // the fabric must at some point hold the floating configuration, and
 // during the mem phase the memory configuration — adaptation in action.

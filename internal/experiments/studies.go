@@ -13,6 +13,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -27,14 +28,22 @@ var studyPolicies = []string{
 
 // buildMachine constructs a processor with the named policy.
 func buildMachine(prog isa.Program, params cpu.Params, policy string) *cpu.Processor {
+	p, _ := buildMachinePolicy(prog, params, policy)
+	return p
+}
+
+// buildMachinePolicy is buildMachine exposing the installed policy object
+// (nil for the static policies), so studies can wire telemetry into it.
+func buildMachinePolicy(prog isa.Program, params cpu.Params, policy string) (*cpu.Processor, cpu.Policy) {
 	if policy == "oracle" {
 		params.ReconfigLatency = 1
 	}
 	p := cpu.New(prog, params, nil)
 	basis := config.DefaultBasis()
+	var obj cpu.Policy
 	switch policy {
 	case "steering":
-		p.SetPolicy(baseline.NewSteering(p.Fabric()))
+		obj = baseline.NewSteering(p.Fabric())
 	case "static-int":
 		p.Fabric().Install(basis[0])
 	case "static-mem":
@@ -44,17 +53,20 @@ func buildMachine(prog isa.Program, params cpu.Params, policy string) *cpu.Proce
 	case "ffu-only":
 		// empty fabric
 	case "full-reconfig":
-		p.SetPolicy(baseline.NewFullReconfig(p.Fabric()))
+		obj = baseline.NewFullReconfig(p.Fabric())
 	case "oracle":
-		p.SetPolicy(baseline.NewOracle(p.Fabric()))
+		obj = baseline.NewOracle(p.Fabric())
 	case "random":
-		p.SetPolicy(baseline.NewRandom(p.Fabric(), 1))
+		obj = baseline.NewRandom(p.Fabric(), 1)
 	case "demand":
-		p.SetPolicy(core.NewDemandManager(p.Fabric()))
+		obj = core.NewDemandManager(p.Fabric())
 	default:
 		panic("experiments: unknown policy " + policy)
 	}
-	return p
+	if obj != nil {
+		p.SetPolicy(obj)
+	}
+	return p, obj
 }
 
 // ipcOf runs prog under the policy and returns its IPC, or -1 on DNF.
@@ -425,10 +437,28 @@ func X7() string {
 	return b.String()
 }
 
+// classifySlots names a sampled slot layout: a basis configuration's
+// name, "(empty)", or "hybrid".
+func classifySlots(slots [arch.NumRFUSlots]arch.Encoding, basis [3]config.Configuration) string {
+	for _, cfg := range basis {
+		if slots == cfg.Layout {
+			return cfg.Name
+		}
+	}
+	for _, e := range slots {
+		if e != arch.EncEmpty {
+			return "hybrid"
+		}
+	}
+	return "(empty)"
+}
+
 // X8 renders the adaptation timeline: windowed IPC, fabric state and
 // reconfiguration activity as the steering machine crosses the phase
 // boundaries of the phased workload — the paper's steering story made
-// visible over time.
+// visible over time. The windows are the telemetry sampler's: the run is
+// instrumented with a 250-cycle probe and the table is rendered from the
+// collected sample series.
 func X8() string {
 	var b strings.Builder
 	b.WriteString("X8 — steering adaptation timeline (phased workload: int -> fp -> mem -> mdu -> fp)\n\n")
@@ -440,52 +470,40 @@ func X8() string {
 	p.SetPolicy(steer)
 
 	const window = 250
-	basis := config.DefaultBasis()
-	classify := func() string {
-		slots := p.Fabric().Allocation().Slots
-		for _, cfg := range basis {
-			if slots == cfg.Layout {
-				return cfg.Name
-			}
-		}
-		empty := true
-		for _, e := range slots {
-			if e != arch.EncEmpty {
-				empty = false
-				break
-			}
-		}
-		if empty {
-			return "(empty)"
-		}
-		return "hybrid"
+	probe := telemetry.NewProbe(window)
+	col := &telemetry.Collector{}
+	probe.SetExporter(col)
+	p.SetTelemetry(probe)
+	steer.SetTelemetry(probe)
+
+	for !p.Halted() && p.Stats().Cycles < MaxCycles {
+		p.Cycle()
 	}
 
+	basis := config.DefaultBasis()
+	ffu := config.FFUCounts()
 	t := stats.NewTable("per-window machine state",
 		"cycles", "retired", "window IPC", "fabric state", "reconfigs", "fp units", "lsu units")
-	lastRetired, lastReconfigs := 0, 0
-	for !p.Halted() && p.Stats().Cycles < MaxCycles {
-		for i := 0; i < window && !p.Halted(); i++ {
-			p.Cycle()
-		}
-		st := p.Stats()
-		counts := p.Fabric().TotalCounts()
+	for _, s := range col.Samples {
 		t.AddRow(
-			fmt.Sprintf("%d-%d", st.Cycles-window, st.Cycles),
-			st.Retired,
-			float64(st.Retired-lastRetired)/float64(window),
-			classify(),
-			p.Fabric().Reconfigurations()-lastReconfigs,
-			counts[arch.FPALU]+counts[arch.FPMDU],
-			counts[arch.LSU],
+			fmt.Sprintf("%d-%d", s.Cycle-window, s.Cycle),
+			s.Retired,
+			s.IntervalIPC,
+			classifySlots(s.Slots, basis),
+			s.IntervalReconfigs,
+			s.RFUUnits[arch.FPALU]+s.RFUUnits[arch.FPMDU]+ffu[arch.FPALU]+ffu[arch.FPMDU],
+			s.RFUUnits[arch.LSU]+ffu[arch.LSU],
 		)
-		lastRetired = st.Retired
-		lastReconfigs = p.Fabric().Reconfigurations()
 	}
 	b.WriteString(t.String())
 	mst := steer.M.Stats()
 	fmt.Fprintf(&b, "\nselection totals: current=%d integer=%d memory=%d floating=%d, hybrid cycles=%d\n",
 		mst.Selections[0], mst.Selections[1], mst.Selections[2], mst.Selections[3], mst.HybridCycles)
+	if n := len(col.Decisions); n > 0 {
+		first, last := col.Decisions[0], col.Decisions[n-1]
+		fmt.Fprintf(&b, "steering decisions logged: %d (first %s -> %s at cycle %d, last %s -> %s at cycle %d)\n",
+			n, first.From, first.To, first.Cycle, last.From, last.To, last.Cycle)
+	}
 	return b.String()
 }
 
@@ -853,6 +871,71 @@ func X17() string {
 	return b.String()
 }
 
+// X18 compares policies through the telemetry sampler: every policy runs
+// the phased workload with a 200-cycle probe, in parallel via the sweep
+// harness, and the table summarises each time series — occupancy,
+// in-flight reconfiguration pressure, loading stall cycles from the
+// steering-decision log — rather than just end-of-run aggregates.
+func X18() string {
+	var b strings.Builder
+	b.WriteString("X18 — telemetry time-series comparison across policies (phased workload)\n\n")
+
+	prog := PhasedWorkload(7)
+	policies := []string{"steering", "demand", "full-reconfig", "oracle", "random", "static-int", "ffu-only"}
+	const interval = 200
+
+	type outcome struct {
+		st  cpu.Stats
+		err error
+	}
+	results, series := sweep.Run2(len(policies), 0, func(i int) (outcome, *telemetry.Collector) {
+		p, policy := buildMachinePolicy(prog, cpu.DefaultParams(), policies[i])
+		probe := telemetry.NewProbe(interval)
+		col := &telemetry.Collector{}
+		probe.SetExporter(col)
+		p.SetTelemetry(probe)
+		if ts, ok := policy.(interface{ SetTelemetry(*telemetry.Probe) }); ok {
+			ts.SetTelemetry(probe)
+		}
+		st, err := p.Run(MaxCycles)
+		return outcome{st, err}, col
+	})
+
+	t := stats.NewTable("per-policy time-series summary",
+		"policy", "IPC", "samples", "mean occupancy", "mean reconfiguring slots",
+		"decisions", "stall slot-cycles", "peak window reconfigs")
+	for i, name := range policies {
+		r, col := results[i], series[i]
+		if r.err != nil {
+			t.AddRow(name, "DNF", len(col.Samples), "-", "-", len(col.Decisions), "-", "-")
+			continue
+		}
+		var occ, rslots, peak, stall int
+		for _, s := range col.Samples {
+			occ += s.Occupancy
+			rslots += s.ReconfigSlots
+			if s.IntervalReconfigs > peak {
+				peak = s.IntervalReconfigs
+			}
+		}
+		for _, d := range col.Decisions {
+			stall += d.StallSlotCycles
+		}
+		n := len(col.Samples)
+		meanOcc, meanR := 0.0, 0.0
+		if n > 0 {
+			meanOcc = float64(occ) / float64(n)
+			meanR = float64(rslots) / float64(n)
+		}
+		t.AddRow(name, fmtIPC(r.st.IPC()), n,
+			fmt.Sprintf("%.2f", meanOcc), fmt.Sprintf("%.2f", meanR),
+			len(col.Decisions), stall, peak)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nDecisions come from the steering-decision log (selection-family\npolicies only); stall slot-cycles are the loading overhead those\nswitches started. Random and demand policies reconfigure without\nlogging decisions — their activity shows in the reconfiguring-slot\ncolumns instead.\n")
+	return b.String()
+}
+
 // All runs every artefact and study in order.
 func All() string {
 	sections := []struct {
@@ -861,7 +944,7 @@ func All() string {
 	}{
 		{"table1", Table1}, {"fig1", Fig1}, {"fig2", Fig2}, {"fig3", Fig3},
 		{"fig5", Fig5}, {"fig7", Fig7}, {"cost", CostTable},
-		{"x1", X1}, {"x1seeds", X1Seeds}, {"x2", X2}, {"x3", X3}, {"x4", X4}, {"x5", X5}, {"x6", X6}, {"x7", X7}, {"x8", X8}, {"x9", X9}, {"x10", X10}, {"x11", X11}, {"x12", X12}, {"x13", X13}, {"x14", X14}, {"x15", X15}, {"x16", X16}, {"x17", X17},
+		{"x1", X1}, {"x1seeds", X1Seeds}, {"x2", X2}, {"x3", X3}, {"x4", X4}, {"x5", X5}, {"x6", X6}, {"x7", X7}, {"x8", X8}, {"x9", X9}, {"x10", X10}, {"x11", X11}, {"x12", X12}, {"x13", X13}, {"x14", X14}, {"x15", X15}, {"x16", X16}, {"x17", X17}, {"x18", X18},
 	}
 	var b strings.Builder
 	for i, s := range sections {
@@ -903,6 +986,7 @@ func Artifacts() map[string]func() string {
 		"x15":     X15,
 		"x16":     X16,
 		"x17":     X17,
+		"x18":     X18,
 		"all":     All,
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/config"
+	"repro/internal/telemetry"
 )
 
 // UnitRef identifies one functional-unit instance: a fixed unit (by type)
@@ -51,6 +52,8 @@ type Fabric struct {
 	reconfigurations int // spans rewritten
 	reconfigCycles   int // slot-cycles spent reconfiguring
 	busyCycles       int // slot+FFU cycles spent executing
+
+	probe *telemetry.Probe
 }
 
 // New returns an empty fabric (no RFU units configured) whose span
@@ -333,6 +336,9 @@ func (f *Fabric) Reconfigure(t arch.UnitType, start int) bool {
 	f.target[lo] = arch.Encode(t)
 	f.reconfigurations++
 	f.reconfigCycles += (hi - lo) * f.latency
+	if f.probe != nil {
+		f.probe.ReconfigStart(t, hi-lo, f.latency)
+	}
 	if f.latency == 0 {
 		for s := lo; s < hi; s++ {
 			f.alloc.Slots[s] = f.target[s]
@@ -385,6 +391,41 @@ func (f *Fabric) Reconfiguring() bool {
 		}
 	}
 	return false
+}
+
+// SetTelemetry installs a telemetry probe notified when span rewrites
+// start (nil disables; the hook then costs one branch per rewrite).
+func (f *Fabric) SetTelemetry(probe *telemetry.Probe) { f.probe = probe }
+
+// ReconfiguringSlots counts slots currently mid-reconfiguration — the
+// sampler's in-flight reconfiguration gauge.
+func (f *Fabric) ReconfiguringSlots() int {
+	n := 0
+	for _, r := range f.reconfig {
+		if r > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// UnitStates summarises the fabric for the sampler: per-type counts of
+// busy RFU heads, configured RFU heads, and busy FFUs.
+func (f *Fabric) UnitStates() (rfuBusy, rfuUnits, ffuBusy arch.Counts) {
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if t, ok := arch.DecodeUnit(f.alloc.Slots[s]); ok {
+			rfuUnits[t]++
+			if f.busy[s] > 0 {
+				rfuBusy[t]++
+			}
+		}
+	}
+	for t := 0; t < arch.NumFFUs; t++ {
+		if f.ffuBusy[t] > 0 {
+			ffuBusy[t]++
+		}
+	}
+	return
 }
 
 // Statistics accessors.

@@ -45,6 +45,29 @@ func Run[T any](n, workers int, job func(i int) T) []T {
 	return results
 }
 
+// Run2 is Run for jobs with two outputs — typically a scalar result plus
+// a per-run time series (e.g. a telemetry sample collection). Both slices
+// are indexed by i in submission order.
+func Run2[T, U any](n, workers int, job func(i int) (T, U)) ([]T, []U) {
+	if n <= 0 {
+		return nil, nil
+	}
+	type pair struct {
+		a T
+		b U
+	}
+	flat := Run(n, workers, func(i int) pair {
+		a, b := job(i)
+		return pair{a, b}
+	})
+	as := make([]T, n)
+	bs := make([]U, n)
+	for i, p := range flat {
+		as[i], bs[i] = p.a, p.b
+	}
+	return as, bs
+}
+
 // Grid runs a two-dimensional sweep — rows x cols independent jobs — and
 // returns results[row][col], again in deterministic order.
 func Grid[T any](rows, cols, workers int, job func(row, col int) T) [][]T {

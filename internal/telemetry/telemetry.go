@@ -1,0 +1,389 @@
+package telemetry
+
+import (
+	"repro/internal/arch"
+)
+
+// Sample is one row of the per-cycle time series: the machine state at a
+// sampling boundary plus the event activity accumulated since the
+// previous sample. Interval* fields cover (prevSampleCycle, cycle];
+// everything else is the instantaneous or cumulative state at cycle.
+//
+// The JSON field set is a stable schema, pinned by a golden test: add
+// fields freely, but renaming or retyping one is a breaking change for
+// downstream tooling.
+type Sample struct {
+	Cycle           int     `json:"cycle"`
+	Retired         int     `json:"retired"`
+	IntervalRetired int     `json:"intervalRetired"`
+	IntervalIPC     float64 `json:"intervalIPC"`
+
+	// Occupancy is the number of in-flight window (RUU) entries.
+	Occupancy int `json:"occupancy"`
+	// Demand counts the unit requirements of the unscheduled window
+	// instructions, per unit type — the selection unit's input vector.
+	Demand arch.Counts `json:"demand"`
+	// IntervalIssued counts grants per unit type since the last sample.
+	IntervalIssued arch.Counts `json:"intervalIssued"`
+
+	// RFUUnits / RFUBusy count configured and currently-executing
+	// reconfigurable units per type; FFUBusy the executing fixed units.
+	RFUUnits arch.Counts `json:"rfuUnits"`
+	RFUBusy  arch.Counts `json:"rfuBusy"`
+	FFUBusy  arch.Counts `json:"ffuBusy"`
+	// Slots is the live resource allocation vector.
+	Slots [arch.NumRFUSlots]arch.Encoding `json:"slots"`
+
+	// CEMValid reports whether a steering-family policy supplied
+	// selection data this interval; when false the CEM fields are zero.
+	CEMValid bool `json:"cemValid"`
+	// CEMErrors holds the four configuration error metrics of the most
+	// recent selection pass (current, then the three basis configs).
+	CEMErrors [arch.NumConfigs]int `json:"cemErrors"`
+	// CEMChoice is the winning candidate index of that pass.
+	CEMChoice int `json:"cemChoice"`
+
+	// ReconfigSlots counts slots mid-reconfiguration right now;
+	// IntervalReconfigs counts span rewrites started this interval.
+	ReconfigSlots     int `json:"reconfigSlots"`
+	IntervalReconfigs int `json:"intervalReconfigs"`
+
+	IntervalFlushed        int `json:"intervalFlushed"`
+	IntervalDispatchStalls int `json:"intervalDispatchStalls"`
+
+	// Interval bottleneck classification: every cycle of the interval
+	// falls into exactly one of the four buckets.
+	BucketIssued   int `json:"bucketIssued"`
+	BucketUnits    int `json:"bucketUnits"`
+	BucketDeps     int `json:"bucketDeps"`
+	BucketFrontend int `json:"bucketFrontend"`
+}
+
+// Decision is one steering-decision log record: a configuration switch
+// the loader actually started (selection alone, with nothing loadable,
+// does not log).
+type Decision struct {
+	Cycle int `json:"cycle"`
+	// From classifies the allocation before the switch: a basis
+	// configuration name, "(empty)", or "hybrid".
+	From string `json:"from"`
+	// To is the selected target configuration's name.
+	To string `json:"to"`
+	// Choice is the selection unit's two-bit output (1..3).
+	Choice int `json:"choice"`
+	// DiffSlots is the XOR-diff between the live allocation vector and
+	// the target layout: how many slot encodings differ at switch time.
+	DiffSlots int `json:"diffSlots"`
+	// Spans and SlotsLoading count the span rewrites started now and the
+	// slots they cover; DeferredSlots the busy slots §3.2 skipped.
+	Spans         int `json:"spans"`
+	SlotsLoading  int `json:"slotsLoading"`
+	DeferredSlots int `json:"deferredSlots"`
+	// StallSlotCycles is the loading overhead started by this switch:
+	// slots being rewritten times the per-span reconfiguration latency —
+	// the slot-cycles during which those slots cannot execute.
+	StallSlotCycles int `json:"stallSlotCycles"`
+}
+
+// CoreState is the snapshot the processor hands the Probe at a sampling
+// boundary — the fields the Probe cannot see through its event hooks.
+type CoreState struct {
+	Cycle     int
+	Retired   int
+	Occupancy int
+	Demand    arch.Counts
+	RFUUnits  arch.Counts
+	RFUBusy   arch.Counts
+	FFUBusy   arch.Counts
+	Slots     [arch.NumRFUSlots]arch.Encoding
+
+	ReconfigSlots int
+
+	// Cumulative bottleneck buckets (issued, units, deps, frontend).
+	Buckets [4]int
+}
+
+// Probe is the instrumentation hub wired into one machine: the
+// processor, configuration manager and fabric feed it events; a Sampler
+// interval drains it into an Exporter. Every method is safe on a nil
+// receiver so instrumentation call sites cost one branch when telemetry
+// is off.
+type Probe struct {
+	interval int
+	exp      Exporter
+	reg      *Registry
+	err      error // first exporter error; surfaced by Flush
+
+	cycle int
+
+	// Registry-backed cumulative metrics.
+	cCycles         *Counter
+	cRetired        *Counter
+	cDispatched     *Counter
+	cFlushed        *Counter
+	cDispatchStalls *Counter
+	cIssued         [arch.NumUnitTypes]*Counter
+	cSelections     [arch.NumConfigs]*Counter
+	cDecisions      *Counter
+	cReconfigSpans  *Counter
+	cReconfigSlotCy *Counter
+	gOccupancy      *Gauge
+	gReconfigSlots  *Gauge
+	gCEMError       [arch.NumConfigs]*Gauge
+	hOccupancy      *Histogram
+
+	// Interval accumulators, reset at each sample.
+	ivIssued    arch.Counts
+	ivRetired   int
+	ivFlushed   int
+	ivStalls    int
+	ivReconfigs int
+
+	// Latest selection-unit pass (steering-family policies only).
+	selSeen   bool
+	selErrors [arch.NumConfigs]int
+	selChoice int
+
+	// Cumulative values at the previous sample, for interval deltas.
+	lastRetired int
+	lastBuckets [4]int
+}
+
+// NewProbe builds a probe sampling every interval cycles (interval must
+// be positive). Attach an exporter with SetExporter before the run; a
+// probe without an exporter still maintains its registry.
+func NewProbe(interval int) *Probe {
+	if interval <= 0 {
+		panic("telemetry: sampling interval must be positive")
+	}
+	reg := NewRegistry()
+	p := &Probe{interval: interval, reg: reg}
+	p.cCycles = reg.NewCounter("rsssim_cycles_total", "simulated cycles")
+	p.cRetired = reg.NewCounter("rsssim_retired_total", "retired instructions")
+	p.cDispatched = reg.NewCounter("rsssim_dispatched_total", "dispatched instructions")
+	p.cFlushed = reg.NewCounter("rsssim_flushed_total", "instructions squashed by misprediction recovery")
+	p.cDispatchStalls = reg.NewCounter("rsssim_dispatch_stalls_total", "dispatch attempts blocked by a full window")
+	for t := 0; t < arch.NumUnitTypes; t++ {
+		p.cIssued[t] = reg.NewCounter("rsssim_issued_total", "instructions granted per unit type",
+			Label{"unit", arch.UnitType(t).String()})
+	}
+	for i := 0; i < arch.NumConfigs; i++ {
+		p.cSelections[i] = reg.NewCounter("rsssim_selections_total", "selection-unit wins per candidate configuration",
+			Label{"config", configLabel(i)})
+		p.gCEMError[i] = reg.NewGauge("rsssim_cem_error", "latest configuration error metric per candidate",
+			Label{"config", configLabel(i)})
+	}
+	p.cDecisions = reg.NewCounter("rsssim_steering_decisions_total", "configuration switches the loader started")
+	p.cReconfigSpans = reg.NewCounter("rsssim_reconfig_spans_total", "RFU span rewrites started")
+	p.cReconfigSlotCy = reg.NewCounter("rsssim_reconfig_slot_cycles_total", "slot-cycles of reconfiguration started")
+	p.gOccupancy = reg.NewGauge("rsssim_window_occupancy", "in-flight window entries at the last sample")
+	p.gReconfigSlots = reg.NewGauge("rsssim_reconfiguring_slots", "slots mid-reconfiguration at the last sample")
+	p.hOccupancy = reg.NewHistogram("rsssim_window_occupancy_sampled", "window occupancy distribution over samples",
+		[]int64{0, 1, 2, 3, 4, 5, 6, 7, 15, 31})
+	return p
+}
+
+// configLabel names candidate i for metric labels.
+func configLabel(i int) string {
+	if i == 0 {
+		return "current"
+	}
+	return "basis" + string(rune('0'+i))
+}
+
+// SetExporter attaches the sample/decision destination.
+func (p *Probe) SetExporter(e Exporter) { p.exp = e }
+
+// Registry exposes the probe's metric registry (for the Prometheus
+// exporter and report code).
+func (p *Probe) Registry() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.reg
+}
+
+// Interval returns the sampling interval in cycles.
+func (p *Probe) Interval() int {
+	if p == nil {
+		return 0
+	}
+	return p.interval
+}
+
+// --- Hot-path hooks (all nil-safe, allocation-free) --------------------
+
+// BeginCycle marks the start of simulated cycle c; decision and sample
+// records carry this cycle number.
+func (p *Probe) BeginCycle(c int) {
+	if p == nil {
+		return
+	}
+	p.cycle = c
+	p.cCycles.Inc()
+}
+
+// Dispatch records one instruction entering the window.
+func (p *Probe) Dispatch() {
+	if p == nil {
+		return
+	}
+	p.cDispatched.Inc()
+}
+
+// DispatchStall records a dispatch attempt blocked by a full window.
+func (p *Probe) DispatchStall() {
+	if p == nil {
+		return
+	}
+	p.cDispatchStalls.Inc()
+	p.ivStalls++
+}
+
+// Issue records one grant to a unit of type t.
+func (p *Probe) Issue(t arch.UnitType) {
+	if p == nil {
+		return
+	}
+	p.cIssued[t].Inc()
+	p.ivIssued[t]++
+}
+
+// Retire records one instruction committing.
+func (p *Probe) Retire() {
+	if p == nil {
+		return
+	}
+	p.cRetired.Inc()
+	p.ivRetired++
+}
+
+// Flushed records n instructions squashed by a misprediction flush.
+func (p *Probe) Flushed(n int) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.cFlushed.Add(uint64(n))
+	p.ivFlushed += n
+}
+
+// Selection records one selection-unit pass: the four CEM scores and the
+// winning candidate.
+func (p *Probe) Selection(errors [arch.NumConfigs]int, choice int) {
+	if p == nil {
+		return
+	}
+	p.selSeen = true
+	p.selErrors = errors
+	p.selChoice = choice
+	p.cSelections[choice].Inc()
+	for i, e := range errors {
+		p.gCEMError[i].Set(int64(e))
+	}
+}
+
+// ConfigSwitch logs one steering decision: the loader started rewriting
+// spans toward a new configuration. The probe stamps the cycle and
+// forwards the record to the exporter immediately (decisions are not
+// sampled — every switch is logged).
+func (p *Probe) ConfigSwitch(d Decision) {
+	if p == nil {
+		return
+	}
+	d.Cycle = p.cycle
+	p.cDecisions.Inc()
+	if p.exp != nil {
+		if err := p.exp.Decision(&d); err != nil && p.err == nil {
+			p.err = err
+		}
+	}
+}
+
+// ReconfigStart records one span rewrite beginning: a unit of type t at
+// some head slot, covering slots slots, taking latency cycles per slot
+// span.
+func (p *Probe) ReconfigStart(t arch.UnitType, slots, latency int) {
+	if p == nil {
+		return
+	}
+	p.cReconfigSpans.Inc()
+	p.cReconfigSlotCy.Add(uint64(slots * latency))
+	p.ivReconfigs++
+}
+
+// --- Sampling path ------------------------------------------------------
+
+// SampleDue reports whether the cycle most recently begun is a sampling
+// boundary. The caller gathers a CoreState snapshot only when it is, so
+// disabled or off-boundary cycles never pay the snapshot cost.
+func (p *Probe) SampleDue() bool {
+	return p != nil && p.cycle%p.interval == 0
+}
+
+// EmitSample merges the core snapshot with the accumulated event counts
+// into a Sample, updates the sampled gauges/histograms, hands the sample
+// to the exporter and resets the interval accumulators.
+func (p *Probe) EmitSample(cs CoreState) {
+	if p == nil {
+		return
+	}
+	s := Sample{
+		Cycle:           cs.Cycle,
+		Retired:         cs.Retired,
+		IntervalRetired: cs.Retired - p.lastRetired,
+		Occupancy:       cs.Occupancy,
+		Demand:          cs.Demand,
+		IntervalIssued:  p.ivIssued,
+		RFUUnits:        cs.RFUUnits,
+		RFUBusy:         cs.RFUBusy,
+		FFUBusy:         cs.FFUBusy,
+		Slots:           cs.Slots,
+		CEMValid:        p.selSeen,
+		CEMErrors:       p.selErrors,
+		CEMChoice:       p.selChoice,
+		ReconfigSlots:   cs.ReconfigSlots,
+
+		IntervalReconfigs:      p.ivReconfigs,
+		IntervalFlushed:        p.ivFlushed,
+		IntervalDispatchStalls: p.ivStalls,
+
+		BucketIssued:   cs.Buckets[0] - p.lastBuckets[0],
+		BucketUnits:    cs.Buckets[1] - p.lastBuckets[1],
+		BucketDeps:     cs.Buckets[2] - p.lastBuckets[2],
+		BucketFrontend: cs.Buckets[3] - p.lastBuckets[3],
+	}
+	s.IntervalIPC = float64(s.IntervalRetired) / float64(p.interval)
+
+	p.gOccupancy.Set(int64(cs.Occupancy))
+	p.gReconfigSlots.Set(int64(cs.ReconfigSlots))
+	p.hOccupancy.Observe(int64(cs.Occupancy))
+
+	p.lastRetired = cs.Retired
+	p.lastBuckets = cs.Buckets
+	p.ivIssued = arch.Counts{}
+	p.ivRetired = 0
+	p.ivFlushed = 0
+	p.ivStalls = 0
+	p.ivReconfigs = 0
+
+	if p.exp != nil {
+		if err := p.exp.Sample(&s); err != nil && p.err == nil {
+			p.err = err
+		}
+	}
+}
+
+// Flush flushes the exporter and returns the first error the telemetry
+// pipeline encountered during the run (export errors are deferred to
+// here so the hot path never checks them).
+func (p *Probe) Flush() error {
+	if p == nil {
+		return nil
+	}
+	if p.exp != nil {
+		if err := p.exp.Flush(); err != nil && p.err == nil {
+			p.err = err
+		}
+	}
+	return p.err
+}

@@ -166,11 +166,15 @@ type instRow struct {
 //
 //	F fetch   D dispatch   I issue   = executing   R retire   x flushed
 //
-// Cycles outside [fromCycle, toCycle] are clipped; instructions entirely
-// outside the range are omitted.
+// Reconfiguration events render as their own rows — marker C at the
+// event cycle — interleaved chronologically with the instruction rows,
+// so steering activity is visible against the instruction stream.
+// Cycles outside [fromCycle, toCycle] are clipped; instructions and
+// events entirely outside the range are omitted.
 func Pipeview(events []Event, fromCycle, toCycle int) string {
 	rows := map[uint32]*instRow{}
 	order := []uint32{}
+	var reconfigs []Event
 	get := func(e Event) *instRow {
 		r, ok := rows[e.Seq]
 		if !ok {
@@ -182,6 +186,9 @@ func Pipeview(events []Event, fromCycle, toCycle int) string {
 	}
 	for _, e := range events {
 		if e.Kind == KindReconfig {
+			if e.Cycle >= fromCycle && e.Cycle <= toCycle {
+				reconfigs = append(reconfigs, e)
+			}
 			continue
 		}
 		r := get(e)
@@ -203,6 +210,7 @@ func Pipeview(events []Event, fromCycle, toCycle int) string {
 		}
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	sort.SliceStable(reconfigs, func(i, j int) bool { return reconfigs[i].Cycle < reconfigs[j].Cycle })
 
 	width := toCycle - fromCycle + 1
 	if width <= 0 {
@@ -210,6 +218,19 @@ func Pipeview(events []Event, fromCycle, toCycle int) string {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-6s %-5s %-26s %s\n", "seq", "pc", "instruction", "cycles "+fmt.Sprint(fromCycle)+"..")
+	emitReconfig := func(e Event) {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		line[e.Cycle-fromCycle] = 'C'
+		text := e.Text
+		if len(text) > 26 {
+			text = text[:26]
+		}
+		fmt.Fprintf(&sb, "%-6s %-5s %-26s %s\n", "-", "-", text, line)
+	}
+	nextRC := 0
 	for _, seq := range order {
 		r := rows[seq]
 		last := r.retire
@@ -221,6 +242,13 @@ func Pipeview(events []Event, fromCycle, toCycle int) string {
 		}
 		if r.fetch > toCycle && r.fetch >= 0 {
 			continue
+		}
+		// Flush any reconfigurations that happened before this
+		// instruction entered the pipeline, so the chart reads in
+		// chronological order top to bottom.
+		for nextRC < len(reconfigs) && r.fetch >= 0 && reconfigs[nextRC].Cycle < r.fetch {
+			emitReconfig(reconfigs[nextRC])
+			nextRC++
 		}
 		line := make([]byte, width)
 		for i := range line {
@@ -247,6 +275,9 @@ func Pipeview(events []Event, fromCycle, toCycle int) string {
 			text = text[:26]
 		}
 		fmt.Fprintf(&sb, "%-6d %-5d %-26s %s\n", r.seq, r.pc, text, line)
+	}
+	for ; nextRC < len(reconfigs); nextRC++ {
+		emitReconfig(reconfigs[nextRC])
 	}
 	return sb.String()
 }

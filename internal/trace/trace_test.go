@@ -88,11 +88,11 @@ func TestPipeviewMarkers(t *testing.T) {
 		{Cycle: 0, Kind: KindFetch, Seq: 2, PC: 1, Text: "beq r1, r0, 4"},
 		{Cycle: 1, Kind: KindDispatch, Seq: 2, PC: 1},
 		{Cycle: 3, Kind: KindFlush, Seq: 2, PC: 1},
-		{Cycle: 4, Kind: KindReconfig, Text: "ignored by pipeview"},
+		{Cycle: 4, Kind: KindReconfig, Text: "to memory"},
 	}
 	out := Pipeview(events, 0, 8)
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != 3 { // header + 2 instructions
+	if len(lines) != 4 { // header + 2 instructions + 1 reconfig row
 		t.Fatalf("pipeview lines = %d:\n%s", len(lines), out)
 	}
 	// Row 1: F D I = = . R
@@ -105,6 +105,68 @@ func TestPipeviewMarkers(t *testing.T) {
 	chart2 := row2[strings.LastIndex(row2, " ")+1:]
 	if chart2 != "FD.x....." {
 		t.Errorf("row 2 chart = %q, want FD.x.....", chart2)
+	}
+	// The reconfig happened after both fetches, so it renders last: a
+	// seq-less row with a C marker at its cycle.
+	row3 := lines[3]
+	chart3 := row3[strings.LastIndex(row3, " ")+1:]
+	if chart3 != "....C...." {
+		t.Errorf("reconfig chart = %q, want ....C....", chart3)
+	}
+	if !strings.HasPrefix(row3, "-") || !strings.Contains(row3, "to memory") {
+		t.Errorf("reconfig row = %q, want seq-less row carrying the event text", row3)
+	}
+}
+
+func TestPipeviewReconfigInterleavesWithFlushes(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, Kind: KindFetch, Seq: 1, PC: 0, Text: "add r1, r2, r3"},
+		{Cycle: 2, Kind: KindRetire, Seq: 1, PC: 0},
+		{Cycle: 3, Kind: KindReconfig, Text: "steer int -> fp"},
+		{Cycle: 4, Kind: KindFetch, Seq: 2, PC: 1, Text: "beq r1, r0, 8"},
+		{Cycle: 5, Kind: KindDispatch, Seq: 2, PC: 1},
+		{Cycle: 6, Kind: KindFlush, Seq: 2, PC: 1},
+		{Cycle: 7, Kind: KindReconfig, Text: "steer fp -> memory"},
+		{Cycle: 8, Kind: KindFetch, Seq: 3, PC: 2, Text: "ld r4, 0(r5)"},
+		{Cycle: 9, Kind: KindRetire, Seq: 3, PC: 2},
+	}
+	out := Pipeview(events, 0, 9)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // header + 3 instructions + 2 reconfigs
+		t.Fatalf("pipeview lines = %d:\n%s", len(lines), out)
+	}
+	// Chronological order top to bottom: inst 1, reconfig@3, flushed
+	// inst 2, reconfig@7, inst 3.
+	wantOrder := []string{"add r1", "steer int -> fp", "beq r1", "steer fp -> memory", "ld r4"}
+	for i, want := range wantOrder {
+		if !strings.Contains(lines[i+1], want) {
+			t.Errorf("line %d = %q, want it to contain %q", i+1, lines[i+1], want)
+		}
+	}
+	chartOf := func(line string) string { return line[strings.LastIndex(line, " ")+1:] }
+	if got := chartOf(lines[2]); got != "...C......" {
+		t.Errorf("first reconfig chart = %q, want ...C......", got)
+	}
+	if got := chartOf(lines[3]); got != "....FDx..." {
+		t.Errorf("flushed instruction chart = %q, want ....FDx...", got)
+	}
+	if got := chartOf(lines[4]); got != ".......C.." {
+		t.Errorf("second reconfig chart = %q, want .......C..", got)
+	}
+}
+
+func TestPipeviewReconfigClippedOutsideRange(t *testing.T) {
+	events := []Event{
+		{Cycle: 5, Kind: KindDispatch, Seq: 1, Text: "in range"},
+		{Cycle: 6, Kind: KindRetire, Seq: 1},
+		{Cycle: 50, Kind: KindReconfig, Text: "far future reconfig"},
+	}
+	out := Pipeview(events, 0, 10)
+	if strings.Contains(out, "far future reconfig") {
+		t.Error("reconfig outside the cycle range was not clipped")
+	}
+	if !strings.Contains(out, "in range") {
+		t.Error("in-range instruction missing")
 	}
 }
 

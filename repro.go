@@ -29,6 +29,7 @@ package repro
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/arch"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -193,10 +195,12 @@ type Options struct {
 
 // Machine is one simulated processor instance bound to a program.
 type Machine struct {
-	proc     *cpu.Processor
-	policy   Policy
-	steering *core.Manager // non-nil for steering-family policies
-	tracer   *trace.Buffer
+	proc      *cpu.Processor
+	policy    Policy
+	policyObj cpu.Policy    // the installed policy object, for telemetry wiring
+	steering  *core.Manager // non-nil for steering-family policies
+	tracer    *trace.Buffer
+	probe     *telemetry.Probe
 }
 
 // NewMachine builds a machine for the program under the given options.
@@ -212,6 +216,7 @@ func NewMachine(prog Program, opt Options) *Machine {
 		s := baseline.NewSteeringBasis(p.Fabric(), basis)
 		s.M.MinResidency = opt.MinResidency
 		m.steering = s.M
+		m.policyObj = s
 		p.SetPolicy(s)
 	case PolicyStaticInteger:
 		p.Fabric().Install(basis[0])
@@ -222,13 +227,21 @@ func NewMachine(prog Program, opt Options) *Machine {
 	case PolicyNone:
 		// Empty fabric, FFUs only.
 	case PolicyFullReconfig:
-		p.SetPolicy(baseline.NewFullReconfigBasis(p.Fabric(), basis))
+		fr := baseline.NewFullReconfigBasis(p.Fabric(), basis)
+		m.policyObj = fr
+		p.SetPolicy(fr)
 	case PolicyOracle:
-		p.SetPolicy(baseline.NewOracleBasis(p.Fabric(), basis))
+		o := baseline.NewOracleBasis(p.Fabric(), basis)
+		m.policyObj = o
+		p.SetPolicy(o)
 	case PolicyRandom:
-		p.SetPolicy(baseline.NewRandom(p.Fabric(), opt.Seed))
+		r := baseline.NewRandom(p.Fabric(), opt.Seed)
+		m.policyObj = r
+		p.SetPolicy(r)
 	case PolicyDemand:
-		p.SetPolicy(core.NewDemandManager(p.Fabric()))
+		d := core.NewDemandManager(p.Fabric())
+		m.policyObj = d
+		p.SetPolicy(d)
 	default:
 		panic(fmt.Sprintf("repro: unknown policy %d", opt.Policy))
 	}
@@ -236,8 +249,16 @@ func NewMachine(prog Program, opt Options) *Machine {
 }
 
 // Run executes until HALT retires or maxCycles elapse; it returns the run
-// statistics and an error when the budget ran out.
-func (m *Machine) Run(maxCycles int) (Stats, error) { return m.proc.Run(maxCycles) }
+// statistics and an error when the budget ran out. When telemetry is
+// enabled the exporter is flushed at the end of the run, and a telemetry
+// export error surfaces here if the run itself succeeded.
+func (m *Machine) Run(maxCycles int) (Stats, error) {
+	stats, err := m.proc.Run(maxCycles)
+	if ferr := m.probe.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("telemetry: %w", ferr)
+	}
+	return stats, err
+}
 
 // Cycle advances the machine one clock.
 func (m *Machine) Cycle() { m.proc.Cycle() }
@@ -369,6 +390,71 @@ func (m *Machine) ReportJSON() ([]byte, error) {
 	}
 	return json.MarshalIndent(doc, "", "  ")
 }
+
+// DefaultMetricsInterval is the sampling interval EnableTelemetry uses
+// when none is given.
+const DefaultMetricsInterval = 100
+
+// EnableTelemetry attaches a telemetry probe sampling the machine every
+// interval cycles (0 selects DefaultMetricsInterval) and streaming to w
+// in the given format: "jsonl" (samples + steering decisions, one JSON
+// object per line), "csv" (sample time series), or "prom" (Prometheus
+// text snapshot of the cumulative counters, written at flush). Call
+// before Run; Run flushes the exporter when it finishes. The returned
+// probe exposes the metrics registry for programmatic reads.
+func (m *Machine) EnableTelemetry(w io.Writer, format string, interval int) (*telemetry.Probe, error) {
+	if interval == 0 {
+		interval = DefaultMetricsInterval
+	}
+	if interval < 0 {
+		return nil, fmt.Errorf("repro: metrics interval must be positive, got %d", interval)
+	}
+	probe := telemetry.NewProbe(interval)
+	var exp telemetry.Exporter
+	switch format {
+	case "jsonl":
+		exp = telemetry.NewJSONL(w)
+	case "csv":
+		exp = telemetry.NewCSV(w)
+	case "prom":
+		exp = telemetry.NewProm(w, probe.Registry())
+	default:
+		return nil, fmt.Errorf("repro: unknown metrics format %q (known: jsonl, csv, prom)", format)
+	}
+	probe.SetExporter(exp)
+	m.attachProbe(probe)
+	return probe, nil
+}
+
+// EnableTelemetryExporter attaches a telemetry probe with a custom
+// exporter (e.g. a telemetry.Collector for in-memory post-processing).
+func (m *Machine) EnableTelemetryExporter(e telemetry.Exporter, interval int) *telemetry.Probe {
+	if interval == 0 {
+		interval = DefaultMetricsInterval
+	}
+	probe := telemetry.NewProbe(interval)
+	probe.SetExporter(e)
+	m.attachProbe(probe)
+	return probe
+}
+
+// attachProbe wires a probe into the processor and, when the policy
+// supports it, the configuration-management stack.
+func (m *Machine) attachProbe(probe *telemetry.Probe) {
+	m.probe = probe
+	m.proc.SetTelemetry(probe)
+	if ts, ok := m.policyObj.(interface{ SetTelemetry(*telemetry.Probe) }); ok {
+		ts.SetTelemetry(probe)
+	}
+}
+
+// Telemetry returns the attached probe, or nil when telemetry is off.
+func (m *Machine) Telemetry() *telemetry.Probe { return m.probe }
+
+// FlushTelemetry flushes the telemetry exporter and reports the first
+// export error of the run — useful when driving the machine with Cycle
+// instead of Run.
+func (m *Machine) FlushTelemetry() error { return m.probe.Flush() }
 
 // EnableTracing records up to limit pipeline events (fetch, dispatch,
 // issue, retire, flush, reconfiguration) for TraceLog and Pipeview. Call

@@ -1,0 +1,144 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryEndToEndSteering drives a steering-policy kernel run with
+// an in-memory collector and checks the full pipeline: samples arrive on
+// the interval with live machine state, CEM scores are present for all
+// four candidates, and every configuration switch produced a decision
+// record.
+func TestTelemetryEndToEndSteering(t *testing.T) {
+	k := KernelByName("matmul")
+	if k == nil {
+		t.Fatal("matmul kernel missing")
+	}
+	m := NewMachine(k.Program(), Options{Policy: PolicySteering})
+	if k.Setup != nil {
+		k.Setup(m.Processor().Memory(), m.Processor().SetReg)
+	}
+	col := &telemetry.Collector{}
+	probe := m.EnableTelemetryExporter(col, 50)
+	stats, err := m.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	// Samples land exactly on interval boundaries.
+	for _, s := range col.Samples {
+		if s.Cycle%50 != 0 {
+			t.Fatalf("sample at cycle %d, not on the 50-cycle interval", s.Cycle)
+		}
+	}
+	last := col.Samples[len(col.Samples)-1]
+	if last.Retired == 0 || last.Retired > stats.Retired {
+		t.Errorf("last sample retired = %d, run retired = %d", last.Retired, stats.Retired)
+	}
+	// A steering run scores candidates every managed cycle.
+	sawCEM := false
+	for _, s := range col.Samples {
+		if s.CEMValid {
+			sawCEM = true
+			if s.CEMChoice < 0 || s.CEMChoice >= 4 {
+				t.Errorf("CEM choice out of range: %d", s.CEMChoice)
+			}
+		}
+	}
+	if !sawCEM {
+		t.Error("no sample carried CEM scores under the steering policy")
+	}
+	// Cumulative counters agree with the run stats.
+	if v, _ := probe.Registry().CounterValue("rsssim_retired_total"); int(v) != stats.Retired {
+		t.Errorf("retired counter = %d, stats = %d", v, stats.Retired)
+	}
+	if v, _ := probe.Registry().CounterValue("rsssim_cycles_total"); int(v) != stats.Cycles {
+		t.Errorf("cycles counter = %d, stats = %d", v, stats.Cycles)
+	}
+	// The steering run reconfigures; every switch logged a decision.
+	if m.Reconfigurations() > 0 && len(col.Decisions) == 0 {
+		t.Error("fabric reconfigured but no steering decisions were logged")
+	}
+	for _, d := range col.Decisions {
+		if d.To == "" || d.Choice < 1 || d.Choice > 3 {
+			t.Errorf("malformed decision: %+v", d)
+		}
+		if d.Spans == 0 {
+			t.Errorf("decision with zero spans started: %+v", d)
+		}
+	}
+	// Bottleneck buckets partition the cycles across samples.
+	var bucketSum int
+	for _, s := range col.Samples {
+		bucketSum += s.BucketIssued + s.BucketUnits + s.BucketDeps + s.BucketFrontend
+	}
+	if bucketSum > stats.Cycles {
+		t.Errorf("bucket sum %d exceeds cycle count %d", bucketSum, stats.Cycles)
+	}
+}
+
+// TestTelemetryJSONLFacade checks EnableTelemetry's writer plumbing and
+// format validation.
+func TestTelemetryJSONLFacade(t *testing.T) {
+	k := KernelByName("saxpy")
+	if k == nil {
+		t.Fatal("saxpy kernel missing")
+	}
+	var buf bytes.Buffer
+	m := NewMachine(k.Program(), Options{Policy: PolicySteering})
+	if k.Setup != nil {
+		k.Setup(m.Processor().Memory(), m.Processor().SetReg)
+	}
+	if _, err := m.EnableTelemetry(&buf, "jsonl", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("JSONL output has %d lines, want several", len(lines))
+	}
+	if !strings.Contains(lines[0], `"record":"`) {
+		t.Errorf("first line missing record tag: %s", lines[0])
+	}
+
+	if _, err := m.EnableTelemetry(&buf, "yaml", 100); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := m.EnableTelemetry(&buf, "jsonl", -5); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+// TestTelemetryDisabledMachineRunsIdentically proves instrumentation is
+// inert when no probe is attached: identical cycle counts and
+// architectural results with and without a probe on another machine.
+func TestTelemetryDisabledMachineRunsIdentically(t *testing.T) {
+	k := KernelByName("saxpy")
+	run := func(withProbe bool) Stats {
+		m := NewMachine(k.Program(), Options{Policy: PolicySteering})
+		if k.Setup != nil {
+			k.Setup(m.Processor().Memory(), m.Processor().SetReg)
+		}
+		if withProbe {
+			m.EnableTelemetryExporter(&telemetry.Collector{}, 10)
+		}
+		stats, err := m.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	plain, probed := run(false), run(true)
+	if plain.Cycles != probed.Cycles || plain.Retired != probed.Retired {
+		t.Errorf("telemetry changed the simulation: %d/%d cycles, %d/%d retired",
+			plain.Cycles, probed.Cycles, plain.Retired, probed.Retired)
+	}
+}
