@@ -164,7 +164,7 @@ func BenchmarkFig7AvailabilityGateLevel(b *testing.B) {
 
 // benchRun runs prog under the policy once per iteration, reporting IPC
 // and simulated Mcycles/s.
-func benchRun(b *testing.B, prog isa.Program, params cpu.Params, policy string) {
+func benchRun(b *testing.B, prog isa.Program, params cpu.Params, policy cpu.Policy) {
 	b.Helper()
 	var lastStats cpu.Stats
 	totalCycles := 0
@@ -172,22 +172,22 @@ func benchRun(b *testing.B, prog isa.Program, params cpu.Params, policy string) 
 	for i := 0; i < b.N; i++ {
 		var p *cpu.Processor
 		switch policy {
-		case "steering":
+		case cpu.PolicySteering:
 			p = cpu.New(prog, params, nil)
-			p.SetPolicy(baseline.NewSteering(p.Fabric()))
-		case "static-int":
+			p.SetManager(baseline.NewSteering(p.Fabric()))
+		case cpu.PolicyStaticInteger:
 			p = cpu.New(prog, params, nil)
 			p.Fabric().Install(config.DefaultBasis()[0])
-		case "ffu-only":
+		case cpu.PolicyNone:
 			p = cpu.New(prog, params, nil)
-		case "full-reconfig":
+		case cpu.PolicyFullReconfig:
 			p = cpu.New(prog, params, nil)
-			p.SetPolicy(baseline.NewFullReconfig(p.Fabric()))
-		case "oracle":
+			p.SetManager(baseline.NewFullReconfig(p.Fabric()))
+		case cpu.PolicyOracle:
 			op := params
 			op.ReconfigLatency = 1
 			p = cpu.New(prog, op, nil)
-			p.SetPolicy(baseline.NewOracle(p.Fabric()))
+			p.SetManager(baseline.NewOracle(p.Fabric()))
 		default:
 			b.Fatalf("unknown policy %s", policy)
 		}
@@ -211,8 +211,8 @@ func BenchmarkX1Phased(b *testing.B) {
 		{Mix: workload.MixMemHeavy, Instructions: 500},
 		{Mix: workload.MixFPHeavy, Instructions: 500},
 	}, workload.SynthParams{Seed: 7})
-	for _, policy := range []string{"steering", "static-int", "ffu-only", "full-reconfig", "oracle"} {
-		b.Run(policy, func(b *testing.B) {
+	for _, policy := range []cpu.Policy{cpu.PolicySteering, cpu.PolicyStaticInteger, cpu.PolicyNone, cpu.PolicyFullReconfig, cpu.PolicyOracle} {
+		b.Run(policy.String(), func(b *testing.B) {
 			benchRun(b, prog, cpu.DefaultParams(), policy)
 		})
 	}
@@ -227,7 +227,7 @@ func BenchmarkX1Kernels(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p := cpu.New(prog, cpu.DefaultParams(), nil)
-				p.SetPolicy(baseline.NewSteering(p.Fabric()))
+				p.SetManager(baseline.NewSteering(p.Fabric()))
 				if k.Setup != nil {
 					k.Setup(p.Memory(), p.SetReg)
 				}
@@ -252,7 +252,7 @@ func BenchmarkX2ReconfigLatency(b *testing.B) {
 		b.Run(itoa(lat), func(b *testing.B) {
 			params := cpu.DefaultParams()
 			params.ReconfigLatency = lat
-			benchRun(b, prog, params, "steering")
+			benchRun(b, prog, params, cpu.PolicySteering)
 		})
 	}
 }
@@ -284,7 +284,7 @@ func BenchmarkX4NoFFUSteering(b *testing.B) {
 	}, workload.SynthParams{Seed: 5})
 	params := cpu.DefaultParams()
 	params.DisableFFUs = true
-	benchRun(b, prog, params, "steering")
+	benchRun(b, prog, params, cpu.PolicySteering)
 }
 
 // X5: window-size sweep.
@@ -296,7 +296,7 @@ func BenchmarkX5Window(b *testing.B) {
 		b.Run(itoa(w), func(b *testing.B) {
 			params := cpu.DefaultParams()
 			params.WindowSize = w
-			benchRun(b, prog, params, "steering")
+			benchRun(b, prog, params, cpu.PolicySteering)
 		})
 	}
 }
@@ -321,7 +321,7 @@ func BenchmarkX6Basis(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p := cpu.New(prog, cpu.DefaultParams(), nil)
 				m := core.NewManager(p.Fabric(), basis)
-				p.SetPolicy(&baseline.Steering{M: m})
+				p.SetManager(&baseline.Steering{M: m})
 				st, err := p.Run(50_000_000)
 				if err != nil {
 					b.Fatal(err)
@@ -354,7 +354,7 @@ func BenchmarkX8TimelineRun(b *testing.B) {
 		{Mix: workload.MixIntHeavy, Instructions: 400},
 		{Mix: workload.MixFPHeavy, Instructions: 400},
 	}, workload.SynthParams{Seed: 7})
-	benchRun(b, prog, cpu.DefaultParams(), "steering")
+	benchRun(b, prog, cpu.DefaultParams(), cpu.PolicySteering)
 }
 
 // X9: select-free vs ideal select.
@@ -366,7 +366,7 @@ func BenchmarkX9SelectFree(b *testing.B) {
 		b.Run(mode, func(b *testing.B) {
 			params := cpu.DefaultParams()
 			params.SelectFree = mode == "select-free"
-			benchRun(b, prog, params, "steering")
+			benchRun(b, prog, params, cpu.PolicySteering)
 		})
 	}
 }
@@ -392,7 +392,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p := cpu.New(prog, cpu.DefaultParams(), nil)
-				p.SetPolicy(baseline.NewSteering(p.Fabric()))
+				p.SetManager(baseline.NewSteering(p.Fabric()))
 				if traced {
 					p.SetTracer(trace.NewBuffer(1 << 16))
 				}
@@ -419,7 +419,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p := cpu.New(prog, cpu.DefaultParams(), nil)
 				steer := baseline.NewSteering(p.Fabric())
-				p.SetPolicy(steer)
+				p.SetManager(steer)
 				if mode == "on" {
 					probe := telemetry.NewProbe(100)
 					probe.SetExporter(&telemetry.Collector{})

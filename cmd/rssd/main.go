@@ -1,0 +1,87 @@
+// rssd serves the simulator as a batch HTTP/JSON service: assemble
+// programs, run single simulations, and fan parameter sweeps out over a
+// bounded worker pool. See internal/server for the API and the README's
+// "Server mode" section for a curl quick start.
+//
+// Usage:
+//
+//	rssd [-addr :8080] [-workers N] [-backlog N] [-timeout 10s] ...
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: new jobs are
+// rejected with 503 while in-flight requests drain, bounded by
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		backlog      = flag.Int("backlog", 0, "max jobs waiting beyond running ones (0 = 4x workers)")
+		maxBody      = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		timeout      = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied deadlines")
+		maxCycles    = flag.Int("max-cycles", 50_000_000, "default cycle budget per simulation")
+		cyclesCap    = flag.Int("cycles-cap", 500_000_000, "hard cap on request cycle budgets")
+		cacheSize    = flag.Int("cache", 64, "assembled-program LRU capacity (negative disables)")
+		sweepPoints  = flag.Int("sweep-points", 256, "max grid points per sweep request")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests at shutdown")
+	)
+	flag.Parse()
+
+	api := server.New(server.Config{
+		Workers:          *workers,
+		Backlog:          *backlog,
+		MaxBodyBytes:     *maxBody,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		DefaultMaxCycles: *maxCycles,
+		MaxCyclesCap:     *cyclesCap,
+		CacheSize:        *cacheSize,
+		MaxSweepPoints:   *sweepPoints,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("rssd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("rssd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("rssd: draining (up to %s)", *drainTimeout)
+	api.StartDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("rssd: shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("rssd: serve: %v", err)
+	}
+	log.Printf("rssd: drained, bye")
+}

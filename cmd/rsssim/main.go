@@ -29,7 +29,7 @@ func main() {
 		asmPath    = flag.String("asm", "", "assembly source file to run")
 		kernelName = flag.String("kernel", "", "built-in kernel to run")
 		synthetic  = flag.String("synthetic", "", "synthetic workload: int, fp, mem, mdu, uniform, phased")
-		policyName = flag.String("policy", "steering", "configuration policy")
+		policyName = flag.String("policy", repro.PolicySteering.String(), "configuration policy")
 		listK      = flag.Bool("kernels", false, "list built-in kernels and exit")
 		maxCycles  = flag.Int("max-cycles", 50_000_000, "cycle budget")
 		seed       = flag.Int64("seed", 7, "seed for synthetic workloads / random policy")

@@ -11,18 +11,18 @@ import (
 )
 
 func main() {
-	fmt.Printf("%-10s %-46s %10s %12s %9s\n",
-		"kernel", "description", "steering", "static-int", "speedup")
+	fmt.Printf("%-10s %-46s %10s %15s %9s\n",
+		"kernel", "description", repro.PolicySteering, repro.PolicyStaticInteger, "speedup")
 	for _, k := range repro.Kernels() {
 		steering, err := repro.RunKernel(k, repro.Options{Policy: repro.PolicySteering}, 50_000_000)
 		if err != nil {
-			log.Fatalf("%s under steering: %v", k.Name, err)
+			log.Fatalf("%s under %s: %v", k.Name, repro.PolicySteering, err)
 		}
 		static, err := repro.RunKernel(k, repro.Options{Policy: repro.PolicyStaticInteger}, 50_000_000)
 		if err != nil {
-			log.Fatalf("%s under static-int: %v", k.Name, err)
+			log.Fatalf("%s under %s: %v", k.Name, repro.PolicyStaticInteger, err)
 		}
-		fmt.Printf("%-10s %-46s %10.3f %12.3f %8.2fx\n",
+		fmt.Printf("%-10s %-46s %10.3f %15.3f %8.2fx\n",
 			k.Name, k.Description, steering.IPC(), static.IPC(),
 			steering.IPC()/static.IPC())
 	}

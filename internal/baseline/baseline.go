@@ -24,7 +24,7 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Steering adapts the paper's configuration manager to cpu.Policy.
+// Steering adapts the paper's configuration manager to cpu.Manager.
 type Steering struct {
 	M *core.Manager
 }

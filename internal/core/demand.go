@@ -180,5 +180,5 @@ func (m *DemandManager) Step(required arch.Counts) {
 	}
 }
 
-// Manage adapts the manager to the cpu.Policy interface.
+// Manage adapts the manager to the cpu.Manager interface.
 func (m *DemandManager) Manage(required arch.Counts) { m.Step(required) }

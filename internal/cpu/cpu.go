@@ -14,6 +14,8 @@
 package cpu
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/arch"
@@ -26,14 +28,16 @@ import (
 	"repro/internal/wakeup"
 )
 
-// Policy is a configuration-management strategy invoked once per cycle
-// with the unit requirements of the unscheduled window instructions. The
-// paper's steering manager is one Policy; package baseline provides the
-// comparison strategies. A nil Policy never reconfigures (a purely static
-// machine).
-type Policy interface {
-	Manage(required arch.Counts)
-}
+// Sentinel errors for run and construction failures, so callers (the
+// rssd server in particular) can classify outcomes with errors.Is
+// instead of string matching.
+var (
+	// ErrCycleLimit is wrapped by Run/RunContext when the cycle budget
+	// elapses before the program's HALT retires.
+	ErrCycleLimit = errors.New("cycle limit exceeded")
+	// ErrInvalidParams is wrapped by Params.Validate failures.
+	ErrInvalidParams = errors.New("invalid machine parameters")
+)
 
 // Params sizes the machine. Zero values select the defaults of
 // DefaultParams.
@@ -160,6 +164,53 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
+// Validate checks a parameter set before machine construction: every
+// sizing field must be non-negative (zero selects the default), and the
+// memory/cache geometries must be powers of two where the substrates
+// require it. Errors wrap ErrInvalidParams; cpu.New panics on the same
+// conditions, so servers validate request-supplied parameters here
+// first and map the failure to a 4xx.
+func (p Params) Validate() error {
+	bad := func(field string, v int) error {
+		return fmt.Errorf("%w: %s must be non-negative, got %d", ErrInvalidParams, field, v)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"WindowSize", p.WindowSize},
+		{"DispatchWidth", p.DispatchWidth},
+		{"IssueWidth", p.IssueWidth},
+		{"RetireWidth", p.RetireWidth},
+		{"ReconfigLatency", p.ReconfigLatency},
+		{"ConfigBusWidth", p.ConfigBusWidth},
+		{"MemBytes", p.MemBytes},
+		{"CacheSets", p.CacheSets},
+		{"CacheLineBytes", p.CacheLineBytes},
+		{"CacheMissPenalty", p.CacheMissPenalty},
+		{"PredictorEntries", p.PredictorEntries},
+		{"TraceCacheLines", p.TraceCacheLines},
+		{"TraceCacheLineLen", p.TraceCacheLineLen},
+		{"FetchWidthMem", p.FetchWidthMem},
+		{"FetchWidthTC", p.FetchWidthTC},
+	} {
+		if f.v < 0 {
+			return bad(f.name, f.v)
+		}
+	}
+	powerOfTwo := func(v int) bool { return v&(v-1) == 0 }
+	if p.MemBytes > 0 && !powerOfTwo(p.MemBytes) {
+		return fmt.Errorf("%w: MemBytes %d is not a power of two", ErrInvalidParams, p.MemBytes)
+	}
+	if p.CacheLineBytes > 0 && !powerOfTwo(p.CacheLineBytes) {
+		return fmt.Errorf("%w: CacheLineBytes %d is not a power of two", ErrInvalidParams, p.CacheLineBytes)
+	}
+	if p.IssueOrder < OrderOldest || p.IssueOrder > OrderRotate {
+		return fmt.Errorf("%w: unknown issue order %d", ErrInvalidParams, int(p.IssueOrder))
+	}
+	return nil
+}
+
 // IssueOrder names a scheduler grant-priority policy.
 type IssueOrder int
 
@@ -248,14 +299,14 @@ type Processor struct {
 	params Params
 	prog   isa.Program
 
-	memory *mem.Memory
-	dcache *mem.Cache
-	front  *fetch.Unit
-	pred   *fetch.Predictor
-	tcache *fetch.TraceCache
-	fabric *rfu.Fabric
-	array  *wakeup.Array
-	policy Policy
+	memory  *mem.Memory
+	dcache  *mem.Cache
+	front   *fetch.Unit
+	pred    *fetch.Predictor
+	tcache  *fetch.TraceCache
+	fabric  *rfu.Fabric
+	array   *wakeup.Array
+	manager Manager
 
 	reg    [isa.NumRegs]uint32
 	halted bool
@@ -287,25 +338,25 @@ type fetchedEntry struct {
 }
 
 // New builds a processor for prog with the given parameters and
-// configuration policy (nil for a static machine). The fabric starts
-// empty: only the FFUs exist until a policy loads RFU configurations; use
-// Fabric().Install to preset a static machine.
-func New(prog isa.Program, params Params, policy Policy) *Processor {
+// configuration manager (nil for a static machine). The fabric starts
+// empty: only the FFUs exist until a manager loads RFU configurations;
+// use Fabric().Install to preset a static machine.
+func New(prog isa.Program, params Params, manager Manager) *Processor {
 	params = params.withDefaults()
 	if params.WindowSize < 1 {
 		panic("cpu: window size must be positive")
 	}
 	p := &Processor{
-		params: params,
-		prog:   prog,
-		memory: mem.NewMemory(params.MemBytes),
-		dcache: mem.NewCache(params.CacheSets, params.CacheLineBytes, params.CacheMissPenalty),
-		pred:   newPredictor(params),
-		tcache: fetch.NewTraceCache(params.TraceCacheLines, params.TraceCacheLineLen),
-		fabric: rfu.New(params.ReconfigLatency),
-		array:  wakeup.New(params.WindowSize),
-		policy: policy,
-		rob:    make([]robEntry, params.WindowSize),
+		params:  params,
+		prog:    prog,
+		memory:  mem.NewMemory(params.MemBytes),
+		dcache:  mem.NewCache(params.CacheSets, params.CacheLineBytes, params.CacheMissPenalty),
+		pred:    newPredictor(params),
+		tcache:  fetch.NewTraceCache(params.TraceCacheLines, params.TraceCacheLineLen),
+		fabric:  rfu.New(params.ReconfigLatency),
+		array:   wakeup.New(params.WindowSize),
+		manager: manager,
+		rob:     make([]robEntry, params.WindowSize),
 	}
 	p.front = fetch.NewUnit(prog, p.pred, p.tcache)
 	p.front.MemWidth = params.FetchWidthMem
@@ -323,12 +374,12 @@ func New(prog isa.Program, params Params, policy Policy) *Processor {
 // Fabric exposes the execution fabric (for policies, presets and stats).
 func (p *Processor) Fabric() *rfu.Fabric { return p.fabric }
 
-// SetPolicy installs the configuration policy. Policies usually need the
-// fabric, which exists only after New, so the common pattern is:
+// SetManager installs the configuration manager. Managers usually need
+// the fabric, which exists only after New, so the common pattern is:
 //
 //	p := cpu.New(prog, params, nil)
-//	p.SetPolicy(baseline.NewSteering(p.Fabric()))
-func (p *Processor) SetPolicy(policy Policy) { p.policy = policy }
+//	p.SetManager(baseline.NewSteering(p.Fabric()))
+func (p *Processor) SetManager(manager Manager) { p.manager = manager }
 
 // SetTracer installs a pipeline event recorder (nil disables tracing).
 func (p *Processor) SetTracer(t trace.Recorder) { p.tracer = t }
@@ -451,14 +502,14 @@ func (p *Processor) Cycle() {
 		p.sampleTelemetry()
 		return
 	}
-	if p.policy != nil {
+	if p.manager != nil {
 		required := p.array.RequiredCounts()
 		if p.params.ManagerLookahead {
 			for i := range p.fetchBuf {
 				required[p.fetchBuf[i].f.Inst.Unit()]++
 			}
 		}
-		p.policy.Manage(required)
+		p.manager.Manage(required)
 		if p.tracer != nil {
 			if n := p.fabric.Reconfigurations(); n > p.lastReconfigs {
 				p.emit(trace.KindReconfig, 0, 0, 0,
@@ -474,15 +525,39 @@ func (p *Processor) Cycle() {
 }
 
 // Run executes until HALT retires or maxCycles elapse. It returns the
-// stats and an error when the cycle budget ran out — which, with FFUs
-// enabled, indicates a genuine simulator bug, and with FFUs disabled is
-// the expected starvation outcome of the X4 ablation.
+// stats and an error wrapping ErrCycleLimit when the cycle budget ran
+// out — which, with FFUs enabled, indicates a genuine simulator bug, and
+// with FFUs disabled is the expected starvation outcome of the X4
+// ablation.
 func (p *Processor) Run(maxCycles int) (Stats, error) {
+	return p.RunContext(context.Background(), maxCycles)
+}
+
+// CtxCheckInterval is how many cycles RunContext simulates between
+// context polls: cancellation takes effect within one interval.
+const CtxCheckInterval = 1024
+
+// RunContext is Run with cancellation: the context is checked every
+// CtxCheckInterval cycles, and on cancellation the run stops with the
+// context's error (context.Canceled or context.DeadlineExceeded) and
+// the statistics accumulated so far. The machine stays consistent — a
+// cancelled run can be resumed with another RunContext call.
+func (p *Processor) RunContext(ctx context.Context, maxCycles int) (Stats, error) {
 	for !p.halted && p.stats.Cycles < maxCycles {
-		p.Cycle()
+		if err := ctx.Err(); err != nil {
+			return p.Stats(), err
+		}
+		limit := p.stats.Cycles + CtxCheckInterval
+		if limit > maxCycles {
+			limit = maxCycles
+		}
+		for !p.halted && p.stats.Cycles < limit {
+			p.Cycle()
+		}
 	}
 	if !p.halted {
-		return p.Stats(), fmt.Errorf("cpu: no HALT within %d cycles (retired %d)", maxCycles, p.stats.Retired)
+		return p.Stats(), fmt.Errorf("cpu: no HALT within %d cycles (retired %d): %w",
+			maxCycles, p.stats.Retired, ErrCycleLimit)
 	}
 	return p.Stats(), nil
 }

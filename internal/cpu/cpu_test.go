@@ -142,8 +142,9 @@ var kernels = map[string]string{
 	`,
 }
 
-// policyNames enumerates the policies the differential tests cover.
-var policyNames = []string{"none", "steering", "full-reconfig", "oracle", "random", "static-int", "no-ffu-steering"}
+// scenarioNames enumerates the machine scenarios the differential tests
+// cover — policy names plus ablation variants like "no-ffu-steering".
+var scenarioNames = []string{"none", "steering", "full-reconfig", "oracle", "random", "static-int", "no-ffu-steering"}
 
 // buildProcessor constructs a processor with the named policy installed.
 func buildProcessor(prog isa.Program, params Params, policy string) *Processor {
@@ -157,13 +158,13 @@ func buildProcessor(prog isa.Program, params Params, policy string) *Processor {
 	switch policy {
 	case "none":
 	case "steering", "no-ffu-steering":
-		p.SetPolicy(baseline.NewSteering(p.Fabric()))
+		p.SetManager(baseline.NewSteering(p.Fabric()))
 	case "full-reconfig":
-		p.SetPolicy(baseline.NewFullReconfig(p.Fabric()))
+		p.SetManager(baseline.NewFullReconfig(p.Fabric()))
 	case "oracle":
-		p.SetPolicy(baseline.NewOracle(p.Fabric()))
+		p.SetManager(baseline.NewOracle(p.Fabric()))
 	case "random":
-		p.SetPolicy(baseline.NewRandom(p.Fabric(), 1))
+		p.SetManager(baseline.NewRandom(p.Fabric(), 1))
 	case "static-int":
 		p.Fabric().Install(config.DefaultBasis()[0])
 	default:
@@ -194,7 +195,7 @@ func TestDifferentialAgainstFunctionalReference(t *testing.T) {
 		prog := isa.MustAssemble(src)
 		ref, steps := reference(t, prog, memBytes)
 		refMem := ref.Mem.(*mem.Memory)
-		for _, policy := range policyNames {
+		for _, policy := range scenarioNames {
 			if policy == "no-ffu-steering" {
 				// Without FFUs only the kernels the floating basis
 				// config covers can run; skip kernels needing IntMDU.
@@ -332,7 +333,7 @@ func TestSteeringRescuesFFUlessMachine(t *testing.T) {
 	`)
 	params := Params{MemBytes: 1 << 12, DisableFFUs: true, ReconfigLatency: 2}
 	p := New(prog, params, nil)
-	p.SetPolicy(baseline.NewSteering(p.Fabric()))
+	p.SetManager(baseline.NewSteering(p.Fabric()))
 	if _, err := p.Run(10000); err != nil {
 		t.Fatalf("steering did not rescue the FFU-less machine: %v", err)
 	}

@@ -75,7 +75,7 @@ func TestTraceRecordsFlushesAndReconfigs(t *testing.T) {
 		halt
 	`)
 	p := New(prog, Params{MemBytes: 1 << 12}, nil)
-	p.SetPolicy(baseline.NewSteering(p.Fabric()))
+	p.SetManager(baseline.NewSteering(p.Fabric()))
 	buf := trace.NewBuffer(100000)
 	p.SetTracer(buf)
 	if _, err := p.Run(100000); err != nil {
@@ -169,7 +169,7 @@ func TestTracingDoesNotChangeResults(t *testing.T) {
 	`)
 	run := func(traced bool) (uint32, int) {
 		p := New(prog, Params{MemBytes: 1 << 12}, nil)
-		p.SetPolicy(baseline.NewSteering(p.Fabric()))
+		p.SetManager(baseline.NewSteering(p.Fabric()))
 		if traced {
 			p.SetTracer(trace.NewBuffer(10))
 		}

@@ -79,13 +79,13 @@ func TestFig7ReportsNoMismatches(t *testing.T) {
 func TestX1ShapeHolds(t *testing.T) {
 	params := cpu.DefaultParams()
 	prog := PhasedWorkload(7)
-	steering := ipcOf(prog, params, "steering")
-	ffuOnly := ipcOf(prog, params, "ffu-only")
+	steering := ipcOf(prog, params, cpu.PolicySteering)
+	ffuOnly := ipcOf(prog, params, cpu.PolicyNone)
 	if steering <= ffuOnly {
 		t.Errorf("steering %.3f <= ffu-only %.3f on phased workload", steering, ffuOnly)
 	}
 	worstStatic := steering
-	for _, pol := range []string{"static-int", "static-mem", "static-fp"} {
+	for _, pol := range []cpu.Policy{cpu.PolicyStaticInteger, cpu.PolicyStaticMemory, cpu.PolicyStaticFloating} {
 		if v := ipcOf(prog, params, pol); v < worstStatic {
 			worstStatic = v
 		}
@@ -93,7 +93,7 @@ func TestX1ShapeHolds(t *testing.T) {
 	if steering < worstStatic {
 		t.Errorf("steering %.3f below worst static %.3f", steering, worstStatic)
 	}
-	oracle := ipcOf(prog, params, "oracle")
+	oracle := ipcOf(prog, params, cpu.PolicyOracle)
 	if oracle < steering*0.8 {
 		t.Errorf("oracle %.3f unexpectedly far below steering %.3f", oracle, steering)
 	}
@@ -108,7 +108,7 @@ func TestX2LatencyShape(t *testing.T) {
 	for _, lat := range []int{1, 8, 64, 256} {
 		params := cpu.DefaultParams()
 		params.ReconfigLatency = lat
-		ipc := ipcOf(prog, params, "steering")
+		ipc := ipcOf(prog, params, cpu.PolicySteering)
 		if ipc < 0 {
 			t.Fatalf("latency %d DNF", lat)
 		}
@@ -306,7 +306,7 @@ func TestStudyOutputsWellFormed(t *testing.T) {
 // FFU-only machine, and every cycle must land in exactly one bucket.
 func TestX14SteeringRemovesUnitBoundCycles(t *testing.T) {
 	prog := PhasedWorkload(7)
-	run := func(pol string) cpu.Stats {
+	run := func(pol cpu.Policy) cpu.Stats {
 		p := buildMachine(prog, cpu.DefaultParams(), pol)
 		st, err := p.Run(MaxCycles)
 		if err != nil {
@@ -318,8 +318,8 @@ func TestX14SteeringRemovesUnitBoundCycles(t *testing.T) {
 		}
 		return st
 	}
-	steer := run("steering")
-	ffu := run("ffu-only")
+	steer := run(cpu.PolicySteering)
+	ffu := run(cpu.PolicyNone)
 	steerUnitFrac := float64(steer.CyclesUnits) / float64(steer.Cycles)
 	ffuUnitFrac := float64(ffu.CyclesUnits) / float64(ffu.Cycles)
 	if steerUnitFrac > ffuUnitFrac/2 {
@@ -340,7 +340,7 @@ func TestX12WidthMonotone(t *testing.T) {
 		params.FetchWidthMem = width
 		params.FetchWidthTC = width * 2
 		params.WindowSize = window
-		return ipcOf(prog, params, "steering")
+		return ipcOf(prog, params, cpu.PolicySteering)
 	}
 	if a, b := ipcAt(1, 16), ipcAt(4, 16); b < a*0.98 {
 		t.Errorf("widening 1->4 lowered IPC: %.3f -> %.3f", a, b)
@@ -357,7 +357,7 @@ func TestX13TraceCacheHelpsTightLoops(t *testing.T) {
 	run := func(tcWidth int) float64 {
 		params := cpu.DefaultParams()
 		params.FetchWidthTC = tcWidth
-		p := buildMachine(k.Program(), params, "steering")
+		p := buildMachine(k.Program(), params, cpu.PolicySteering)
 		st, err := p.Run(MaxCycles)
 		if err != nil {
 			t.Fatal(err)
@@ -376,7 +376,7 @@ func TestX10LookaheadFixesSaxpy(t *testing.T) {
 	run := func(lookahead bool) float64 {
 		params := cpu.DefaultParams()
 		params.ManagerLookahead = lookahead
-		p := buildMachine(k.Program(), params, "steering")
+		p := buildMachine(k.Program(), params, cpu.PolicySteering)
 		k.Setup(p.Memory(), p.SetReg)
 		st, err := p.Run(MaxCycles)
 		if err != nil {
@@ -401,7 +401,7 @@ func TestX11ResidencyFixesSaxpy(t *testing.T) {
 		p := cpu.New(k.Program(), cpu.DefaultParams(), nil)
 		m := core.NewManager(p.Fabric(), config.DefaultBasis())
 		m.MinResidency = res
-		p.SetPolicy(&baseline.Steering{M: m})
+		p.SetManager(&baseline.Steering{M: m})
 		k.Setup(p.Memory(), p.SetReg)
 		st, err := p.Run(MaxCycles)
 		if err != nil {
@@ -428,12 +428,12 @@ func TestX11ResidencyFixesSaxpy(t *testing.T) {
 func TestX7DemandDrivenShape(t *testing.T) {
 	prog := PhasedWorkload(7)
 	params := cpu.DefaultParams()
-	demand := ipcOf(prog, params, "demand")
-	ffuOnly := ipcOf(prog, params, "ffu-only")
+	demand := ipcOf(prog, params, cpu.PolicyDemand)
+	ffuOnly := ipcOf(prog, params, cpu.PolicyNone)
 	if demand <= ffuOnly {
 		t.Errorf("demand-driven %.3f not above ffu-only %.3f", demand, ffuOnly)
 	}
-	steering := ipcOf(prog, params, "steering")
+	steering := ipcOf(prog, params, cpu.PolicySteering)
 	if demand < steering*0.8 {
 		t.Errorf("demand-driven %.3f unexpectedly far below steering %.3f", demand, steering)
 	}

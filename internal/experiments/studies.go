@@ -21,56 +21,67 @@ import (
 const MaxCycles = 20_000_000
 
 // Policies enumerated by the comparison studies.
-var studyPolicies = []string{
-	"steering", "demand", "static-int", "static-mem", "static-fp",
-	"ffu-only", "full-reconfig", "oracle", "random",
+var studyPolicies = []cpu.Policy{
+	cpu.PolicySteering, cpu.PolicyDemand, cpu.PolicyStaticInteger,
+	cpu.PolicyStaticMemory, cpu.PolicyStaticFloating, cpu.PolicyNone,
+	cpu.PolicyFullReconfig, cpu.PolicyOracle, cpu.PolicyRandom,
 }
 
-// buildMachine constructs a processor with the named policy.
-func buildMachine(prog isa.Program, params cpu.Params, policy string) *cpu.Processor {
+// policyColumns renders policies as table column headers.
+func policyColumns(ps []cpu.Policy) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// buildMachine constructs a processor with the given typed policy.
+func buildMachine(prog isa.Program, params cpu.Params, policy cpu.Policy) *cpu.Processor {
 	p, _ := buildMachinePolicy(prog, params, policy)
 	return p
 }
 
-// buildMachinePolicy is buildMachine exposing the installed policy object
-// (nil for the static policies), so studies can wire telemetry into it.
-func buildMachinePolicy(prog isa.Program, params cpu.Params, policy string) (*cpu.Processor, cpu.Policy) {
-	if policy == "oracle" {
+// buildMachinePolicy is buildMachine exposing the installed manager
+// object (nil for the static policies), so studies can wire telemetry
+// into it.
+func buildMachinePolicy(prog isa.Program, params cpu.Params, policy cpu.Policy) (*cpu.Processor, cpu.Manager) {
+	if policy == cpu.PolicyOracle {
 		params.ReconfigLatency = 1
 	}
 	p := cpu.New(prog, params, nil)
 	basis := config.DefaultBasis()
-	var obj cpu.Policy
+	var obj cpu.Manager
 	switch policy {
-	case "steering":
+	case cpu.PolicySteering:
 		obj = baseline.NewSteering(p.Fabric())
-	case "static-int":
+	case cpu.PolicyStaticInteger:
 		p.Fabric().Install(basis[0])
-	case "static-mem":
+	case cpu.PolicyStaticMemory:
 		p.Fabric().Install(basis[1])
-	case "static-fp":
+	case cpu.PolicyStaticFloating:
 		p.Fabric().Install(basis[2])
-	case "ffu-only":
+	case cpu.PolicyNone:
 		// empty fabric
-	case "full-reconfig":
+	case cpu.PolicyFullReconfig:
 		obj = baseline.NewFullReconfig(p.Fabric())
-	case "oracle":
+	case cpu.PolicyOracle:
 		obj = baseline.NewOracle(p.Fabric())
-	case "random":
+	case cpu.PolicyRandom:
 		obj = baseline.NewRandom(p.Fabric(), 1)
-	case "demand":
+	case cpu.PolicyDemand:
 		obj = core.NewDemandManager(p.Fabric())
 	default:
-		panic("experiments: unknown policy " + policy)
+		panic("experiments: unknown policy " + policy.String())
 	}
 	if obj != nil {
-		p.SetPolicy(obj)
+		p.SetManager(obj)
 	}
 	return p, obj
 }
 
 // ipcOf runs prog under the policy and returns its IPC, or -1 on DNF.
-func ipcOf(prog isa.Program, params cpu.Params, policy string) float64 {
+func ipcOf(prog isa.Program, params cpu.Params, policy cpu.Policy) float64 {
 	p := buildMachine(prog, params, policy)
 	st, err := p.Run(MaxCycles)
 	if err != nil {
@@ -108,7 +119,7 @@ func X1() string {
 
 	// Synthetic workloads.
 	synth := stats.NewTable("Synthetic workloads (IPC; higher is better)",
-		append([]string{"workload"}, studyPolicies...)...)
+		append([]string{"workload"}, policyColumns(studyPolicies)...)...)
 	workloads := []struct {
 		name string
 		prog isa.Program
@@ -134,7 +145,7 @@ func X1() string {
 	b.WriteString(synth.String() + "\n")
 
 	// Kernels.
-	kt := stats.NewTable("Kernel library (IPC)", append([]string{"kernel"}, studyPolicies...)...)
+	kt := stats.NewTable("Kernel library (IPC)", append([]string{"kernel"}, policyColumns(studyPolicies)...)...)
 	kernels := workload.Kernels()
 	kernelGrid := sweep.Grid(len(kernels), len(studyPolicies), 0, func(row, col int) string {
 		k := kernels[row]
@@ -179,19 +190,19 @@ func X1Seeds() string {
 	rows := sweep.Run(n, 0, func(i int) row {
 		prog := PhasedWorkload(int64(100 + i))
 		best := 0.0
-		for _, pol := range []string{"static-int", "static-mem", "static-fp"} {
+		for _, pol := range []cpu.Policy{cpu.PolicyStaticInteger, cpu.PolicyStaticMemory, cpu.PolicyStaticFloating} {
 			if v := ipcOf(prog, params, pol); v > best {
 				best = v
 			}
 		}
 		return row{
-			steering:   ipcOf(prog, params, "steering"),
+			steering:   ipcOf(prog, params, cpu.PolicySteering),
 			bestStatic: best,
-			ffuOnly:    ipcOf(prog, params, "ffu-only"),
+			ffuOnly:    ipcOf(prog, params, cpu.PolicyNone),
 		}
 	})
 
-	t := stats.NewTable("per-seed IPC", "seed", "steering", "best static", "ffu-only", "steering/best-static")
+	t := stats.NewTable("per-seed IPC", "seed", cpu.PolicySteering.String(), "best static", cpu.PolicyNone.String(), "steering/best-static")
 	var speedups stats.Series
 	wins := 0
 	for i, r := range rows {
@@ -213,14 +224,14 @@ func X1Seeds() string {
 func X2() string {
 	prog := PhasedWorkload(7)
 	t := stats.NewTable("X2 — IPC vs reconfiguration latency (phased workload)",
-		"latency (cycles/span)", "steering", "full-reconfig", "static-int (ref)")
-	staticRef := ipcOf(prog, cpu.DefaultParams(), "static-int")
+		"latency (cycles/span)", cpu.PolicySteering.String(), cpu.PolicyFullReconfig.String(), "static-int (ref)")
+	staticRef := ipcOf(prog, cpu.DefaultParams(), cpu.PolicyStaticInteger)
 	for _, lat := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
 		params := cpu.DefaultParams()
 		params.ReconfigLatency = lat
 		t.AddRow(lat,
-			fmtIPC(ipcOf(prog, params, "steering")),
-			fmtIPC(ipcOf(prog, params, "full-reconfig")),
+			fmtIPC(ipcOf(prog, params, cpu.PolicySteering)),
+			fmtIPC(ipcOf(prog, params, cpu.PolicyFullReconfig)),
 			fmtIPC(staticRef))
 	}
 	return t.String()
@@ -282,7 +293,7 @@ func X3() string {
 		p := cpu.New(prog, params, nil)
 		m := core.NewManager(p.Fabric(), config.DefaultBasis())
 		m.ExactCEM = exact
-		p.SetPolicy(&baseline.Steering{M: m})
+		p.SetManager(&baseline.Steering{M: m})
 		st, err := p.Run(MaxCycles)
 		if err != nil {
 			return -1
@@ -304,12 +315,12 @@ func X4() string {
 	cases := []struct {
 		name    string
 		disable bool
-		policy  string
+		policy  cpu.Policy
 	}{
-		{"FFUs + steering", false, "steering"},
-		{"FFUs only (no policy)", false, "ffu-only"},
-		{"no FFUs + steering", true, "steering"},
-		{"no FFUs, no policy", true, "ffu-only"},
+		{"FFUs + steering", false, cpu.PolicySteering},
+		{"FFUs only (no policy)", false, cpu.PolicyNone},
+		{"no FFUs + steering", true, cpu.PolicySteering},
+		{"no FFUs, no policy", true, cpu.PolicyNone},
 	}
 	for _, c := range cases {
 		params := cpu.DefaultParams()
@@ -333,7 +344,7 @@ func X5() string {
 	for _, w := range []int{2, 4, 7, 12, 16, 24, 32} {
 		params := cpu.DefaultParams()
 		params.WindowSize = w
-		p := buildMachine(prog, params, "steering")
+		p := buildMachine(prog, params, cpu.PolicySteering)
 		st, err := p.Run(MaxCycles)
 		ipc := -1.0
 		if err == nil {
@@ -376,7 +387,7 @@ func X6() string {
 	for _, bc := range bases {
 		p := cpu.New(prog, params, nil)
 		m := core.NewManager(p.Fabric(), bc.basis)
-		p.SetPolicy(&baseline.Steering{M: m})
+		p.SetManager(&baseline.Steering{M: m})
 		st, err := p.Run(MaxCycles)
 		ipc := -1.0
 		if err == nil {
@@ -404,14 +415,14 @@ func X7() string {
 		{"uniform", workload.Synthesize([]workload.Phase{{Mix: workload.MixUniform, Instructions: 2500}}, workload.SynthParams{Seed: 11})},
 	}
 	t := stats.NewTable("IPC: basis steering vs demand-driven synthesis",
-		"workload", "steering", "demand h=0", "demand h=1", "demand h=2", "oracle")
+		"workload", cpu.PolicySteering.String(), "demand h=0", "demand h=1", "demand h=2", cpu.PolicyOracle.String())
 	for _, w := range workloads {
-		row := []interface{}{w.name, fmtIPC(ipcOf(w.prog, params, "steering"))}
+		row := []interface{}{w.name, fmtIPC(ipcOf(w.prog, params, cpu.PolicySteering))}
 		for _, h := range []int{0, 1, 2} {
 			p := cpu.New(w.prog, params, nil)
 			m := core.NewDemandManager(p.Fabric())
 			m.Hysteresis = h
-			p.SetPolicy(m)
+			p.SetManager(m)
 			st, err := p.Run(MaxCycles)
 			if err != nil {
 				row = append(row, "DNF")
@@ -419,7 +430,7 @@ func X7() string {
 			}
 			row = append(row, fmtIPC(st.IPC()))
 		}
-		row = append(row, fmtIPC(ipcOf(w.prog, params, "oracle")))
+		row = append(row, fmtIPC(ipcOf(w.prog, params, cpu.PolicyOracle)))
 		t.AddRow(row...)
 	}
 	b.WriteString(t.String())
@@ -427,10 +438,10 @@ func X7() string {
 	// Reconfiguration traffic comparison on the phased workload.
 	prog := PhasedWorkload(7)
 	ps := cpu.New(prog, params, nil)
-	ps.SetPolicy(baseline.NewSteering(ps.Fabric()))
+	ps.SetManager(baseline.NewSteering(ps.Fabric()))
 	ps.Run(MaxCycles)
 	pd := cpu.New(prog, params, nil)
-	pd.SetPolicy(core.NewDemandManager(pd.Fabric()))
+	pd.SetManager(core.NewDemandManager(pd.Fabric()))
 	pd.Run(MaxCycles)
 	fmt.Fprintf(&b, "\nreconfiguration spans on phased workload: steering %d, demand-driven %d\n",
 		ps.Fabric().Reconfigurations(), pd.Fabric().Reconfigurations())
@@ -467,7 +478,7 @@ func X8() string {
 	params := cpu.DefaultParams()
 	p := cpu.New(prog, params, nil)
 	steer := baseline.NewSteering(p.Fabric())
-	p.SetPolicy(steer)
+	p.SetManager(steer)
 
 	const window = 250
 	probe := telemetry.NewProbe(window)
@@ -530,7 +541,7 @@ func X9() string {
 				params := cpu.DefaultParams()
 				params.IssueWidth = width
 				params.SelectFree = selectFree
-				p := buildMachine(w.prog, params, "steering")
+				p := buildMachine(w.prog, params, cpu.PolicySteering)
 				st, err := p.Run(MaxCycles)
 				if err != nil {
 					return cpu.Stats{}
@@ -564,7 +575,7 @@ func X10() string {
 		run := func(lookahead bool) float64 {
 			params := cpu.DefaultParams()
 			params.ManagerLookahead = lookahead
-			p := buildMachine(prog, params, "steering")
+			p := buildMachine(prog, params, cpu.PolicySteering)
 			if setup != nil {
 				setup(p)
 			}
@@ -616,7 +627,7 @@ func X11() string {
 			p := cpu.New(w.prog, cpu.DefaultParams(), nil)
 			m := core.NewManager(p.Fabric(), config.DefaultBasis())
 			m.MinResidency = res
-			p.SetPolicy(&baseline.Steering{M: m})
+			p.SetManager(&baseline.Steering{M: m})
 			if w.setup != nil {
 				w.setup(p)
 			}
@@ -657,7 +668,7 @@ func X12() string {
 		params.FetchWidthMem = widths[r]
 		params.FetchWidthTC = widths[r] * 2
 		params.WindowSize = windows[c]
-		return fmtIPC(ipcOf(prog, params, "steering"))
+		return fmtIPC(ipcOf(prog, params, cpu.PolicySteering))
 	})
 	for i, w := range widths {
 		cells := []interface{}{fmt.Sprint(w)}
@@ -685,7 +696,7 @@ func X13() string {
 		k := workload.KernelByName(kernelNames[r])
 		params := cpu.DefaultParams()
 		params.PredictorEntries = sizes[c]
-		p := buildMachine(k.Program(), params, "steering")
+		p := buildMachine(k.Program(), params, cpu.PolicySteering)
 		if k.Setup != nil {
 			k.Setup(p.Memory(), p.SetReg)
 		}
@@ -713,7 +724,7 @@ func X13() string {
 		run := func(tcWidth int) float64 {
 			params := cpu.DefaultParams()
 			params.FetchWidthTC = tcWidth
-			p := buildMachine(k.Program(), params, "steering")
+			p := buildMachine(k.Program(), params, cpu.PolicySteering)
 			if k.Setup != nil {
 				k.Setup(p.Memory(), p.SetReg)
 			}
@@ -739,7 +750,7 @@ func X14() string {
 	prog := PhasedWorkload(7)
 	t := stats.NewTable("fraction of cycles by bottleneck",
 		"policy", "issuing", "unit-bound", "dep-bound", "frontend", "IPC")
-	for _, pol := range []string{"steering", "static-int", "static-fp", "ffu-only", "oracle"} {
+	for _, pol := range []cpu.Policy{cpu.PolicySteering, cpu.PolicyStaticInteger, cpu.PolicyStaticFloating, cpu.PolicyNone, cpu.PolicyOracle} {
 		p := buildMachine(prog, cpu.DefaultParams(), pol)
 		st, err := p.Run(MaxCycles)
 		if err != nil {
@@ -783,7 +794,7 @@ func X15() string {
 		for _, o := range orders {
 			params := cpu.DefaultParams()
 			params.IssueOrder = o.order
-			cells = append(cells, fmtIPC(ipcOf(w.prog, params, "steering")))
+			cells = append(cells, fmtIPC(ipcOf(w.prog, params, cpu.PolicySteering)))
 		}
 		t.AddRow(cells...)
 	}
@@ -820,10 +831,10 @@ func X16() string {
 			var p *cpu.Processor
 			if name == "branchy-synthetic" {
 				prog := workload.SynthesizeBranchy(200, workload.SynthParams{Seed: 5})
-				p = buildMachine(prog, params, "steering")
+				p = buildMachine(prog, params, cpu.PolicySteering)
 			} else {
 				k := workload.KernelByName(name)
-				p = buildMachine(k.Program(), params, "steering")
+				p = buildMachine(k.Program(), params, cpu.PolicySteering)
 				if k.Setup != nil {
 					k.Setup(p.Memory(), p.SetReg)
 				}
@@ -854,7 +865,7 @@ func X17() string {
 	for _, w := range []int{1, 2, 4, 0} {
 		params := cpu.DefaultParams()
 		params.ConfigBusWidth = w
-		p := buildMachine(prog, params, "steering")
+		p := buildMachine(prog, params, cpu.PolicySteering)
 		st, err := p.Run(MaxCycles)
 		ipc := -1.0
 		if err == nil {
@@ -881,7 +892,7 @@ func X18() string {
 	b.WriteString("X18 — telemetry time-series comparison across policies (phased workload)\n\n")
 
 	prog := PhasedWorkload(7)
-	policies := []string{"steering", "demand", "full-reconfig", "oracle", "random", "static-int", "ffu-only"}
+	policies := []cpu.Policy{cpu.PolicySteering, cpu.PolicyDemand, cpu.PolicyFullReconfig, cpu.PolicyOracle, cpu.PolicyRandom, cpu.PolicyStaticInteger, cpu.PolicyNone}
 	const interval = 200
 
 	type outcome struct {

@@ -46,10 +46,10 @@ func Assemble(src string) (Program, error) {
 			}
 			label := strings.TrimSpace(text[:colon])
 			if !isIdent(label) {
-				return nil, fmt.Errorf("line %d: bad label %q", lineNo+1, label)
+				return nil, asmErrf(lineNo+1, "bad label %q", label)
 			}
 			if _, dup := labels[label]; dup {
-				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
+				return nil, asmErrf(lineNo+1, "duplicate label %q", label)
 			}
 			labels[label] = pc
 			text = text[colon+1:]
@@ -59,7 +59,7 @@ func Assemble(src string) (Program, error) {
 		}
 		width, err := instWidth(text)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			return nil, asmErr(lineNo+1, err)
 		}
 		insts = append(insts, pending{lineNo + 1, text, pc})
 		pc += width
@@ -70,7 +70,7 @@ func Assemble(src string) (Program, error) {
 	for _, p := range insts {
 		expanded, err := parseInst(p.text, p.pc, labels)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", p.line, err)
+			return nil, asmErr(p.line, err)
 		}
 		prog = append(prog, expanded...)
 	}

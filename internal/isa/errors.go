@@ -1,0 +1,38 @@
+package isa
+
+import "fmt"
+
+// AsmError is an assembly failure pinned to a source position: the
+// 1-based line (and column when known; 0 otherwise) plus the underlying
+// cause. Assemble and AssembleUnit return *AsmError for every
+// source-level failure, so tools can report positions structurally
+// (errors.As) instead of parsing "line N:" prefixes out of messages.
+type AsmError struct {
+	Line int   // 1-based source line
+	Col  int   // 1-based column of the offending token, 0 when unknown
+	Err  error // the underlying cause
+}
+
+// Error renders the conventional "line N: cause" form.
+func (e *AsmError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d:%d: %v", e.Line, e.Col, e.Err)
+	}
+	return fmt.Sprintf("line %d: %v", e.Line, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *AsmError) Unwrap() error { return e.Err }
+
+// asmErr wraps err (unless it already is an *AsmError) with the line.
+func asmErr(line int, err error) error {
+	if _, ok := err.(*AsmError); ok {
+		return err
+	}
+	return &AsmError{Line: line, Err: err}
+}
+
+// asmErrf is asmErr over a fresh formatted cause.
+func asmErrf(line int, format string, args ...any) error {
+	return &AsmError{Line: line, Err: fmt.Errorf(format, args...)}
+}

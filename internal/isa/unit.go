@@ -76,10 +76,10 @@ func AssembleUnit(src string) (*Unit, error) {
 			}
 			label := strings.TrimSpace(text[:colon])
 			if !isIdent(label) {
-				return nil, fmt.Errorf("line %d: bad label %q", lineNo+1, label)
+				return nil, asmErrf(lineNo+1, "bad label %q", label)
 			}
 			if _, dup := labels[label]; dup {
-				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
+				return nil, asmErrf(lineNo+1, "duplicate label %q", label)
 			}
 			if dataMode {
 				labels[label] = dataCursor
@@ -94,7 +94,7 @@ func AssembleUnit(src string) (*Unit, error) {
 		if strings.HasPrefix(text, ".") {
 			size, mode, addr, err := directiveSize(text)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+				return nil, asmErr(lineNo+1, err)
 			}
 			switch mode {
 			case "data":
@@ -104,7 +104,7 @@ func AssembleUnit(src string) (*Unit, error) {
 				dataMode = false
 			default:
 				if !dataMode {
-					return nil, fmt.Errorf("line %d: %s outside a .data section", lineNo+1, text)
+					return nil, asmErrf(lineNo+1, "%s outside a .data section", text)
 				}
 				items = append(items, pending{lineNo + 1, text, dataCursor, true})
 				dataCursor += size
@@ -112,11 +112,11 @@ func AssembleUnit(src string) (*Unit, error) {
 			continue
 		}
 		if dataMode {
-			return nil, fmt.Errorf("line %d: instruction inside a .data section", lineNo+1)
+			return nil, asmErrf(lineNo+1, "instruction inside a .data section")
 		}
 		width, err := instWidthUnit(text)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			return nil, asmErr(lineNo+1, err)
 		}
 		items = append(items, pending{lineNo + 1, text, pc, false})
 		pc += width
@@ -129,7 +129,7 @@ func AssembleUnit(src string) (*Unit, error) {
 		if it.data {
 			bytes, err := directiveBytes(it.text)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", it.line, err)
+				return nil, asmErr(it.line, err)
 			}
 			if seg == nil || int(seg.Addr)+len(seg.Bytes) != it.pc {
 				u.Data = append(u.Data, DataSegment{Addr: uint32(it.pc)})
@@ -140,7 +140,7 @@ func AssembleUnit(src string) (*Unit, error) {
 		}
 		insts, err := parseInstUnit(it.text, it.pc, labels)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", it.line, err)
+			return nil, asmErr(it.line, err)
 		}
 		u.Program = append(u.Program, insts...)
 	}

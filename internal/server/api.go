@@ -1,0 +1,200 @@
+// api.go defines the wire schema of the rssd batch-simulation service:
+// the request/response documents of each endpoint, the structured error
+// envelope every non-2xx response carries, and the mapping from the
+// facade's sentinel errors to HTTP status codes.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro"
+)
+
+// AssembleRequest is the body of POST /v1/assemble.
+type AssembleRequest struct {
+	// Source is the assembly text, which may include .data sections.
+	Source string `json:"source"`
+}
+
+// AssembleResponse reports the assembled program.
+type AssembleResponse struct {
+	// Instructions is the number of decoded instructions.
+	Instructions int `json:"instructions"`
+	// Words is the 32-bit binary encoding of the program.
+	Words []uint32 `json:"words"`
+	// Disassembly is the canonical one-instruction-per-line rendering.
+	Disassembly string `json:"disassembly"`
+	// Cached reports whether the program came from the assembly cache.
+	Cached bool `json:"cached"`
+}
+
+// RunSpec describes one simulation: the machine sizing, the
+// configuration-management policy, and the run budget. The zero value
+// selects the paper's reference machine under the steering policy. It is
+// both the core of RunRequest and the per-point element of a sweep.
+type RunSpec struct {
+	// Policy is the configuration-management policy name; omitted or
+	// empty selects "steering". Unknown names fail decoding.
+	Policy repro.Policy `json:"policy"`
+	// Params sizes the machine; zero fields take the reference values.
+	Params repro.Params `json:"params"`
+	// MaxCycles bounds the run; 0 takes the server default, and values
+	// above the server cap are clamped to it.
+	MaxCycles int `json:"maxCycles,omitempty"`
+	// Seed feeds the random policy.
+	Seed int64 `json:"seed,omitempty"`
+	// MinResidency dampens configuration thrash for the steering and
+	// oracle policies (cycles to hold a loaded configuration).
+	MinResidency int `json:"minResidency,omitempty"`
+}
+
+// RunRequest is the body of POST /v1/run. Exactly one of Source or
+// Words must be set.
+type RunRequest struct {
+	// Source is assembly text (assembled through the program cache).
+	Source string `json:"source,omitempty"`
+	// Words is the binary program form, for pre-assembled jobs.
+	Words []uint32 `json:"words,omitempty"`
+	// TimeoutMs overrides the server's default per-request deadline,
+	// capped at the server maximum.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+
+	RunSpec
+}
+
+// RunResponse reports one completed simulation.
+type RunResponse struct {
+	// Report is the machine's JSON run report (stats, IPC, cache and
+	// predictor rates, reconfiguration counts).
+	Report json.RawMessage `json:"report"`
+	// ElapsedMs is the wall-clock simulation time in milliseconds.
+	ElapsedMs float64 `json:"elapsedMs"`
+	// Cached reports whether the program came from the assembly cache.
+	Cached bool `json:"cached"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: one program fanned out
+// over a grid of run specifications. Exactly one of Source or Words
+// must be set.
+type SweepRequest struct {
+	Source string   `json:"source,omitempty"`
+	Words  []uint32 `json:"words,omitempty"`
+	// Points is the grid, one RunSpec per simulation.
+	Points []RunSpec `json:"points"`
+	// TimeoutMs bounds the whole sweep, not each point.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// SweepResponse reports a completed sweep. Point failures (say, one
+// point exhausting its cycle budget) are data, not request failures:
+// they ride in the point's Error field while the sweep returns 200.
+type SweepResponse struct {
+	Points    []SweepPointResult `json:"points"`
+	ElapsedMs float64            `json:"elapsedMs"`
+	Cached    bool               `json:"cached"`
+}
+
+// SweepPointResult is one grid point's outcome: a report or an error.
+type SweepPointResult struct {
+	Index  int             `json:"index"`
+	Policy string          `json:"policy"`
+	Report json.RawMessage `json:"report,omitempty"`
+	Error  *APIError       `json:"error,omitempty"`
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	// Status is "ok", or "draining" once shutdown has begun.
+	Status string `json:"status"`
+	// Workers is the worker-pool size.
+	Workers int `json:"workers"`
+	// Running is the number of simulations currently executing.
+	Running int `json:"running"`
+	// Admitted is the number of jobs admitted and not yet finished
+	// (running plus waiting for a worker slot).
+	Admitted int `json:"admitted"`
+}
+
+// APIError is the structured error every non-2xx response carries,
+// wrapped as {"error": {...}}. Code is a stable machine-readable
+// identifier; Line/Col pin assembly errors to their source position.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+}
+
+// Error makes APIError usable as a Go error inside the handlers.
+func (e *APIError) Error() string { return e.Message }
+
+// Stable error codes.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeAssembleError    = "assemble_error"
+	CodeUnknownPolicy    = "unknown_policy"
+	CodeInvalidParams    = "invalid_params"
+	CodeCycleLimit       = "cycle_limit"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeCanceled         = "canceled"
+	CodeQueueFull        = "queue_full"
+	CodeDraining         = "draining"
+	CodeBodyTooLarge     = "body_too_large"
+	CodeInternal         = "internal"
+)
+
+// Admission sentinels, mapped to 503 by classify.
+var (
+	errQueueFull = errors.New("job queue is full")
+	errDraining  = errors.New("server is draining")
+)
+
+// errInvalidRequest marks request-shape failures (missing program,
+// negative timeout, too many points) for classification as 400s.
+var errInvalidRequest = errors.New("invalid request")
+
+// invalidRequestf builds a 400-classified error.
+func invalidRequestf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, errInvalidRequest)...)
+}
+
+// classify maps an error from the load/validate/simulate path to its
+// HTTP status and structured form. The mapping leans entirely on the
+// facade's sentinel errors and errors.Is/As — no message parsing.
+func classify(err error) (int, *APIError) {
+	var asmErr *repro.AsmError
+	var maxBytes *http.MaxBytesError
+	switch {
+	case errors.As(err, &asmErr):
+		return http.StatusBadRequest, &APIError{
+			Code: CodeAssembleError, Message: err.Error(),
+			Line: asmErr.Line, Col: asmErr.Col,
+		}
+	case errors.As(err, &maxBytes):
+		return http.StatusRequestEntityTooLarge, &APIError{
+			Code: CodeBodyTooLarge, Message: err.Error(),
+		}
+	case errors.Is(err, repro.ErrUnknownPolicy):
+		return http.StatusBadRequest, &APIError{Code: CodeUnknownPolicy, Message: err.Error()}
+	case errors.Is(err, repro.ErrInvalidParams):
+		return http.StatusBadRequest, &APIError{Code: CodeInvalidParams, Message: err.Error()}
+	case errors.Is(err, errInvalidRequest):
+		return http.StatusBadRequest, &APIError{Code: CodeInvalidRequest, Message: err.Error()}
+	case errors.Is(err, repro.ErrCycleLimit):
+		return http.StatusUnprocessableEntity, &APIError{Code: CodeCycleLimit, Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, &APIError{Code: CodeDeadlineExceeded, Message: "request deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, &APIError{Code: CodeCanceled, Message: "request canceled"}
+	case errors.Is(err, errQueueFull):
+		return http.StatusServiceUnavailable, &APIError{Code: CodeQueueFull, Message: err.Error()}
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, &APIError{Code: CodeDraining, Message: err.Error()}
+	default:
+		return http.StatusInternalServerError, &APIError{Code: CodeInternal, Message: err.Error()}
+	}
+}

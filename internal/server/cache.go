@@ -1,0 +1,84 @@
+// cache.go is the server's assembled-program cache: a small LRU keyed
+// by the SHA-256 of the source text, so repeated jobs over the same
+// program (the normal sweep workflow) assemble once. Units are immutable
+// after assembly — Apply writes the data image into a machine's own
+// memory — so one cached Unit is safely shared across concurrent jobs.
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"repro"
+)
+
+// programCache is a mutex-guarded LRU of assembled units.
+type programCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[[sha256.Size]byte]*list.Element
+}
+
+// cacheEntry is one resident program.
+type cacheEntry struct {
+	key  [sha256.Size]byte
+	unit *repro.Unit
+}
+
+// newProgramCache builds a cache holding up to capacity programs; a
+// non-positive capacity disables caching.
+func newProgramCache(capacity int) *programCache {
+	return &programCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[[sha256.Size]byte]*list.Element),
+	}
+}
+
+// get returns the cached unit for the source, marking it most recently
+// used, or (nil, false) on a miss.
+func (c *programCache) get(source string) (*repro.Unit, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	key := sha256.Sum256([]byte(source))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).unit, true
+}
+
+// put inserts an assembled unit, evicting the least recently used entry
+// when the cache is full.
+func (c *programCache) put(source string, unit *repro.Unit) {
+	if c.cap <= 0 {
+		return
+	}
+	key := sha256.Sum256([]byte(source))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).unit = unit
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, unit: unit})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of resident programs.
+func (c *programCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

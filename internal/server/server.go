@@ -1,0 +1,568 @@
+// Package server is the rssd batch-simulation service: an HTTP/JSON API
+// over the repro facade that assembles programs, runs single
+// simulations, and fans parameter sweeps out over a bounded worker
+// pool. The package owns everything between the socket and the
+// simulator — request validation and size limits, the structured error
+// envelope, per-request deadlines wired into Machine.RunContext, the
+// assembled-program LRU, service metrics, and the draining flag the
+// graceful-shutdown path sets — while cmd/rssd adds only flags, signal
+// handling and the http.Server lifecycle.
+//
+// Endpoints:
+//
+//	POST /v1/assemble  source → encoded words + disassembly
+//	POST /v1/run       source or words + RunSpec → run report
+//	POST /v1/sweep     one program × a grid of RunSpecs → per-point reports
+//	GET  /v1/healthz   liveness + pool occupancy
+//	GET  /metrics      Prometheus text exposition of service metrics
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+)
+
+// Config sizes the service; zero fields take the listed defaults.
+type Config struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// Backlog bounds jobs waiting for a worker beyond the running ones;
+	// past it new jobs get 503 (default 4×Workers).
+	Backlog int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-request deadline when the request names
+	// none (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines (default 2m).
+	MaxTimeout time.Duration
+	// DefaultMaxCycles is the cycle budget when a RunSpec names none
+	// (default 50M).
+	DefaultMaxCycles int
+	// MaxCyclesCap clamps request cycle budgets (default 500M).
+	MaxCyclesCap int
+	// CacheSize is the assembled-program LRU capacity (default 64;
+	// negative disables caching).
+	CacheSize int
+	// MaxSweepPoints caps the grid size of one sweep (default 256).
+	MaxSweepPoints int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Backlog <= 0 {
+		c.Backlog = 4 * c.Workers
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.DefaultMaxCycles <= 0 {
+		c.DefaultMaxCycles = 50_000_000
+	}
+	if c.MaxCyclesCap <= 0 {
+		c.MaxCyclesCap = 500_000_000
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 256
+	}
+	return c
+}
+
+// Server is one service instance. Create it with New and mount
+// Handler() on an http.Server.
+type Server struct {
+	cfg      Config
+	pool     *pool
+	cache    *programCache
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	// Service metrics. The telemetry registry is single-goroutine by
+	// design (it belongs to the simulator's hot path), so every access
+	// here — updates from handler goroutines and Render on /metrics —
+	// holds mmu.
+	mmu         sync.Mutex
+	registry    *telemetry.Registry
+	requests    map[string]*telemetry.Counter   // by handler
+	failures    map[string]*telemetry.Counter   // by handler
+	rejected    map[string]*telemetry.Counter   // by reason
+	jobs        map[string]*telemetry.Histogram // latency ms by kind
+	gaugeRun    *telemetry.Gauge
+	gaugeQueued *telemetry.Gauge
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+}
+
+// handler and job-kind names used as metric label values.
+var handlerNames = []string{"assemble", "run", "sweep", "healthz", "metrics"}
+
+// New builds a server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		pool:     newPool(cfg.Workers, cfg.Backlog),
+		cache:    newProgramCache(cfg.CacheSize),
+		registry: telemetry.NewRegistry(),
+		requests: map[string]*telemetry.Counter{},
+		failures: map[string]*telemetry.Counter{},
+		rejected: map[string]*telemetry.Counter{},
+		jobs:     map[string]*telemetry.Histogram{},
+	}
+	for _, h := range handlerNames {
+		s.requests[h] = s.registry.NewCounter("rssd_requests_total",
+			"HTTP requests received, by handler.", telemetry.Label{Key: "handler", Value: h})
+		s.failures[h] = s.registry.NewCounter("rssd_failures_total",
+			"Requests answered with a non-2xx status, by handler.", telemetry.Label{Key: "handler", Value: h})
+	}
+	for _, reason := range []string{CodeQueueFull, CodeDraining} {
+		s.rejected[reason] = s.registry.NewCounter("rssd_rejected_total",
+			"Jobs rejected at admission, by reason.", telemetry.Label{Key: "reason", Value: reason})
+	}
+	bounds := []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+	for _, kind := range []string{"run", "sweep_point"} {
+		s.jobs[kind] = s.registry.NewHistogram("rssd_job_duration_ms",
+			"Simulation wall-clock latency in milliseconds, by job kind.", bounds,
+			telemetry.Label{Key: "kind", Value: kind})
+	}
+	s.gaugeRun = s.registry.NewGauge("rssd_jobs_running",
+		"Simulations currently holding a worker slot.")
+	s.gaugeQueued = s.registry.NewGauge("rssd_jobs_admitted",
+		"Jobs admitted and not yet finished (running plus waiting).")
+	s.cacheHits = s.registry.NewCounter("rssd_program_cache_hits_total",
+		"Assembly requests served from the program cache.")
+	s.cacheMisses = s.registry.NewCounter("rssd_program_cache_misses_total",
+		"Assembly requests that had to assemble from source.")
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/assemble", s.handleAssemble)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain flips the server into draining mode: job endpoints answer
+// 503 from now on while in-flight requests finish undisturbed. Call it
+// right before http.Server.Shutdown, which handles the actual waiting.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// --- metric update helpers (all take mmu) ---
+
+func (s *Server) countRequest(handler string) {
+	s.mmu.Lock()
+	s.requests[handler].Inc()
+	s.mmu.Unlock()
+}
+
+func (s *Server) countFailure(handler string) {
+	s.mmu.Lock()
+	s.failures[handler].Inc()
+	s.mmu.Unlock()
+}
+
+func (s *Server) countRejected(reason string) {
+	s.mmu.Lock()
+	if c, ok := s.rejected[reason]; ok {
+		c.Inc()
+	}
+	s.mmu.Unlock()
+}
+
+func (s *Server) observeJob(kind string, elapsed time.Duration) {
+	s.mmu.Lock()
+	s.jobs[kind].Observe(elapsed.Milliseconds())
+	s.mmu.Unlock()
+}
+
+func (s *Server) countCache(hit bool) {
+	s.mmu.Lock()
+	if hit {
+		s.cacheHits.Inc()
+	} else {
+		s.cacheMisses.Inc()
+	}
+	s.mmu.Unlock()
+}
+
+// --- request plumbing ---
+
+// decode reads a size-limited JSON body into v. Unknown fields and
+// trailing data are errors, so typos in request schemas surface as 400s
+// instead of silently selecting defaults.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxBytes *http.MaxBytesError
+		if errors.As(err, &maxBytes) || errors.Is(err, repro.ErrUnknownPolicy) {
+			return err
+		}
+		return invalidRequestf("decoding body: %v", err)
+	}
+	if dec.More() {
+		return invalidRequestf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// writeJSON writes a 2xx JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing left to tell the client
+}
+
+// fail classifies err, counts it, and writes the error envelope.
+func (s *Server) fail(w http.ResponseWriter, handler string, err error) {
+	status, apiErr := classify(err)
+	s.countFailure(handler)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Error *APIError `json:"error"`
+	}{apiErr}) //nolint:errcheck
+}
+
+// timeout resolves a request's deadline from its TimeoutMs field.
+func (s *Server) timeout(ms int) (time.Duration, error) {
+	if ms < 0 {
+		return 0, invalidRequestf("timeoutMs must be non-negative, got %d", ms)
+	}
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// loadedProgram is a program ready to run: an assembled unit (source
+// path, shared via the cache) or a bare program (binary words path).
+type loadedProgram struct {
+	unit   *repro.Unit
+	prog   repro.Program
+	cached bool
+}
+
+// newMachine builds a fresh machine for one job. Units and programs are
+// read-only at run time, so concurrent jobs share them safely — each
+// machine gets its own memory image.
+func (lp loadedProgram) newMachine(opt repro.Options) *repro.Machine {
+	if lp.unit != nil {
+		return repro.NewMachineFromUnit(lp.unit, opt)
+	}
+	return repro.NewMachine(lp.prog, opt)
+}
+
+// load resolves the request's program: source is assembled through the
+// cache, words are decoded directly (already cheap and canonical).
+func (s *Server) load(source string, words []uint32) (loadedProgram, error) {
+	switch {
+	case source != "" && len(words) > 0:
+		return loadedProgram{}, invalidRequestf("source and words are mutually exclusive")
+	case source != "":
+		if unit, ok := s.cache.get(source); ok {
+			s.countCache(true)
+			return loadedProgram{unit: unit, cached: true}, nil
+		}
+		unit, err := repro.AssembleUnit(source)
+		if err != nil {
+			return loadedProgram{}, err
+		}
+		s.countCache(false)
+		s.cache.put(source, unit)
+		return loadedProgram{unit: unit}, nil
+	case len(words) > 0:
+		prog, err := repro.DecodeProgram(words)
+		if err != nil {
+			return loadedProgram{}, invalidRequestf("decoding words: %v", err)
+		}
+		return loadedProgram{prog: prog}, nil
+	default:
+		return loadedProgram{}, invalidRequestf("one of source or words is required")
+	}
+}
+
+// resolveSpec validates a RunSpec and fills budget defaults in place.
+func (s *Server) resolveSpec(spec *RunSpec) error {
+	if !spec.Policy.Valid() {
+		return fmt.Errorf("policy %d out of range: %w", int(spec.Policy), repro.ErrUnknownPolicy)
+	}
+	if err := spec.Params.Validate(); err != nil {
+		return err
+	}
+	if spec.MinResidency < 0 {
+		return fmt.Errorf("minResidency must be non-negative, got %d: %w",
+			spec.MinResidency, repro.ErrInvalidParams)
+	}
+	switch {
+	case spec.MaxCycles < 0:
+		return fmt.Errorf("maxCycles must be non-negative, got %d: %w",
+			spec.MaxCycles, repro.ErrInvalidParams)
+	case spec.MaxCycles == 0:
+		spec.MaxCycles = s.cfg.DefaultMaxCycles
+	case spec.MaxCycles > s.cfg.MaxCyclesCap:
+		spec.MaxCycles = s.cfg.MaxCyclesCap
+	}
+	return nil
+}
+
+// simulate runs one job to completion under ctx and renders its report.
+// The caller must already hold a worker slot.
+func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec RunSpec, kind string) (json.RawMessage, float64, error) {
+	m := lp.newMachine(repro.Options{
+		Params:       spec.Params,
+		Policy:       spec.Policy,
+		Seed:         spec.Seed,
+		MinResidency: spec.MinResidency,
+	})
+	start := time.Now()
+	_, err := m.RunContext(ctx, spec.MaxCycles)
+	elapsed := time.Since(start)
+	s.observeJob(kind, elapsed)
+	elapsedMs := float64(elapsed) / float64(time.Millisecond)
+	if err != nil {
+		return nil, elapsedMs, err
+	}
+	report, err := m.ReportJSON()
+	if err != nil {
+		return nil, elapsedMs, fmt.Errorf("rendering report: %w", err)
+	}
+	return report, elapsedMs, nil
+}
+
+// admitJob performs queue admission for a job endpoint: draining check
+// first, then a non-blocking backlog reservation. The returned release
+// func is non-nil exactly when err is nil.
+func (s *Server) admitJob() (func(), error) {
+	if s.draining.Load() {
+		s.countRejected(CodeDraining)
+		return nil, errDraining
+	}
+	if !s.pool.admit() {
+		s.countRejected(CodeQueueFull)
+		return nil, errQueueFull
+	}
+	return s.pool.leave, nil
+}
+
+// --- handlers ---
+
+func (s *Server) handleAssemble(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("assemble")
+	var req AssembleRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, "assemble", err)
+		return
+	}
+	if req.Source == "" {
+		s.fail(w, "assemble", invalidRequestf("source is required"))
+		return
+	}
+	lp, err := s.load(req.Source, nil)
+	if err != nil {
+		s.fail(w, "assemble", err)
+		return
+	}
+	words, err := repro.EncodeProgram(lp.unit.Program)
+	if err != nil {
+		s.fail(w, "assemble", fmt.Errorf("encoding program: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, AssembleResponse{
+		Instructions: len(lp.unit.Program),
+		Words:        words,
+		Disassembly:  repro.Disassemble(lp.unit.Program),
+		Cached:       lp.cached,
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("run")
+	var req RunRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, "run", err)
+		return
+	}
+	d, err := s.timeout(req.TimeoutMs)
+	if err != nil {
+		s.fail(w, "run", err)
+		return
+	}
+	lp, err := s.load(req.Source, req.Words)
+	if err != nil {
+		s.fail(w, "run", err)
+		return
+	}
+	spec := req.RunSpec
+	if err := s.resolveSpec(&spec); err != nil {
+		s.fail(w, "run", err)
+		return
+	}
+	leave, err := s.admitJob()
+	if err != nil {
+		s.fail(w, "run", err)
+		return
+	}
+	defer leave()
+
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	if err := s.pool.acquire(ctx); err != nil {
+		s.fail(w, "run", err)
+		return
+	}
+	report, elapsedMs, err := func() (json.RawMessage, float64, error) {
+		defer s.pool.release()
+		return s.simulate(ctx, lp, spec, "run")
+	}()
+	if err != nil {
+		s.fail(w, "run", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Report: report, ElapsedMs: elapsedMs, Cached: lp.cached})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("sweep")
+	var req SweepRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, "sweep", err)
+		return
+	}
+	d, err := s.timeout(req.TimeoutMs)
+	if err != nil {
+		s.fail(w, "sweep", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		s.fail(w, "sweep", invalidRequestf("points must not be empty"))
+		return
+	}
+	if len(req.Points) > s.cfg.MaxSweepPoints {
+		s.fail(w, "sweep", invalidRequestf("%d points exceed the sweep cap of %d",
+			len(req.Points), s.cfg.MaxSweepPoints))
+		return
+	}
+	lp, err := s.load(req.Source, req.Words)
+	if err != nil {
+		s.fail(w, "sweep", err)
+		return
+	}
+	specs := make([]RunSpec, len(req.Points))
+	for i := range req.Points {
+		specs[i] = req.Points[i]
+		if err := s.resolveSpec(&specs[i]); err != nil {
+			s.fail(w, "sweep", fmt.Errorf("point %d: %w", i, err))
+			return
+		}
+	}
+	leave, err := s.admitJob()
+	if err != nil {
+		s.fail(w, "sweep", err)
+		return
+	}
+	defer leave()
+
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	start := time.Now()
+	// Fan the grid out over the sweep harness. Each point competes for a
+	// worker slot, so total simulation concurrency stays bounded across
+	// all in-flight requests; the sweep itself holds no slot, so points
+	// of other requests interleave freely and nothing can deadlock.
+	points, runErr := sweep.RunContext(ctx, len(specs), s.cfg.Workers,
+		func(ctx context.Context, i int) SweepPointResult {
+			res := SweepPointResult{Index: i, Policy: specs[i].Policy.String()}
+			if err := s.pool.acquire(ctx); err != nil {
+				_, res.Error = classify(err)
+				return res
+			}
+			defer s.pool.release()
+			report, _, err := s.simulate(ctx, lp, specs[i], "sweep_point")
+			if err != nil {
+				_, res.Error = classify(err)
+				return res
+			}
+			res.Report = report
+			return res
+		})
+	// A sweep-wide context error makes the whole response an error: a
+	// sweep that hit its deadline or lost its client has incomplete
+	// results, so partial reports are not served as if they were the
+	// full grid.
+	if runErr != nil {
+		s.fail(w, "sweep", runErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{
+		Points:    points,
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+		Cached:    lp.cached,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("healthz")
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+		s.countFailure("healthz")
+	}
+	writeJSON(w, code, HealthResponse{
+		Status:   status,
+		Workers:  s.pool.workers(),
+		Running:  s.pool.running(),
+		Admitted: s.pool.admitted(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("metrics")
+	s.mmu.Lock()
+	defer s.mmu.Unlock()
+	s.gaugeRun.Set(int64(s.pool.running()))
+	s.gaugeQueued.Set(int64(s.pool.admitted()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.registry.Render(w) //nolint:errcheck // client went away; nothing to do
+}

@@ -1,0 +1,501 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// haltingSource is a tiny program that retires a HALT quickly.
+const haltingSource = `
+	li r1, 10
+	li r2, 32
+	mul r3, r1, r2
+	halt
+`
+
+// spinSource never halts; runs against it end only by budget or deadline.
+const spinSource = "loop: j loop\n"
+
+// newTestServer builds a server plus an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postJSON sends body to path and returns the status plus decoded body.
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("POST %s: decoding response: %v", path, err)
+	}
+	return resp.StatusCode, doc
+}
+
+// getJSON fetches path and returns the status plus decoded body.
+func getJSON(t *testing.T, ts *httptest.Server, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("GET %s: decoding response: %v", path, err)
+	}
+	return resp.StatusCode, doc
+}
+
+// errCode digs the structured code out of an error envelope.
+func errCode(t *testing.T, doc map[string]any) string {
+	t.Helper()
+	env, ok := doc["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no error envelope in %v", doc)
+	}
+	code, _ := env["code"].(string)
+	return code
+}
+
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+func TestAssemble(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	status, doc := postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: haltingSource}))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	}
+	if n := doc["instructions"].(float64); n != 4 {
+		t.Errorf("instructions = %v, want 4", n)
+	}
+	if words := doc["words"].([]any); len(words) != 4 {
+		t.Errorf("len(words) = %d, want 4", len(words))
+	}
+	if dis := doc["disassembly"].(string); !strings.Contains(dis, "halt") {
+		t.Errorf("disassembly missing halt:\n%s", dis)
+	}
+	if doc["cached"].(bool) {
+		t.Errorf("first assembly reported cached")
+	}
+
+	// The identical source must come from the cache the second time.
+	status, doc = postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: haltingSource}))
+	if status != http.StatusOK || !doc["cached"].(bool) {
+		t.Errorf("second assembly: status %d cached %v, want 200 true", status, doc["cached"])
+	}
+}
+
+func TestAssembleError(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, doc := postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: "li r1, 1\nbogus r2\nhalt\n"}))
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%v)", status, doc)
+	}
+	env := doc["error"].(map[string]any)
+	if env["code"] != CodeAssembleError {
+		t.Errorf("code = %v, want %s", env["code"], CodeAssembleError)
+	}
+	if line := env["line"].(float64); line != 2 {
+		t.Errorf("line = %v, want 2", line)
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, doc := postJSON(t, ts, "/v1/run",
+		fmt.Sprintf(`{"source": %q, "policy": "steering"}`, haltingSource))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	}
+	report := doc["report"].(map[string]any)
+	if report["policy"] != "steering" {
+		t.Errorf("report policy = %v, want steering", report["policy"])
+	}
+	stats := report["stats"].(map[string]any)
+	if stats["Retired"].(float64) < 4 {
+		t.Errorf("retired = %v, want >= 4", stats["Retired"])
+	}
+}
+
+func TestRunFromWords(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Assemble first, then run the binary form.
+	status, doc := postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: haltingSource}))
+	if status != http.StatusOK {
+		t.Fatalf("assemble status = %d", status)
+	}
+	var words []uint32
+	for _, w := range doc["words"].([]any) {
+		words = append(words, uint32(w.(float64)))
+	}
+	status, doc = postJSON(t, ts, "/v1/run", marshal(t, RunRequest{Words: words}))
+	if status != http.StatusOK {
+		t.Fatalf("run status = %d, want 200 (%v)", status, doc)
+	}
+}
+
+func TestRunBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name     string
+		body     string
+		wantCode string
+	}{
+		{"malformed JSON", `{"source": `, CodeInvalidRequest},
+		{"unknown field", `{"sauce": "halt"}`, CodeInvalidRequest},
+		{"trailing data", fmt.Sprintf(`{"source": %q} junk`, haltingSource), CodeInvalidRequest},
+		{"no program", `{}`, CodeInvalidRequest},
+		{"source and words", fmt.Sprintf(`{"source": %q, "words": [1]}`, haltingSource), CodeInvalidRequest},
+		{"unknown policy", fmt.Sprintf(`{"source": %q, "policy": "bogus"}`, haltingSource), CodeUnknownPolicy},
+		{"negative timeout", fmt.Sprintf(`{"source": %q, "timeoutMs": -1}`, haltingSource), CodeInvalidRequest},
+		{"negative cycles", fmt.Sprintf(`{"source": %q, "maxCycles": -1}`, haltingSource), CodeInvalidParams},
+		{"bad params", fmt.Sprintf(`{"source": %q, "params": {"WindowSize": -3}}`, haltingSource), CodeInvalidParams},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, doc := postJSON(t, ts, "/v1/run", tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (%v)", status, doc)
+			}
+			if code := errCode(t, doc); code != tc.wantCode {
+				t.Errorf("code = %s, want %s", code, tc.wantCode)
+			}
+		})
+	}
+}
+
+func TestRunBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	big := strings.Repeat("# padding line\n", 200) + haltingSource
+	status, doc := postJSON(t, ts, "/v1/run", fmt.Sprintf(`{"source": %q}`, big))
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (%v)", status, doc)
+	}
+	if code := errCode(t, doc); code != CodeBodyTooLarge {
+		t.Errorf("code = %s, want %s", code, CodeBodyTooLarge)
+	}
+}
+
+func TestRunCycleLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, doc := postJSON(t, ts, "/v1/run",
+		fmt.Sprintf(`{"source": %q, "maxCycles": 1000}`, spinSource))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (%v)", status, doc)
+	}
+	if code := errCode(t, doc); code != CodeCycleLimit {
+		t.Errorf("code = %s, want %s", code, CodeCycleLimit)
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// A program that never halts, a cycle budget far beyond what 100ms
+	// can simulate, and a short request deadline: the deadline wins.
+	status, doc := postJSON(t, ts, "/v1/run",
+		fmt.Sprintf(`{"source": %q, "maxCycles": 500000000, "timeoutMs": 100}`, spinSource))
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%v)", status, doc)
+	}
+	if code := errCode(t, doc); code != CodeDeadlineExceeded {
+		t.Errorf("code = %s, want %s", code, CodeDeadlineExceeded)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	req := SweepRequest{
+		Source: haltingSource,
+		Points: []RunSpec{},
+	}
+	policies := []string{"steering", "static-integer", "static-memory", "static-floating", "ffu-only", "full-reconfig", "oracle", "random", "demand"}
+	body := `{"source": ` + marshal(t, req.Source) + `, "points": [`
+	for i, p := range policies {
+		if i > 0 {
+			body += ","
+		}
+		body += fmt.Sprintf(`{"policy": %q}`, p)
+	}
+	body += `]}`
+	status, doc := postJSON(t, ts, "/v1/sweep", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	}
+	points := doc["points"].([]any)
+	if len(points) != len(policies) {
+		t.Fatalf("got %d points, want %d", len(points), len(policies))
+	}
+	for i, raw := range points {
+		p := raw.(map[string]any)
+		if p["index"].(float64) != float64(i) {
+			t.Errorf("point %d: index = %v", i, p["index"])
+		}
+		if p["policy"] != policies[i] {
+			t.Errorf("point %d: policy = %v, want %s", i, p["policy"], policies[i])
+		}
+		if p["error"] != nil {
+			t.Errorf("point %d: unexpected error %v", i, p["error"])
+		}
+		if _, ok := p["report"].(map[string]any); !ok {
+			t.Errorf("point %d: missing report", i)
+		}
+	}
+}
+
+func TestSweepConcurrent(t *testing.T) {
+	// Several sweeps in flight at once over a 2-worker pool: results must
+	// stay complete and ordered while jobs from different requests
+	// interleave on the shared slots (the -race run is the real check).
+	_, ts := newTestServer(t, Config{Workers: 2, Backlog: 16})
+	body := fmt.Sprintf(`{"source": %q, "points": [{"policy": "steering"}, {"policy": "ffu-only"}, {"policy": "demand"}]}`, haltingSource)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, doc := postJSON(t, ts, "/v1/sweep", body)
+			if status != http.StatusOK {
+				t.Errorf("status = %d, want 200 (%v)", status, doc)
+				return
+			}
+			if n := len(doc["points"].([]any)); n != 3 {
+				t.Errorf("got %d points, want 3", n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSweepPointErrorIsData(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// One good point, one that exhausts its cycle budget: the sweep
+	// succeeds and the failure rides in the point's error field.
+	body := fmt.Sprintf(`{"source": %q, "points": [{"policy": "steering"}, {"policy": "steering", "maxCycles": 2}]}`, haltingSource)
+	status, doc := postJSON(t, ts, "/v1/sweep", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	}
+	points := doc["points"].([]any)
+	if e := points[0].(map[string]any)["error"]; e != nil {
+		t.Errorf("point 0: unexpected error %v", e)
+	}
+	env, ok := points[1].(map[string]any)["error"].(map[string]any)
+	if !ok || env["code"] != CodeCycleLimit {
+		t.Errorf("point 1: error = %v, want code %s", points[1], CodeCycleLimit)
+	}
+}
+
+func TestSweepBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepPoints: 2})
+	cases := []struct {
+		name     string
+		body     string
+		wantCode string
+	}{
+		{"no points", fmt.Sprintf(`{"source": %q, "points": []}`, haltingSource), CodeInvalidRequest},
+		{"too many points", fmt.Sprintf(`{"source": %q, "points": [{}, {}, {}]}`, haltingSource), CodeInvalidRequest},
+		{"bad point params", fmt.Sprintf(`{"source": %q, "points": [{"maxCycles": -1}]}`, haltingSource), CodeInvalidParams},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, doc := postJSON(t, ts, "/v1/sweep", tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (%v)", status, doc)
+			}
+			if code := errCode(t, doc); code != tc.wantCode {
+				t.Errorf("code = %s, want %s", code, tc.wantCode)
+			}
+		})
+	}
+}
+
+func TestSweepDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	body := fmt.Sprintf(`{"source": %q, "timeoutMs": 100, "points": [{"maxCycles": 500000000}, {"maxCycles": 500000000}]}`, spinSource)
+	status, doc := postJSON(t, ts, "/v1/sweep", body)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%v)", status, doc)
+	}
+	if code := errCode(t, doc); code != CodeDeadlineExceeded {
+		t.Errorf("code = %s, want %s", code, CodeDeadlineExceeded)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 3})
+	status, doc := getJSON(t, ts, "/v1/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if doc["status"] != "ok" || doc["workers"].(float64) != 3 {
+		t.Errorf("healthz = %v, want ok/3 workers", doc)
+	}
+	if s.Draining() {
+		t.Errorf("fresh server reports draining")
+	}
+}
+
+func TestDrainRejectsNewJobs(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.StartDrain()
+
+	status, doc := getJSON(t, ts, "/v1/healthz")
+	if status != http.StatusServiceUnavailable || doc["status"] != "draining" {
+		t.Errorf("healthz while draining = %d %v, want 503 draining", status, doc)
+	}
+	status, doc = postJSON(t, ts, "/v1/run", fmt.Sprintf(`{"source": %q}`, haltingSource))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("run while draining: status = %d, want 503 (%v)", status, doc)
+	}
+	if code := errCode(t, doc); code != CodeDraining {
+		t.Errorf("code = %s, want %s", code, CodeDraining)
+	}
+	status, doc = postJSON(t, ts, "/v1/sweep", fmt.Sprintf(`{"source": %q, "points": [{}]}`, haltingSource))
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("sweep while draining: status = %d, want 503 (%v)", status, doc)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	// One worker, one backlog slot: two endless jobs fill the queue, the
+	// third is rejected immediately with 503/queue_full.
+	_, ts := newTestServer(t, Config{Workers: 1, Backlog: 1})
+	body := fmt.Sprintf(`{"source": %q, "maxCycles": 500000000, "timeoutMs": 30000}`, spinSource)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run",
+				bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.Errorf("building request: %v", err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close() // cancelled below; outcome is irrelevant
+			}
+		}()
+	}
+	defer func() { cancel(); wg.Wait() }()
+
+	// Wait for both jobs to be admitted (one running, one queued).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, doc := getJSON(t, ts, "/v1/healthz")
+		if doc["admitted"].(float64) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never filled the queue: %v", doc)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	status, doc := postJSON(t, ts, "/v1/run", body)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (%v)", status, doc)
+	}
+	if code := errCode(t, doc); code != CodeQueueFull {
+		t.Errorf("code = %s, want %s", code, CodeQueueFull)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJSON(t, ts, "/v1/run", fmt.Sprintf(`{"source": %q}`, haltingSource))
+	postJSON(t, ts, "/v1/run", fmt.Sprintf(`{"source": %q}`, haltingSource))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	text := buf.String()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		`rssd_requests_total{handler="run"} 2`,
+		`rssd_job_duration_ms_count{kind="run"} 2`,
+		`rssd_program_cache_hits_total 1`,
+		`rssd_program_cache_misses_total 1`,
+		`rssd_jobs_running 0`,
+		`rssd_jobs_admitted 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestProgramCacheEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: 2})
+	srcs := []string{
+		"li r1, 1\nhalt\n",
+		"li r1, 2\nhalt\n",
+		"li r1, 3\nhalt\n",
+	}
+	for _, src := range srcs {
+		postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: src}))
+	}
+	// The first source was evicted by the third; re-assembling it must
+	// miss, while the third is still resident.
+	if _, doc := postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: srcs[0]})); doc["cached"].(bool) {
+		t.Errorf("evicted program reported cached")
+	}
+	if _, doc := postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: srcs[2]})); !doc["cached"].(bool) {
+		t.Errorf("resident program reported uncached")
+	}
+}
+
+func TestProgramCacheDisabled(t *testing.T) {
+	c := newProgramCache(-1)
+	c.put("halt\n", nil)
+	if _, ok := c.get("halt\n"); ok || c.len() != 0 {
+		t.Errorf("disabled cache stored an entry (len %d)", c.len())
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatalf("GET /v1/run: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run status = %d, want 405", resp.StatusCode)
+	}
+}

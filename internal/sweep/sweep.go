@@ -7,6 +7,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -16,8 +17,21 @@ import (
 // GOMAXPROCS. The job function must be safe to call concurrently for
 // different i (each call builds its own machine).
 func Run[T any](n, workers int, job func(i int) T) []T {
+	results, _ := RunContext(context.Background(), n, workers,
+		func(_ context.Context, i int) T { return job(i) })
+	return results
+}
+
+// RunContext is Run with cancellation: once ctx is cancelled no further
+// jobs start, and the call returns the context's error together with the
+// results of the jobs that did complete (unstarted slots hold T's zero
+// value). The context is also handed to each job, so long-running jobs
+// can cut their own run short (e.g. with Machine.RunContext) — in-flight
+// jobs are always waited for, never abandoned, keeping every simulator
+// object confined to its worker goroutine.
+func RunContext[T any](ctx context.Context, n, workers int, job func(ctx context.Context, i int) T) ([]T, error) {
 	if n <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -33,16 +47,21 @@ func Run[T any](n, workers int, job func(i int) T) []T {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = job(i)
+				results[i] = job(ctx, i)
 			}
 		}()
 	}
+submit:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break submit
+		}
 	}
 	close(next)
 	wg.Wait()
-	return results
+	return results, ctx.Err()
 }
 
 // Run2 is Run for jobs with two outputs — typically a scalar result plus

@@ -36,7 +36,7 @@ func TestKernelsOnPipelinedSteeringMachine(t *testing.T) {
 	for _, k := range Kernels() {
 		t.Run(k.Name, func(t *testing.T) {
 			p := cpu.New(k.Program(), cpu.Params{MemBytes: 1 << 16}, nil)
-			p.SetPolicy(baseline.NewSteering(p.Fabric()))
+			p.SetManager(baseline.NewSteering(p.Fabric()))
 			if k.Setup != nil {
 				k.Setup(p.Memory(), p.SetReg)
 			}
@@ -143,7 +143,7 @@ func TestSynthesizeRunsToCompletion(t *testing.T) {
 	}
 
 	p := cpu.New(prog, cpu.Params{MemBytes: 1 << 16}, nil)
-	p.SetPolicy(baseline.NewSteering(p.Fabric()))
+	p.SetManager(baseline.NewSteering(p.Fabric()))
 	stats, err := p.Run(10_000_000)
 	if err != nil {
 		t.Fatalf("simulator: %v", err)

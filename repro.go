@@ -27,6 +27,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -61,7 +62,8 @@ func DefaultParams() Params { return cpu.DefaultParams() }
 // Assemble translates assembly source into a Program. See internal/isa
 // for the full syntax; the quick version: RISC-style three-operand
 // mnemonics, integer registers r0-r31 (r0 reads zero), FP registers
-// f0-f31, labels, and li/mv/j/ret pseudo-instructions.
+// f0-f31, labels, and li/mv/j/ret pseudo-instructions. Failures are
+// *AsmError values carrying the offending source line.
 func Assemble(src string) (Program, error) { return isa.Assemble(src) }
 
 // MustAssemble is Assemble for known-good sources; it panics on error.
@@ -95,70 +97,65 @@ func NewMachineFromUnit(u *Unit, opt Options) *Machine {
 }
 
 // Policy selects the configuration-management strategy of a Machine.
-type Policy int
+// The type (and its canonical name table) lives in internal/cpu; this
+// alias re-exports it, along with each strategy constant. A Policy
+// marshals to and from its name as JSON/text, so request schemas can
+// carry policy fields directly.
+type Policy = cpu.Policy
 
 const (
 	// PolicySteering is the paper's configuration manager: per-cycle
 	// selection over the steering basis, partial idle-only loading.
-	PolicySteering Policy = iota
+	PolicySteering = cpu.PolicySteering
 	// PolicyStaticInteger fixes the fabric to the integer steering
 	// configuration and never reconfigures.
-	PolicyStaticInteger
+	PolicyStaticInteger = cpu.PolicyStaticInteger
 	// PolicyStaticMemory fixes the fabric to the memory configuration.
-	PolicyStaticMemory
+	PolicyStaticMemory = cpu.PolicyStaticMemory
 	// PolicyStaticFloating fixes the fabric to the floating-point
 	// configuration.
-	PolicyStaticFloating
+	PolicyStaticFloating = cpu.PolicyStaticFloating
 	// PolicyNone leaves the fabric empty: only the five fixed units
 	// execute instructions (a conventional single-unit-per-type core).
-	PolicyNone
+	PolicyNone = cpu.PolicyNone
 	// PolicyFullReconfig swaps whole configurations, waiting for the
 	// fabric to drain — the predecessor architecture the paper extends.
-	PolicyFullReconfig
+	PolicyFullReconfig = cpu.PolicyFullReconfig
 	// PolicyOracle selects with the exact divider metric; pair it with
 	// a small ReconfigLatency for an idealised upper bound.
-	PolicyOracle
+	PolicyOracle = cpu.PolicyOracle
 	// PolicyRandom loads a random basis configuration periodically.
-	PolicyRandom
+	PolicyRandom = cpu.PolicyRandom
 	// PolicyDemand synthesises configurations directly from the queue's
 	// demand every cycle, with no predefined basis — the paper's §5
 	// future-work direction.
-	PolicyDemand
+	PolicyDemand = cpu.PolicyDemand
 )
 
-var policyNames = map[Policy]string{
-	PolicySteering:       "steering",
-	PolicyStaticInteger:  "static-integer",
-	PolicyStaticMemory:   "static-memory",
-	PolicyStaticFloating: "static-floating",
-	PolicyNone:           "ffu-only",
-	PolicyFullReconfig:   "full-reconfig",
-	PolicyOracle:         "oracle",
-	PolicyRandom:         "random",
-	PolicyDemand:         "demand",
-}
+// ParsePolicy resolves a policy name (the Policy.String round-trip); the
+// error wraps ErrUnknownPolicy.
+func ParsePolicy(s string) (Policy, error) { return cpu.ParsePolicy(s) }
 
-// String names the policy as the experiment tables do.
-func (p Policy) String() string {
-	if s, ok := policyNames[p]; ok {
-		return s
-	}
-	return fmt.Sprintf("Policy(%d)", int(p))
-}
+// Policies returns every defined policy in declaration order.
+func Policies() []Policy { return cpu.Policies() }
 
-// ParsePolicy resolves a policy name from the CLI tools.
-func ParsePolicy(s string) (Policy, error) {
-	for p, name := range policyNames {
-		if name == s {
-			return p, nil
-		}
-	}
-	var known []string
-	for _, name := range policyNames {
-		known = append(known, name)
-	}
-	return 0, fmt.Errorf("unknown policy %q (known: %s)", s, strings.Join(known, ", "))
-}
+// Sentinel errors of the facade. Classify failures with errors.Is —
+// formatted messages are not part of the API.
+var (
+	// ErrCycleLimit: Run/RunContext exhausted its cycle budget before
+	// the program's HALT retired.
+	ErrCycleLimit = cpu.ErrCycleLimit
+	// ErrInvalidParams: a Params field is out of range (see
+	// Params.Validate).
+	ErrInvalidParams = cpu.ErrInvalidParams
+	// ErrUnknownPolicy: ParsePolicy did not recognise the name.
+	ErrUnknownPolicy = cpu.ErrUnknownPolicy
+)
+
+// AsmError is the error type of Assemble and AssembleUnit: the offending
+// 1-based source line plus the underlying cause. Retrieve it with
+// errors.As to report source positions.
+type AsmError = isa.AsmError
 
 // Basis is a set of three predefined steering configurations.
 type Basis = [3]config.Configuration
@@ -197,7 +194,7 @@ type Options struct {
 type Machine struct {
 	proc      *cpu.Processor
 	policy    Policy
-	policyObj cpu.Policy    // the installed policy object, for telemetry wiring
+	policyObj cpu.Manager   // the installed manager object, for telemetry wiring
 	steering  *core.Manager // non-nil for steering-family policies
 	tracer    *trace.Buffer
 	probe     *telemetry.Probe
@@ -217,7 +214,7 @@ func NewMachine(prog Program, opt Options) *Machine {
 		s.M.MinResidency = opt.MinResidency
 		m.steering = s.M
 		m.policyObj = s
-		p.SetPolicy(s)
+		p.SetManager(s)
 	case PolicyStaticInteger:
 		p.Fabric().Install(basis[0])
 	case PolicyStaticMemory:
@@ -229,19 +226,19 @@ func NewMachine(prog Program, opt Options) *Machine {
 	case PolicyFullReconfig:
 		fr := baseline.NewFullReconfigBasis(p.Fabric(), basis)
 		m.policyObj = fr
-		p.SetPolicy(fr)
+		p.SetManager(fr)
 	case PolicyOracle:
 		o := baseline.NewOracleBasis(p.Fabric(), basis)
 		m.policyObj = o
-		p.SetPolicy(o)
+		p.SetManager(o)
 	case PolicyRandom:
 		r := baseline.NewRandom(p.Fabric(), opt.Seed)
 		m.policyObj = r
-		p.SetPolicy(r)
+		p.SetManager(r)
 	case PolicyDemand:
 		d := core.NewDemandManager(p.Fabric())
 		m.policyObj = d
-		p.SetPolicy(d)
+		p.SetManager(d)
 	default:
 		panic(fmt.Sprintf("repro: unknown policy %d", opt.Policy))
 	}
@@ -249,11 +246,22 @@ func NewMachine(prog Program, opt Options) *Machine {
 }
 
 // Run executes until HALT retires or maxCycles elapse; it returns the run
-// statistics and an error when the budget ran out. When telemetry is
-// enabled the exporter is flushed at the end of the run, and a telemetry
-// export error surfaces here if the run itself succeeded.
+// statistics and an error wrapping ErrCycleLimit when the budget ran
+// out. When telemetry is enabled the exporter is flushed at the end of
+// the run, and a telemetry export error surfaces here if the run itself
+// succeeded. Run is RunContext without cancellation.
 func (m *Machine) Run(maxCycles int) (Stats, error) {
-	stats, err := m.proc.Run(maxCycles)
+	return m.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext is Run with cancellation: the context is polled every
+// cpu.CtxCheckInterval simulated cycles, and on cancellation the run
+// stops within one interval, returning the statistics so far and the
+// context's error (match it with errors.Is against context.Canceled or
+// context.DeadlineExceeded). The machine stays consistent, so a
+// cancelled run may be resumed by calling RunContext again.
+func (m *Machine) RunContext(ctx context.Context, maxCycles int) (Stats, error) {
+	stats, err := m.proc.RunContext(ctx, maxCycles)
 	if ferr := m.probe.Flush(); err == nil && ferr != nil {
 		err = fmt.Errorf("telemetry: %w", ferr)
 	}
