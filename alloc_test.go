@@ -1,0 +1,135 @@
+// Zero-allocation regression tests for the per-cycle fast path (see
+// ARCHITECTURE.md §10). Each test pins a hot function at 0 allocs/op
+// with testing.AllocsPerRun so an accidental escape or slice regrowth
+// fails CI instead of silently eroding simulator throughput. The race
+// detector instruments allocations, so these skip under -race; CI runs
+// them in a dedicated non-race step.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/baseline"
+	"repro/internal/cem"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/rfu"
+)
+
+// fig2Demands mirrors BenchmarkFig2SelectionUnit's demand stream: 64
+// pseudo-random requirement vectors summing to at most the queue size.
+func fig2Demands() []arch.Counts {
+	demands := make([]arch.Counts, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := range demands {
+		left := arch.QueueSize
+		for t := range demands[i] {
+			v := rng.Intn(left + 1)
+			demands[i][t] = v
+			left -= v
+		}
+	}
+	return demands
+}
+
+func requireZeroAllocs(t *testing.T, what string, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("alloc counts are inflated by the race detector")
+	}
+	if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+		t.Errorf("%s: %.1f allocs/op, want 0", what, allocs)
+	}
+}
+
+func TestZeroAllocManagerSelect(t *testing.T) {
+	m := core.NewManager(rfu.New(8), config.DefaultBasis())
+	demands := fig2Demands()
+	// Warm the steering cache and any lazily sized scratch.
+	for _, d := range demands {
+		_ = m.Select(d)
+	}
+	i := 0
+	requireZeroAllocs(t, "core.Manager.Select (cached)", func() {
+		_ = m.Select(demands[i%len(demands)])
+		i++
+	})
+
+	// The miss path (CEM generators + gate-level selection) must be
+	// allocation-free too: disabling the cache forces it every call.
+	m.DisableCache = true
+	requireZeroAllocs(t, "core.Manager.Select (uncached)", func() {
+		_ = m.Select(demands[i%len(demands)])
+		i++
+	})
+}
+
+func TestZeroAllocCEM(t *testing.T) {
+	req := arch.Counts{3, 1, 2, 0, 1}
+	av := arch.Counts{5, 2, 3, 1, 1}
+	requireZeroAllocs(t, "cem.Error", func() {
+		_ = cem.Error(req, av)
+	})
+	requireZeroAllocs(t, "cem.CircuitError", func() {
+		_ = cem.CircuitError(req, av)
+	})
+}
+
+func TestZeroAllocCircuitMinimalErrorSelect(t *testing.T) {
+	errs := [arch.NumConfigs]int{3, 1, 4, 1}
+	dists := [arch.NumConfigs]int{0, 5, 2, 8}
+	requireZeroAllocs(t, "core.CircuitMinimalErrorSelect", func() {
+		_ = core.CircuitMinimalErrorSelect(errs, dists)
+	})
+}
+
+// steadyLoop is an endless-for-test-purposes loop mixing integer,
+// multiply, load/store and FP work so the steady-state cycle exercises
+// fetch, dispatch, wake-up, execution (including the memory shim),
+// branch resolution and steering — every subsystem the fast path spans.
+const steadyLoop = `
+	li r10, 0x1000
+	li r1, 0
+	li r2, 100000000
+	li r4, 3
+	fcvt.s.w f1, r4
+loop:
+	addi r1, r1, 1
+	mul r3, r1, r2
+	sw r3, 0(r10)
+	lw r5, 0(r10)
+	add r6, r5, r3
+	fmul f2, f1, f1
+	fadd f3, f2, f1
+	bne r1, r2, loop
+	halt
+`
+
+func TestZeroAllocMachineCycle(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated by the race detector")
+	}
+	prog, err := isa.Assemble(steadyLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cpu.New(prog, cpu.DefaultParams(), nil)
+	p.SetManager(baseline.NewSteering(p.Fabric()))
+	// Warm up: fill the trace cache, grow the fetch buffer and scratch
+	// slices to their steady-state capacities, and converge the steering
+	// cache. The loop body is far longer than the measured window, so
+	// the program cannot halt mid-measurement.
+	for i := 0; i < 50_000 && !p.Halted(); i++ {
+		p.Cycle()
+	}
+	if p.Halted() {
+		t.Fatal("workload halted during warm-up; steady-state cycles unmeasurable")
+	}
+	if allocs := testing.AllocsPerRun(2000, p.Cycle); allocs != 0 {
+		t.Errorf("steady-state Machine cycle: %.2f allocs/op, want 0", allocs)
+	}
+}

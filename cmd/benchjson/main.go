@@ -1,0 +1,129 @@
+// Command benchjson runs the repo's benchmark suite and emits a
+// machine-readable perf datapoint: BENCH_<date>.json with ns/op,
+// B/op, allocs/op and the custom metrics the full-machine benchmarks
+// report (IPC, simulated Mcycles/s). Committed datapoints form the
+// perf trajectory future optimisation PRs are measured against.
+//
+// Usage:
+//
+//	benchjson                         # run `go test -bench . -benchmem`, write BENCH_<date>.json
+//	benchjson -bench Fig2 -o -        # subset, JSON to stdout
+//	benchjson -in bench.out           # parse previously captured output instead of running
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+type document struct {
+	Date      string            `json:"date"`
+	GoOS      string            `json:"goos"`
+	GoArch    string            `json:"goarch"`
+	GoVersion string            `json:"goVersion"`
+	Bench     string            `json:"bench"`
+	Benchtime string            `json:"benchtime,omitempty"`
+	Results   []benchfmt.Result `json:"results"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark selection regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "", "go test -benchtime value (empty: go test's default)")
+		count     = flag.Int("count", 1, "go test -count value")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		in        = flag.String("in", "", "parse this previously captured `go test -bench` output file instead of running (\"-\" for stdin)")
+		out       = flag.String("o", "", "output path (default BENCH_<date>.json; \"-\" for stdout)")
+	)
+	flag.Parse()
+	if err := run(*bench, *benchtime, *count, *pkg, *in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime string, count int, pkg, in, out string) error {
+	var raw []byte
+	var err error
+	switch {
+	case in == "-":
+		raw, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			return fmt.Errorf("reading stdin: %w", err)
+		}
+	case in != "":
+		raw, err = os.ReadFile(in)
+		if err != nil {
+			return err
+		}
+	default:
+		raw, err = runBenchmarks(bench, benchtime, count, pkg)
+		if err != nil {
+			return err
+		}
+	}
+
+	results, err := benchfmt.Parse(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results in output (selection %q)", bench)
+	}
+
+	date := time.Now().Format("2006-01-02")
+	doc := document{
+		Date:      date,
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		Bench:     bench,
+		Benchtime: benchtime,
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+
+	if out == "" {
+		out = "BENCH_" + date + ".json"
+	}
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), out)
+	return nil
+}
+
+// runBenchmarks shells out to `go test`; benchmark noise goes to our
+// stderr so failures are diagnosable, results come back for parsing.
+func runBenchmarks(bench, benchtime string, count int, pkg string) ([]byte, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-count", fmt.Sprint(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %v: %w", args, err)
+	}
+	return stdout.Bytes(), nil
+}

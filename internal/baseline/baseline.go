@@ -73,6 +73,9 @@ type FullReconfig struct {
 	Blocked int
 
 	probe *telemetry.Probe
+
+	// unitsScratch is the reusable placement buffer for stream.
+	unitsScratch []config.PlacedUnit
 }
 
 // NewFullReconfig builds the whole-configuration-swap policy with the
@@ -156,7 +159,8 @@ func classifyAllocation(fabric *rfu.Fabric, basis [3]config.Configuration) strin
 // configuration bus, completing the swap when the layout matches.
 func (f *FullReconfig) stream() {
 	target := *f.pending
-	for _, u := range target.Units() {
+	f.unitsScratch = target.AppendUnits(f.unitsScratch[:0])
+	for _, u := range f.unitsScratch {
 		if f.fabric.Allocation().Slots[u.Slot] == arch.Encode(u.Type) {
 			continue
 		}
@@ -205,7 +209,8 @@ type Random struct {
 	// Period is the number of cycles between random loads (default 64).
 	Period int
 
-	cycle int
+	cycle        int
+	unitsScratch []config.PlacedUnit
 }
 
 // NewRandom builds the random policy with a deterministic seed.
@@ -227,7 +232,8 @@ func (r *Random) Manage(arch.Counts) {
 		return
 	}
 	target := r.basis[r.rng.Intn(len(r.basis))]
-	for _, u := range target.Units() {
+	r.unitsScratch = target.AppendUnits(r.unitsScratch[:0])
+	for _, u := range r.unitsScratch {
 		if r.fabric.Allocation().Slots[u.Slot] == arch.Encode(u.Type) {
 			continue
 		}

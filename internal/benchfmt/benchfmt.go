@@ -1,0 +1,105 @@
+// Package benchfmt parses the output of `go test -bench` into typed
+// results, so the perf-trajectory harness (cmd/benchjson) can commit
+// machine-readable benchmark datapoints (BENCH_<date>.json) and future
+// sessions can diff them. Only the benchmark result lines are parsed;
+// everything else (PASS, ok, warm-up logs) is ignored.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line, e.g.
+//
+//	BenchmarkFig2SelectionUnit-8  7651778  155.0 ns/op  0 B/op  0 allocs/op
+//
+// Standard units get typed fields; every unit (including custom
+// testing.B.ReportMetric units like "IPC" or "Mcycles/s") also lands in
+// Metrics keyed by its unit string.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (sub-benchmarks keep their slash-separated path).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// N is the iteration count of the measured run.
+	N int64 `json:"n"`
+
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+
+	// Metrics holds every reported value keyed by unit, custom units
+	// included ("ns/op", "B/op", "allocs/op", "IPC", "Mcycles/s", ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// ParseLine parses one line of `go test -bench` output. ok is false for
+// lines that are not benchmark results.
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// A result line is "BenchmarkName[-P] N value unit [value unit]...".
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	// The rune after "Benchmark" must be uppercase or a digit — this is
+	// how `go test` itself distinguishes benchmark identifiers.
+	rest := fields[0][len("Benchmark"):]
+	if rest == "" || !(rest[0] >= 'A' && rest[0] <= 'Z' || rest[0] >= '0' && rest[0] <= '9') {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndex(r.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil && p > 0 {
+			r.Name = r.Name[:i]
+			r.Procs = p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.N = n
+	// The remainder is value/unit pairs.
+	if (len(fields)-2)%2 != 0 {
+		return Result{}, false
+	}
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		r.Metrics[unit] = v
+		switch unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, true
+}
+
+// Parse reads benchmark results from r (typically the stdout of
+// `go test -bench`), skipping non-result lines.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if res, ok := ParseLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("benchfmt: reading output: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLineStandard(t *testing.T) {
+	r, ok := ParseLine("BenchmarkFig2SelectionUnit-8   \t 7651778\t       155.0 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if r.Name != "BenchmarkFig2SelectionUnit" || r.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.N != 7651778 || r.NsPerOp != 155.0 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Fatalf("values = %+v", r)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	r, ok := ParseLine("BenchmarkX1Phased/steering-4     343   3506586 ns/op     0.8123 IPC     3.456 Mcycles/s   1048576 B/op   8089 allocs/op")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if r.Name != "BenchmarkX1Phased/steering" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Metrics["IPC"] != 0.8123 || r.Metrics["Mcycles/s"] != 3.456 {
+		t.Fatalf("custom metrics = %v", r.Metrics)
+	}
+	if r.AllocsPerOp != 8089 {
+		t.Fatalf("allocs/op = %v", r.AllocsPerOp)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  \trepro\t12.3s",
+		"goos: linux",
+		"BenchmarkFoo", // no fields
+		"Benchmarking is fun 3 ns/op",
+		"BenchmarkOdd-8 100 1.0", // dangling value without unit
+	} {
+		if _, ok := ParseLine(line); ok {
+			t.Errorf("line %q parsed as a result", line)
+		}
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig3CEMBehavioural-8   	246170518	         4.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig3CEMGateLevel-8   	 1000000	      1137 ns/op	     488 B/op	      53 allocs/op
+PASS
+ok  	repro	3.1s
+`
+	rs, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	if rs[1].Name != "BenchmarkFig3CEMGateLevel" || rs[1].AllocsPerOp != 53 {
+		t.Fatalf("second result = %+v", rs[1])
+	}
+}

@@ -91,10 +91,19 @@ func ErrorExact(required, available arch.Counts) int {
 // high-order quantity bit; s0 is the next lower-order bit gated off when
 // s1 is set.
 func ShiftControl(avail int) logic.Bus {
-	q := logic.BusFromUint(uint64(avail)&0x7, arch.CountBits)
-	s1 := q[2]
-	s0 := logic.And(logic.Not(q[2]), q[1])
-	return logic.Bus{s0, s1}
+	ctl := make(logic.Bus, 2)
+	ShiftControlInto(ctl, avail)
+	return ctl
+}
+
+// ShiftControlInto writes the two ShiftControl bits into dst (which must
+// have length 2) without allocating.
+func ShiftControlInto(dst logic.Bus, avail int) {
+	var qBits [arch.CountBits]logic.Bit
+	q := logic.Bus(qBits[:])
+	q.SetUint(uint64(avail) & 0x7)
+	dst[0] = logic.And(logic.Not(q[2]), q[1])
+	dst[1] = q[2]
 }
 
 // CircuitError is the gate-level CEM generator of Fig. 3(b): five barrel
@@ -105,10 +114,24 @@ func ShiftControl(avail int) logic.Bus {
 // configuration they are live — both cases route through the same
 // network.
 func CircuitError(required, available arch.Counts) int {
-	operands := make([]logic.Bus, arch.NumUnitTypes)
+	// Fixed-size stacks of bits stand in for the freshly allocated buses
+	// of the naive formulation; saturating accumulation applied left to
+	// right is equivalent to the balanced tree because min(·,7) over
+	// non-negative addends is associative in the total.
+	var accBits, termBits [arch.CountBits]logic.Bit
+	var ctlBits [2]logic.Bit
+	acc := logic.Bus(accBits[:])
+	term := logic.Bus(termBits[:])
+	ctl := logic.Bus(ctlBits[:])
 	for t := range required {
-		req := logic.BusFromUint(uint64(clamp3(required[t])), arch.CountBits)
-		operands[t] = logic.BarrelShiftRight(req, ShiftControl(available[t]))
+		term.SetUint(uint64(clamp3(required[t])))
+		ShiftControlInto(ctl, available[t])
+		logic.BarrelShiftRightInto(term, term, ctl)
+		if t == 0 {
+			copy(acc, term)
+		} else {
+			logic.SaturatingAdderInto(acc, acc, term)
+		}
 	}
-	return int(logic.AdderTree(operands...).Uint())
+	return int(acc.Uint())
 }

@@ -62,17 +62,24 @@ func (c Configuration) Counts() arch.Counts {
 // Units returns the units of the configuration in slot order, with the
 // starting slot of each.
 func (c Configuration) Units() []PlacedUnit {
-	var out []PlacedUnit
+	return c.AppendUnits(nil)
+}
+
+// AppendUnits appends the units of the configuration in slot order to
+// dst and returns the extended slice. Callers on the per-cycle path pass
+// a reusable scratch slice (dst[:0]) to avoid allocating; a nil dst
+// behaves like Units.
+func (c Configuration) AppendUnits(dst []PlacedUnit) []PlacedUnit {
 	for slot := 0; slot < arch.NumRFUSlots; {
 		t, ok := arch.DecodeUnit(c.Layout[slot])
 		if !ok {
 			slot++
 			continue
 		}
-		out = append(out, PlacedUnit{Type: t, Slot: slot, Span: arch.SlotCost(t)})
+		dst = append(dst, PlacedUnit{Type: t, Slot: slot, Span: arch.SlotCost(t)})
 		slot += arch.SlotCost(t)
 	}
-	return out
+	return dst
 }
 
 // Validate checks the structural invariants of the layout: every unit
@@ -151,7 +158,7 @@ func DefaultBasis() [3]Configuration {
 // each type (Fig. 1).
 func FFUCounts() arch.Counts {
 	var n arch.Counts
-	for _, t := range arch.UnitTypes() {
+	for t := range n {
 		n[t] = 1
 	}
 	return n

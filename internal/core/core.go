@@ -95,30 +95,38 @@ func MinimalErrorSelect(errors, distances [arch.NumConfigs]int) int {
 // chain keeps the smallest, emitting the winner's two-bit index. Tests
 // prove it equivalent to MinimalErrorSelect.
 func CircuitMinimalErrorSelect(errors, distances [arch.NumConfigs]int) int {
-	makeKey := func(i int) logic.Bus {
-		b := make(logic.Bus, 0, 9)
-		b = append(b, logic.BusFromUint(uint64(i), 2)...)
-		b = append(b, logic.BusFromUint(uint64(distances[i]), 4)...)
-		b = append(b, logic.BusFromUint(uint64(errors[i]), 3)...)
-		return b
-	}
-	bestKey := makeKey(0)
-	bestIdx := logic.BusFromUint(0, 2)
+	// All buses live in fixed-size stack arrays so the comparator chain
+	// runs without heap allocation (asserted by alloc_test.go).
+	var bestKeyBits, keyBits [9]logic.Bit
+	var bestIdxBits, idxBits [2]logic.Bit
+	bestKey := logic.Bus(bestKeyBits[:])
+	k := logic.Bus(keyBits[:])
+	bestIdx := logic.Bus(bestIdxBits[:])
+	idx := logic.Bus(idxBits[:])
+
+	packCompareKey(bestKey, errors[0], distances[0], 0)
 	for i := 1; i < arch.NumConfigs; i++ {
-		k := makeKey(i)
+		packCompareKey(k, errors[i], distances[i], i)
 		smaller := logic.LessThan(k, bestKey)
-		next := make(logic.Bus, len(bestKey))
-		for b := range next {
-			next[b] = logic.Mux2(smaller, bestKey[b], k[b])
+		for b := range bestKey {
+			bestKey[b] = logic.Mux2(smaller, bestKey[b], k[b])
 		}
-		idx := logic.BusFromUint(uint64(i), 2)
-		nextIdx := make(logic.Bus, 2)
-		for b := range nextIdx {
-			nextIdx[b] = logic.Mux2(smaller, bestIdx[b], idx[b])
+		idx.SetUint(uint64(i))
+		for b := range bestIdx {
+			bestIdx[b] = logic.Mux2(smaller, bestIdx[b], idx[b])
 		}
-		bestKey, bestIdx = next, nextIdx
 	}
 	return int(bestIdx.Uint())
+}
+
+// packCompareKey wires one candidate's 9-bit comparison key into dst:
+// two index bits (least significant), four distance bits, three error
+// bits (most significant) — so LessThan orders by error, then distance,
+// then index, matching MinimalErrorSelect's key function.
+func packCompareKey(dst logic.Bus, err, dist, idx int) {
+	dst[0:2].SetUint(uint64(idx))
+	dst[2:6].SetUint(uint64(dist))
+	dst[6:9].SetUint(uint64(err))
 }
 
 // Stats counts the manager's activity for the experiment harness.
@@ -137,6 +145,66 @@ type Stats struct {
 	// SuppressedLoads counts selections that wanted a new configuration
 	// but were held back by the residency timer.
 	SuppressedLoads int
+	// CacheHits and CacheMisses count steering-cache lookups: a hit
+	// replays a previously computed selection for the same packed
+	// (demand, allocation) key, a miss runs the CEM generators.
+	CacheHits   int
+	CacheMisses int
+}
+
+// Steering-cache geometry: a small direct-mapped table indexed by a
+// multiplicative hash of the packed key. 512 entries is comfortably
+// larger than the working set of distinct (demand, allocation) pairs a
+// phase exhibits (the demand vector alone has ≤ 8^5 values, but steady
+// state visits a handful).
+const (
+	steerCacheBits = 9
+	steerCacheSize = 1 << steerCacheBits
+	// encodingBits is the width of one slot encoding in the packed key
+	// (arch.Encoding values are 0..7).
+	encodingBits = 3
+)
+
+// steerEntry is one direct-mapped cache line. key holds the packed key
+// plus one so that the zero value means "empty"; the payload is the full
+// Selection except Required, which the hit path copies from the live
+// input.
+type steerEntry struct {
+	key    uint64
+	choice uint8
+	errs   [arch.NumConfigs]uint8
+	dists  [arch.NumConfigs]uint8
+}
+
+// packSteerKey packs everything Select's outputs depend on into one
+// 39-bit key: the five demand counts clamped to the 3-bit range the CEM
+// actually sees (bits 0–14) and the live allocation's slot encodings
+// (bits 15–38). Availability counts, distances and hence the choice are
+// pure functions of these, so keying on the allocation vector also
+// subsumes invalidation when the loaded configuration changes: a
+// reconfiguration changes the slots and thereby selects a different key.
+func packSteerKey(required arch.Counts, slots [arch.NumRFUSlots]arch.Encoding) uint64 {
+	var k uint64
+	for t := range required {
+		c := required[t]
+		if c < 0 {
+			c = 0
+		} else if c > 7 {
+			c = 7
+		}
+		k |= uint64(c) << (uint(t) * arch.CountBits)
+	}
+	const demandBits = uint(arch.NumUnitTypes * arch.CountBits)
+	for i, e := range slots {
+		k |= uint64(e) << (demandBits + uint(i)*encodingBits)
+	}
+	return k
+}
+
+// steerCacheIndex maps a packed key to a table slot by Fibonacci
+// (multiplicative) hashing, which spreads the low-entropy packed bits.
+func steerCacheIndex(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> (64 - steerCacheBits))
 }
 
 // Manager is the configuration manager: selection unit plus loader, bound
@@ -157,16 +225,29 @@ type Manager struct {
 	// study). Zero (the paper's design) reloads every cycle the
 	// selection changes.
 	MinResidency int
+	// DisableCache bypasses the steering cache so every Select runs the
+	// CEM generators — used by the equivalence tests and ablations.
+	DisableCache bool
 
 	sinceLoad int
 	stats     Stats
 	probe     *telemetry.Probe
+
+	// cache is the direct-mapped steering cache; cacheExact records the
+	// ExactCEM mode its entries were computed under, so toggling the
+	// metric flushes them.
+	cache      [steerCacheSize]steerEntry
+	cacheExact bool
+	// unitsScratch is the loader's reusable placement buffer (capacity
+	// bounded by the slot count, so it never regrows after NewManager).
+	unitsScratch []config.PlacedUnit
 }
 
 // NewManager binds a configuration manager to a fabric, steering with the
 // given predefined configurations. Invalid basis configurations panic.
 func NewManager(fabric *rfu.Fabric, basis [3]config.Configuration) *Manager {
 	m := &Manager{basis: basis, fabric: fabric}
+	m.unitsScratch = make([]config.PlacedUnit, 0, arch.NumRFUSlots)
 	for i, c := range basis {
 		if err := c.Validate(); err != nil {
 			panic(fmt.Sprintf("core: invalid steering configuration: %v", err))
@@ -200,10 +281,51 @@ func (m *Manager) errorOf(required, available arch.Counts) int {
 // to each of the four configurations including the FFUs", §3.1).
 func (m *Manager) Select(required arch.Counts) Selection {
 	alloc := m.fabric.Allocation()
+	if m.DisableCache {
+		return m.selectUncached(required, alloc)
+	}
+	if m.cacheExact != m.ExactCEM {
+		// The error metric changed out from under the cached entries;
+		// flush in place (no allocation — the table is an array field).
+		m.cache = [steerCacheSize]steerEntry{}
+		m.cacheExact = m.ExactCEM
+	}
+	key := packSteerKey(required, alloc.Slots)
+	e := &m.cache[steerCacheIndex(key)]
+	if e.key == key+1 {
+		m.stats.CacheHits++
+		if m.probe != nil {
+			m.probe.SteeringCacheLookup(true)
+		}
+		var sel Selection
+		sel.Required = required
+		sel.Choice = int(e.choice)
+		for i := range sel.Errors {
+			sel.Errors[i] = int(e.errs[i])
+			sel.Distances[i] = int(e.dists[i])
+		}
+		return sel
+	}
+	m.stats.CacheMisses++
+	if m.probe != nil {
+		m.probe.SteeringCacheLookup(false)
+	}
+	sel := m.selectUncached(required, alloc)
+	e.key = key + 1
+	e.choice = uint8(sel.Choice)
+	for i := range sel.Errors {
+		e.errs[i] = uint8(sel.Errors[i])
+		e.dists[i] = uint8(sel.Distances[i])
+	}
+	return sel
+}
 
+// selectUncached runs the four CEM generators and the minimal-error
+// selector directly — the cache-miss (and cache-disabled) path.
+func (m *Manager) selectUncached(required arch.Counts, alloc config.AllocationVector) Selection {
 	var sel Selection
 	sel.Required = required
-	sel.Errors[0] = m.errorOf(required, m.fabric.TotalCounts())
+	sel.Errors[0] = m.errorOf(required, alloc.TotalCounts())
 	sel.Distances[0] = 0
 	for i := range m.basis {
 		sel.Errors[i+1] = m.errorOf(required, m.basisAvail[i])
@@ -231,7 +353,8 @@ func (m *Manager) Load(sel Selection) int {
 		diff = m.fabric.Allocation().Distance(target)
 	}
 	started, loading, deferred := 0, 0, 0
-	for _, u := range target.Units() {
+	m.unitsScratch = target.AppendUnits(m.unitsScratch[:0])
+	for _, u := range m.unitsScratch {
 		if m.fabric.Allocation().Slots[u.Slot] == arch.Encode(u.Type) {
 			continue // already implements the specified unit (§3.2)
 		}

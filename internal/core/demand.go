@@ -31,11 +31,27 @@ type DemandManager struct {
 	// DeferredSlots counts slot rewrites skipped because spans were
 	// busy.
 	DeferredSlots int
+
+	// Per-cycle scratch buffers, reused across Steps so the hot path
+	// does not allocate: kept marks slots claimed by the synthesis pass,
+	// unitsScratch holds placement decodes of the current and target
+	// layouts.
+	kept         [arch.NumRFUSlots]bool
+	unitsScratch []config.PlacedUnit
+}
+
+// placeOrder lists unit types largest-span first so multi-slot spans
+// find contiguous room during synthesis.
+var placeOrder = [arch.NumUnitTypes]arch.UnitType{
+	arch.FPMDU, arch.FPALU, arch.IntMDU, arch.LSU, arch.IntALU,
 }
 
 // NewDemandManager binds a demand-driven manager to a fabric.
 func NewDemandManager(fabric *rfu.Fabric) *DemandManager {
-	return &DemandManager{fabric: fabric}
+	return &DemandManager{
+		fabric:       fabric,
+		unitsScratch: make([]config.PlacedUnit, 0, arch.NumRFUSlots),
+	}
 }
 
 // plan chooses the unit multiset to configure: greedy highest
@@ -48,7 +64,8 @@ func (m *DemandManager) plan(required arch.Counts) arch.Counts {
 	for {
 		best := -1
 		bestBenefit := 0
-		for _, t := range arch.UnitTypes() {
+		for ti := 0; ti < arch.NumUnitTypes; ti++ {
+			t := arch.UnitType(ti)
 			if arch.SlotCost(t) > slotsLeft {
 				continue
 			}
@@ -77,8 +94,10 @@ func (m *DemandManager) synthesize(planned arch.Counts, required arch.Counts) co
 
 	// Keep existing units the plan still wants, at their positions.
 	remaining := planned
-	kept := make([]bool, arch.NumRFUSlots)
-	for _, u := range cur.Units() {
+	m.kept = [arch.NumRFUSlots]bool{}
+	kept := m.kept[:]
+	m.unitsScratch = cur.AppendUnits(m.unitsScratch[:0])
+	for _, u := range m.unitsScratch {
 		if remaining[u.Type] > 0 {
 			remaining[u.Type]--
 			target.Layout[u.Slot] = arch.Encode(u.Type)
@@ -95,8 +114,7 @@ func (m *DemandManager) synthesize(planned arch.Counts, required arch.Counts) co
 	// contiguous room, into leftmost non-kept gaps. With hysteresis, a
 	// gap occupied by a live unit is only claimed when the incoming
 	// type's demand beats the occupant's by the margin.
-	order := []arch.UnitType{arch.FPMDU, arch.FPALU, arch.IntMDU, arch.LSU, arch.IntALU}
-	for _, t := range order {
+	for _, t := range placeOrder {
 		for remaining[t] > 0 {
 			slot := m.findGap(target.Layout, kept, cur, t, required)
 			if slot < 0 {
@@ -143,11 +161,22 @@ func (m *DemandManager) findGap(layout [arch.NumRFUSlots]arch.Encoding, kept []b
 }
 
 // occupantType returns the type of the live unit covering slot k, or -1.
+// It scans backward from k for the span's head slot instead of decoding
+// the whole layout, so it allocates nothing.
 func occupantType(cur config.Configuration, k int) int {
-	for _, u := range cur.Units() {
-		if k >= u.Slot && k < u.Slot+u.Span {
-			return int(u.Type)
+	for s := k; s >= 0; s-- {
+		e := cur.Layout[s]
+		if e == arch.EncEmpty {
+			return -1
 		}
+		if e == arch.EncCont {
+			continue
+		}
+		t, ok := arch.DecodeUnit(e)
+		if !ok || k >= s+arch.SlotCost(t) {
+			return -1
+		}
+		return int(t)
 	}
 	return -1
 }
@@ -166,7 +195,8 @@ func (m *DemandManager) Step(required arch.Counts) {
 	}
 	target := m.synthesize(m.plan(required), required)
 	m.Syntheses++
-	for _, u := range target.Units() {
+	m.unitsScratch = target.AppendUnits(m.unitsScratch[:0])
+	for _, u := range m.unitsScratch {
 		if m.fabric.Allocation().Slots[u.Slot] == arch.Encode(u.Type) {
 			continue
 		}

@@ -320,12 +320,28 @@ type Processor struct {
 	// in-flight producer, or -1.
 	regProducer [isa.NumRegs]int
 
-	fetchBuf []fetchedEntry
+	// fetchBuf is the decoded-instruction buffer between fetch and
+	// dispatch. Entries are consumed by advancing fetchHead (not by
+	// re-slicing, which would strand capacity and force the append in
+	// fill to reallocate); fill compacts the consumed prefix away before
+	// topping up, so the buffer's backing array is allocated once.
+	fetchBuf  []fetchedEntry
+	fetchHead int
 
 	tracer        trace.Recorder
 	probe         *telemetry.Probe
 	lastReconfigs int
 	reqSnapshot   []bool // per-row request lines, rebuilt each issue cycle
+
+	// Per-cycle scratch reused across cycles so the steady-state loop
+	// does not allocate: execShim is the speculative-memory adapter
+	// execute hands to isa.Exec (heap-resident so the interface value
+	// needs no boxing), depsScratch backs collectDeps' row list (the
+	// wake-up array copies it at Allocate), fetchScratch receives the
+	// front end's fetch group.
+	execShim     execMem
+	depsScratch  []int
+	fetchScratch []fetch.Fetched
 
 	stats Stats
 }
@@ -358,6 +374,7 @@ func New(prog isa.Program, params Params, manager Manager) *Processor {
 		manager: manager,
 		rob:     make([]robEntry, params.WindowSize),
 	}
+	p.depsScratch = make([]int, 0, params.WindowSize)
 	p.front = fetch.NewUnit(prog, p.pred, p.tcache)
 	p.front.MemWidth = params.FetchWidthMem
 	p.front.TCWidth = params.FetchWidthTC
@@ -505,7 +522,7 @@ func (p *Processor) Cycle() {
 	if p.manager != nil {
 		required := p.array.RequiredCounts()
 		if p.params.ManagerLookahead {
-			for i := range p.fetchBuf {
+			for i := p.fetchHead; i < len(p.fetchBuf); i++ {
 				required[p.fetchBuf[i].f.Inst.Unit()]++
 			}
 		}
@@ -704,7 +721,8 @@ func (p *Processor) classifyCycle(granted int) {
 // recording its result, store effect, memory timing and branch outcome.
 func (p *Processor) execute(slot int, ref rfu.UnitRef) {
 	e := &p.rob[slot]
-	shim := &execMem{p: p, seq: e.seq}
+	p.execShim = execMem{p: p, seq: e.seq}
+	shim := &p.execShim
 	var st isa.State
 	st.PC = e.pc
 	st.Mem = shim
@@ -766,6 +784,7 @@ func (p *Processor) resolveBranch(slot int) {
 	p.stats.Mispredicts++
 	p.flushYoungerThan(e.seq)
 	p.fetchBuf = p.fetchBuf[:0]
+	p.fetchHead = 0
 	p.front.Redirect(e.actualNext)
 }
 
@@ -861,7 +880,7 @@ func (p *Processor) specByte(addr uint32, seq uint64) uint8 {
 // dispatch moves decoded instructions from the fetch buffer into the
 // window, recording register and memory-ordering dependencies.
 func (p *Processor) dispatch() {
-	for n := 0; n < p.params.DispatchWidth && len(p.fetchBuf) > 0; n++ {
+	for n := 0; n < p.params.DispatchWidth && p.fetchHead < len(p.fetchBuf); n++ {
 		if p.count == len(p.rob) || p.array.Free() == 0 {
 			p.stats.DispatchStallFull++
 			if p.probe != nil {
@@ -869,7 +888,7 @@ func (p *Processor) dispatch() {
 			}
 			return
 		}
-		entry := p.fetchBuf[0]
+		entry := p.fetchBuf[p.fetchHead]
 		f := entry.f
 
 		deps := p.collectDeps(f.Inst)
@@ -883,7 +902,7 @@ func (p *Processor) dispatch() {
 			}
 			return
 		}
-		p.fetchBuf = p.fetchBuf[1:]
+		p.fetchHead++
 
 		p.seq++
 		p.rob[slot] = robEntry{
@@ -918,21 +937,15 @@ func (p *Processor) dispatch() {
 // disambiguation, so store-to-load forwarding always sees resolved
 // addresses).
 func (p *Processor) collectDeps(in isa.Inst) []int {
-	var deps []int
-	add := func(row int) {
-		for _, d := range deps {
-			if d == row {
-				return
-			}
-		}
-		deps = append(deps, row)
-	}
-	for _, r := range in.Sources() {
+	deps := p.depsScratch[:0]
+	regs, nsrc := in.SourceRegs()
+	for si := 0; si < nsrc; si++ {
+		r := regs[si]
 		if r == isa.RegZero {
 			continue
 		}
 		if slot := p.regProducer[r]; slot >= 0 && p.rob[slot].valid {
-			add(p.rob[slot].row)
+			deps = appendDep(deps, p.rob[slot].row)
 		}
 	}
 	if in.Op.IsLoad() {
@@ -940,20 +953,39 @@ func (p *Processor) collectDeps(in isa.Inst) []int {
 			slot := p.slotAt(i)
 			e := &p.rob[slot]
 			if e.valid && e.inst.Op.IsStore() {
-				add(e.row)
+				deps = appendDep(deps, e.row)
 			}
 		}
 	}
+	p.depsScratch = deps
 	return deps
+}
+
+// appendDep appends row to deps unless it is already present.
+func appendDep(deps []int, row int) []int {
+	for _, d := range deps {
+		if d == row {
+			return deps
+		}
+	}
+	return append(deps, row)
 }
 
 // fill tops up the fetch buffer from the front end.
 func (p *Processor) fill() {
 	const bufCap = 16
-	if len(p.fetchBuf) >= bufCap {
+	if len(p.fetchBuf)-p.fetchHead >= bufCap {
 		return
 	}
-	for _, f := range p.front.Fetch() {
+	if p.fetchHead > 0 {
+		// Compact the consumed prefix away so append reuses the backing
+		// array instead of growing past stranded capacity.
+		n := copy(p.fetchBuf, p.fetchBuf[p.fetchHead:])
+		p.fetchBuf = p.fetchBuf[:n]
+		p.fetchHead = 0
+	}
+	p.fetchScratch = p.front.AppendFetch(p.fetchScratch[:0])
+	for _, f := range p.fetchScratch {
 		p.fetchBuf = append(p.fetchBuf, fetchedEntry{f: f, cycle: p.stats.Cycles})
 	}
 }

@@ -216,6 +216,10 @@ type Unit struct {
 	fetched  int
 	tcSupply int
 	stalled  int // cycles with no instruction supplied (PC out of range)
+
+	// walked is the reusable per-cycle PC-run scratch for trace-cache
+	// fills (its capacity converges to the fetch width).
+	walked []uint32
 }
 
 // NewUnit builds a fetch unit over a decoded program. pred and tc may not
@@ -265,9 +269,17 @@ func (u *Unit) predictNext(pc uint32, in isa.Inst) (next uint32, taken bool) {
 // branch (the redirect costs the rest of the group, as in a real front
 // end). On a trace-cache miss the walked run is filled into the cache.
 func (u *Unit) Fetch() []Fetched {
+	return u.AppendFetch(nil)
+}
+
+// AppendFetch is Fetch appending into a caller-owned buffer: the cycle's
+// group is appended to dst and the extended slice returned. The
+// processor passes a reusable scratch slice so steady-state fetch
+// allocates nothing (the internal PC-run scratch is reused too).
+func (u *Unit) AppendFetch(dst []Fetched) []Fetched {
 	if u.parked {
 		u.stalled++
-		return nil
+		return dst
 	}
 	width := u.MemWidth
 	if _, ok := u.tc.Lookup(u.pc); ok {
@@ -275,18 +287,19 @@ func (u *Unit) Fetch() []Fetched {
 		u.tcSupply++
 	}
 
-	var group []Fetched
-	var walked []uint32
+	n := 0
+	u.walked = u.walked[:0]
 	pc := u.pc
-	for len(group) < width {
+	for n < width {
 		if pc >= uint32(len(u.prog)) {
 			u.stalled++
 			break
 		}
 		in := u.prog[pc]
 		next, taken := u.predictNext(pc, in)
-		group = append(group, Fetched{PC: pc, Inst: in, PredNext: next, PredTaken: taken})
-		walked = append(walked, pc)
+		dst = append(dst, Fetched{PC: pc, Inst: in, PredNext: next, PredTaken: taken})
+		n++
+		u.walked = append(u.walked, pc)
 		if in.Op == isa.HALT {
 			u.parked = true
 			pc = next
@@ -299,11 +312,11 @@ func (u *Unit) Fetch() []Fetched {
 		pc = next
 	}
 	u.pc = pc
-	u.fetched += len(group)
-	if len(walked) > 0 {
-		u.tc.Fill(walked[0], walked)
+	u.fetched += n
+	if len(u.walked) > 0 {
+		u.tc.Fill(u.walked[0], u.walked)
 	}
-	return group
+	return dst
 }
 
 // Fetched returns the total number of instructions supplied.

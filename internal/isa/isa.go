@@ -292,15 +292,22 @@ func (in Inst) Unit() arch.UnitType { return in.Op.Unit() }
 // reads, in operand order. The zero register is included when named; it
 // is always ready.
 func (in Inst) Sources() []uint8 {
+	regs, n := in.SourceRegs()
+	return regs[:n]
+}
+
+// SourceRegs is the allocation-free form of Sources: it returns the
+// source registers in a fixed-size array plus the count of valid
+// entries. The dispatch path uses it so dependence collection never
+// heap-allocates.
+func (in Inst) SourceRegs() (regs [2]uint8, n int) {
 	switch in.Op.Format() {
-	case FmtR, FmtB:
-		return []uint8{in.Rs1, in.Rs2}
+	case FmtR, FmtB, FmtStore:
+		return [2]uint8{in.Rs1, in.Rs2}, 2
 	case FmtR2, FmtI, FmtMem:
-		return []uint8{in.Rs1}
-	case FmtStore:
-		return []uint8{in.Rs1, in.Rs2}
+		return [2]uint8{in.Rs1}, 1
 	}
-	return nil
+	return [2]uint8{}, 0
 }
 
 // Dest returns the unified index of the register the instruction writes

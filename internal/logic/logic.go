@@ -105,10 +105,17 @@ func selectLine(sel Bus, want uint64) Bit {
 // bits.
 func BusFromUint(v uint64, width int) Bus {
 	b := make(Bus, width)
-	for i := 0; i < width; i++ {
+	b.SetUint(v)
+	return b
+}
+
+// SetUint fills b in place with the low len(b) bits of v — the
+// allocation-free form of BusFromUint for callers that own their
+// buffers (see the fast-path circuit models in cem and core).
+func (b Bus) SetUint(v uint64) {
+	for i := range b {
 		b[i] = Bit(v>>uint(i)&1 == 1)
 	}
-	return b
 }
 
 // Uint returns the unsigned value carried by the bus.
@@ -163,11 +170,22 @@ func RippleAdder(a, b Bus, cin Bit) (sum Bus, cout Bit) {
 		panic("logic: RippleAdder width mismatch")
 	}
 	sum = make(Bus, len(a))
+	cout = RippleAdderInto(sum, a, b, cin)
+	return sum, cout
+}
+
+// RippleAdderInto writes a+b+cin into dst and returns the carry-out.
+// dst may alias a or b: each bit position is read before it is written.
+// Panics on width mismatch.
+func RippleAdderInto(dst, a, b Bus, cin Bit) (cout Bit) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("logic: RippleAdderInto width mismatch")
+	}
 	c := cin
 	for i := range a {
-		sum[i], c = FullAdder(a[i], b[i], c)
+		dst[i], c = FullAdder(a[i], b[i], c)
 	}
-	return sum, c
+	return c
 }
 
 // SaturatingAdder adds two equal-width buses and clamps the result to the
@@ -175,12 +193,18 @@ func RippleAdder(a, b Bus, cin Bit) (sum Bus, cout Bit) {
 // contributions whose total provably fits in three bits, but the
 // saturating form keeps the circuit safe for out-of-spec inputs.
 func SaturatingAdder(a, b Bus) Bus {
-	sum, cout := RippleAdder(a, b, false)
-	out := make(Bus, len(sum))
-	for i := range sum {
-		out[i] = Or(sum[i], cout)
-	}
+	out := make(Bus, len(a))
+	SaturatingAdderInto(out, a, b)
 	return out
+}
+
+// SaturatingAdderInto writes the saturating sum of a and b into dst,
+// which may alias either operand. Panics on width mismatch.
+func SaturatingAdderInto(dst, a, b Bus) {
+	cout := RippleAdderInto(dst, a, b, false)
+	for i := range dst {
+		dst[i] = Or(dst[i], cout)
+	}
 }
 
 // AdderTree sums any number of equal-width buses with SaturatingAdder
@@ -200,12 +224,24 @@ func AdderTree(in ...Bus) Bus {
 // ShiftRight returns a >> n with zero fill, as a wiring-only operation.
 func ShiftRight(a Bus, n int) Bus {
 	out := make(Bus, len(a))
-	for i := range out {
+	ShiftRightInto(out, a, n)
+	return out
+}
+
+// ShiftRightInto writes a >> n (zero fill) into dst. dst may alias a:
+// positions are written in ascending order and each reads only from a
+// strictly higher index. Panics on width mismatch.
+func ShiftRightInto(dst, a Bus, n int) {
+	if len(dst) != len(a) {
+		panic("logic: ShiftRightInto width mismatch")
+	}
+	for i := range dst {
 		if i+n < len(a) {
-			out[i] = a[i+n]
+			dst[i] = a[i+n]
+		} else {
+			dst[i] = false
 		}
 	}
-	return out
 }
 
 // BarrelShiftRight shifts a right by the binary value of the shift bus,
@@ -213,15 +249,34 @@ func ShiftRight(a Bus, n int) Bus {
 // mux stage per shift-control bit.
 func BarrelShiftRight(a Bus, shift Bus) Bus {
 	cur := a.Clone()
-	for stage, sel := range shift {
-		shifted := ShiftRight(cur, 1<<uint(stage))
-		next := make(Bus, len(cur))
-		for i := range cur {
-			next[i] = Mux2(sel, cur[i], shifted[i])
-		}
-		cur = next
-	}
+	BarrelShiftRightInto(cur, cur, shift)
 	return cur
+}
+
+// BarrelShiftRightInto writes a >> shift.Uint() into dst through the same
+// mux stages as BarrelShiftRight, without allocating. dst may alias a:
+// within each stage, position i reads only positions i and i+2^stage, so
+// an ascending in-place sweep is safe. Panics on width mismatch.
+func BarrelShiftRightInto(dst, a Bus, shift Bus) {
+	if len(dst) != len(a) {
+		panic("logic: BarrelShiftRightInto width mismatch")
+	}
+	if len(dst) == 0 {
+		return
+	}
+	if &dst[0] != &a[0] {
+		copy(dst, a)
+	}
+	for stage, sel := range shift {
+		n := 1 << uint(stage)
+		for i := range dst {
+			shifted := Bit(false)
+			if i+n < len(dst) {
+				shifted = dst[i+n]
+			}
+			dst[i] = Mux2(sel, dst[i], shifted)
+		}
+	}
 }
 
 // Comparators.

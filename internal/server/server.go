@@ -114,6 +114,8 @@ type Server struct {
 	gaugeQueued *telemetry.Gauge
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
+	steerHits   *telemetry.Counter
+	steerMisses *telemetry.Counter
 }
 
 // handler and job-kind names used as metric label values.
@@ -156,6 +158,10 @@ func New(cfg Config) *Server {
 		"Assembly requests served from the program cache.")
 	s.cacheMisses = s.registry.NewCounter("rssd_program_cache_misses_total",
 		"Assembly requests that had to assemble from source.")
+	s.steerHits = s.registry.NewCounter("rssd_steering_cache_hits_total",
+		"Steering-cache hits aggregated over simulations run by this server.")
+	s.steerMisses = s.registry.NewCounter("rssd_steering_cache_misses_total",
+		"Steering-cache misses aggregated over simulations run by this server.")
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/assemble", s.handleAssemble)
@@ -358,6 +364,12 @@ func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec RunSpec, k
 	_, err := m.RunContext(ctx, spec.MaxCycles)
 	elapsed := time.Since(start)
 	s.observeJob(kind, elapsed)
+	if hits, misses, ok := m.SteeringCacheStats(); ok {
+		s.mmu.Lock()
+		s.steerHits.Add(uint64(hits))
+		s.steerMisses.Add(uint64(misses))
+		s.mmu.Unlock()
+	}
 	elapsedMs := float64(elapsed) / float64(time.Millisecond)
 	if err != nil {
 		return nil, elapsedMs, err

@@ -51,6 +51,11 @@ type Sample struct {
 	IntervalFlushed        int `json:"intervalFlushed"`
 	IntervalDispatchStalls int `json:"intervalDispatchStalls"`
 
+	// Steering-cache lookups this interval: hits replay a memoized
+	// selection, misses run the CEM generators.
+	IntervalSteerCacheHits   int `json:"intervalSteerCacheHits"`
+	IntervalSteerCacheMisses int `json:"intervalSteerCacheMisses"`
+
 	// Interval bottleneck classification: every cycle of the interval
 	// falls into exactly one of the four buckets.
 	BucketIssued   int `json:"bucketIssued"`
@@ -127,6 +132,8 @@ type Probe struct {
 	cDecisions      *Counter
 	cReconfigSpans  *Counter
 	cReconfigSlotCy *Counter
+	cSteerHits      *Counter
+	cSteerMisses    *Counter
 	gOccupancy      *Gauge
 	gReconfigSlots  *Gauge
 	gCEMError       [arch.NumConfigs]*Gauge
@@ -138,6 +145,8 @@ type Probe struct {
 	ivFlushed   int
 	ivStalls    int
 	ivReconfigs int
+	ivSteerHits int
+	ivSteerMiss int
 
 	// Latest selection-unit pass (steering-family policies only).
 	selSeen   bool
@@ -176,6 +185,8 @@ func NewProbe(interval int) *Probe {
 	p.cDecisions = reg.NewCounter("rsssim_steering_decisions_total", "configuration switches the loader started")
 	p.cReconfigSpans = reg.NewCounter("rsssim_reconfig_spans_total", "RFU span rewrites started")
 	p.cReconfigSlotCy = reg.NewCounter("rsssim_reconfig_slot_cycles_total", "slot-cycles of reconfiguration started")
+	p.cSteerHits = reg.NewCounter("rsssim_steering_cache_hits_total", "steering-cache lookups served from the packed-key table")
+	p.cSteerMisses = reg.NewCounter("rsssim_steering_cache_misses_total", "steering-cache lookups that ran the CEM generators")
 	p.gOccupancy = reg.NewGauge("rsssim_window_occupancy", "in-flight window entries at the last sample")
 	p.gReconfigSlots = reg.NewGauge("rsssim_reconfiguring_slots", "slots mid-reconfiguration at the last sample")
 	p.hOccupancy = reg.NewHistogram("rsssim_window_occupancy_sampled", "window occupancy distribution over samples",
@@ -282,6 +293,21 @@ func (p *Probe) Selection(errors [arch.NumConfigs]int, choice int) {
 	}
 }
 
+// SteeringCacheLookup records one steering-cache probe: a hit replays a
+// memoized selection, a miss runs the CEM generators and fills the line.
+func (p *Probe) SteeringCacheLookup(hit bool) {
+	if p == nil {
+		return
+	}
+	if hit {
+		p.cSteerHits.Inc()
+		p.ivSteerHits++
+	} else {
+		p.cSteerMisses.Inc()
+		p.ivSteerMiss++
+	}
+}
+
 // ConfigSwitch logs one steering decision: the loader started rewriting
 // spans toward a new configuration. The probe stamps the cycle and
 // forwards the record to the exporter immediately (decisions are not
@@ -347,6 +373,9 @@ func (p *Probe) EmitSample(cs CoreState) {
 		IntervalFlushed:        p.ivFlushed,
 		IntervalDispatchStalls: p.ivStalls,
 
+		IntervalSteerCacheHits:   p.ivSteerHits,
+		IntervalSteerCacheMisses: p.ivSteerMiss,
+
 		BucketIssued:   cs.Buckets[0] - p.lastBuckets[0],
 		BucketUnits:    cs.Buckets[1] - p.lastBuckets[1],
 		BucketDeps:     cs.Buckets[2] - p.lastBuckets[2],
@@ -365,6 +394,8 @@ func (p *Probe) EmitSample(cs CoreState) {
 	p.ivFlushed = 0
 	p.ivStalls = 0
 	p.ivReconfigs = 0
+	p.ivSteerHits = 0
+	p.ivSteerMiss = 0
 
 	if p.exp != nil {
 		if err := p.exp.Sample(&s); err != nil && p.err == nil {

@@ -1,0 +1,9 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is compiled in. The
+// detector instruments allocations, so the zero-alloc regression tests
+// skip themselves under -race (CI runs them in a separate non-race
+// step).
+const raceEnabled = false

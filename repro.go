@@ -311,6 +311,17 @@ func (m *Machine) ConfigurationResidency() (selections [arch.NumConfigs]int, hyb
 	return st.Selections, st.HybridCycles, true
 }
 
+// SteeringCacheStats returns, for steering-family policies, the packed-
+// key steering cache's hit and miss counts over the run. It returns
+// ok=false for policies without a core.Manager.
+func (m *Machine) SteeringCacheStats() (hits, misses int, ok bool) {
+	if m.steering == nil {
+		return 0, 0, false
+	}
+	st := m.steering.Stats()
+	return st.CacheHits, st.CacheMisses, true
+}
+
 // Report renders a human-readable run summary.
 func (m *Machine) Report() string {
 	s := m.proc.Stats()
@@ -347,6 +358,10 @@ func (m *Machine) Report() string {
 		fmt.Fprintf(&b, "selections:      current=%d integer=%d memory=%d floating=%d (hybrid cycles: %d)\n",
 			sel[0], sel[1], sel[2], sel[3], hybrid)
 	}
+	if hits, misses, ok := m.SteeringCacheStats(); ok && hits+misses > 0 {
+		fmt.Fprintf(&b, "steering cache:  %.1f%% hit rate over %d lookups\n",
+			100*float64(hits)/float64(hits+misses), hits+misses)
+	}
 	fmt.Fprintf(&b, "final fabric:    %v\n", m.proc.Fabric().Allocation().Slots)
 	return b.String()
 }
@@ -380,6 +395,9 @@ func (m *Machine) ReportJSON() ([]byte, error) {
 		Steering              bool   `json:"steering"`
 		Selections            [4]int `json:"selections,omitempty"`
 		HybridCycles          int    `json:"hybridCycles,omitempty"`
+
+		SteeringCacheHits   int `json:"steeringCacheHits,omitempty"`
+		SteeringCacheMisses int `json:"steeringCacheMisses,omitempty"`
 	}{
 		Policy:                m.policy.String(),
 		Stats:                 s,
@@ -396,6 +414,7 @@ func (m *Machine) ReportJSON() ([]byte, error) {
 		Selections:            sel,
 		HybridCycles:          hybrid,
 	}
+	doc.SteeringCacheHits, doc.SteeringCacheMisses, _ = m.SteeringCacheStats()
 	return json.MarshalIndent(doc, "", "  ")
 }
 
