@@ -133,3 +133,32 @@ func TestZeroAllocMachineCycle(t *testing.T) {
 		t.Errorf("steady-state Machine cycle: %.2f allocs/op, want 0", allocs)
 	}
 }
+
+// TestZeroAllocMachineCycleWithFaults pins the fault-injection path:
+// the per-cycle draw loop, scrub countdown, repair scheduler and health
+// mask recomputation all run over fixed-size arrays and must not
+// allocate either. (The disabled path — injector nil — is pinned by
+// TestZeroAllocMachineCycle above.)
+func TestZeroAllocMachineCycleWithFaults(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated by the race detector")
+	}
+	prog, err := isa.Assemble(steadyLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := cpu.DefaultParams()
+	params.FaultTransientRate = 0.001
+	params.FaultSeed = 9
+	p := cpu.New(prog, params, nil)
+	p.SetManager(baseline.NewSteering(p.Fabric()))
+	for i := 0; i < 50_000 && !p.Halted(); i++ {
+		p.Cycle()
+	}
+	if p.Halted() {
+		t.Fatal("workload halted during warm-up; steady-state cycles unmeasurable")
+	}
+	if allocs := testing.AllocsPerRun(2000, p.Cycle); allocs != 0 {
+		t.Errorf("steady-state cycle with faults enabled: %.2f allocs/op, want 0", allocs)
+	}
+}

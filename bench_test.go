@@ -434,6 +434,34 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 }
 
+// Fault-path overhead: the same workload with the injector absent (the
+// production default — the fabric tick sees one nil check) and with a
+// live transient-fault campaign including scrubbing and repair. The
+// "off" case must stay within 2% of the pre-fault seed.
+func BenchmarkFaultPathOverhead(b *testing.B) {
+	prog := workload.Synthesize([]workload.Phase{
+		{Mix: workload.MixIntHeavy, Instructions: 400},
+		{Mix: workload.MixFPHeavy, Instructions: 400},
+	}, workload.SynthParams{Seed: 7})
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			params := cpu.DefaultParams()
+			if mode == "on" {
+				params.FaultTransientRate = 0.001
+				params.FaultPermanentRate = 0.0001
+				params.FaultSeed = 9
+			}
+			for i := 0; i < b.N; i++ {
+				p := cpu.New(prog, params, nil)
+				p.SetManager(baseline.NewSteering(p.Fabric()))
+				if _, err := p.Run(50_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Substrate micro-benchmarks ------------------------------------------
 
 func BenchmarkAssembler(b *testing.B) {

@@ -42,6 +42,11 @@ func main() {
 		residency  = flag.Int("residency", 0, "minimum cycles between configuration loads (X11)")
 		jsonOut    = flag.Bool("json", false, "emit the run report as JSON instead of text")
 
+		faultRate     = flag.Float64("fault-rate", 0, "per-slot per-cycle probability of a transient configuration upset (0 disables fault injection)")
+		faultPermRate = flag.Float64("fault-permanent-rate", 0, "per-slot per-cycle probability of a permanent configuration fault")
+		faultSeed     = flag.Int64("fault-seed", 1, "seed for the fault injector's PRNG stream")
+		faultScrub    = flag.Int("fault-scrub-interval", 0, "cycles between readback scrub scans; 0 means the default (64)")
+
 		metricsPath     = flag.String("metrics", "", "write telemetry to this file (\"-\" for stdout)")
 		metricsInterval = flag.Int("metrics-interval", repro.DefaultMetricsInterval, "cycles between telemetry samples")
 		metricsFormat   = flag.String("metrics-format", "jsonl", "telemetry format: jsonl, csv, prom")
@@ -57,6 +62,18 @@ func main() {
 	}
 	if *metricsInterval <= 0 {
 		fail(fmt.Errorf("-metrics-interval must be positive, got %d", *metricsInterval))
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		fail(fmt.Errorf("-fault-rate must be a probability in [0,1], got %g", *faultRate))
+	}
+	if *faultPermRate < 0 || *faultPermRate > 1 {
+		fail(fmt.Errorf("-fault-permanent-rate must be a probability in [0,1], got %g", *faultPermRate))
+	}
+	if *faultRate+*faultPermRate > 1 {
+		fail(fmt.Errorf("-fault-rate + -fault-permanent-rate must not exceed 1, got %g", *faultRate+*faultPermRate))
+	}
+	if *faultScrub < 0 {
+		fail(fmt.Errorf("-fault-scrub-interval must be non-negative (0 selects the default of 64), got %d", *faultScrub))
 	}
 
 	if *pprofAddr != "" {
@@ -84,6 +101,10 @@ func main() {
 	params.ReconfigLatency = *reconfig
 	params.DisableFFUs = *disableFFU
 	params.ManagerLookahead = *lookahead
+	params.FaultTransientRate = *faultRate
+	params.FaultPermanentRate = *faultPermRate
+	params.FaultSeed = *faultSeed
+	params.FaultScrubInterval = *faultScrub
 	opt := repro.Options{Params: params, Policy: policy, Seed: *seed, MinResidency: *residency}
 	if *basisPath != "" {
 		data, err := os.ReadFile(*basisPath)

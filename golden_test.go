@@ -12,18 +12,23 @@ import (
 )
 
 // TestTelemetryJSONLSchemaGolden pins the JSONL telemetry schema: the
-// field names and JSON types of sample and decision records from a
-// saxpy steering run must match testdata/telemetry_schema.golden.
+// field names and JSON types of sample, decision and fault records from
+// a saxpy steering run must match testdata/telemetry_schema.golden.
 // Downstream tooling parses these streams, so adding a field means
 // regenerating the golden file deliberately (delete it and re-run the
 // test with -run TelemetryJSONLSchemaGolden to print the new schema).
+// Fault injection is enabled at a rate high enough that the seeded run
+// deterministically emits at least one fault record.
 func TestTelemetryJSONLSchemaGolden(t *testing.T) {
 	k := KernelByName("saxpy")
 	if k == nil {
 		t.Fatal("saxpy kernel missing")
 	}
 	var buf bytes.Buffer
-	m := NewMachine(k.Program(), Options{Policy: PolicySteering})
+	params := DefaultParams()
+	params.FaultTransientRate = 0.002
+	params.FaultSeed = 5
+	m := NewMachine(k.Program(), Options{Params: params, Policy: PolicySteering})
 	if k.Setup != nil {
 		k.Setup(m.Processor().Memory(), m.Processor().SetReg)
 	}
@@ -49,7 +54,7 @@ func TestTelemetryJSONLSchemaGolden(t *testing.T) {
 			schemas[kind] = schemaOf(rec)
 		}
 	}
-	for _, kind := range []string{"sample", "decision"} {
+	for _, kind := range []string{"sample", "decision", "fault"} {
 		if schemas[kind] == "" {
 			t.Fatalf("no %s record in the saxpy run", kind)
 		}

@@ -177,13 +177,18 @@ type steerEntry struct {
 }
 
 // packSteerKey packs everything Select's outputs depend on into one
-// 39-bit key: the five demand counts clamped to the 3-bit range the CEM
-// actually sees (bits 0–14) and the live allocation's slot encodings
-// (bits 15–38). Availability counts, distances and hence the choice are
-// pure functions of these, so keying on the allocation vector also
-// subsumes invalidation when the loaded configuration changes: a
-// reconfiguration changes the slots and thereby selects a different key.
-func packSteerKey(required arch.Counts, slots [arch.NumRFUSlots]arch.Encoding) uint64 {
+// 55-bit key: the five demand counts clamped to the 3-bit range the CEM
+// actually sees (bits 0–14), the live allocation's slot encodings
+// (bits 15–38), and the fabric's fault masks — the non-healthy slots
+// (bits 39–46) and the permanently dead slots (bits 47–54). Both masks
+// are zero without fault injection, so fault-free keys are unchanged.
+// Availability counts, distances and hence the choice are pure
+// functions of these, so keying on the allocation vector and masks also
+// subsumes invalidation: a reconfiguration, an upset or a repair
+// changes the inputs and thereby selects a different key — which is
+// what keeps cached steering bit-identical to uncached steering under
+// any fault stream.
+func packSteerKey(required arch.Counts, slots [arch.NumRFUSlots]arch.Encoding, unavail, dead uint8) uint64 {
 	var k uint64
 	for t := range required {
 		c := required[t]
@@ -198,6 +203,9 @@ func packSteerKey(required arch.Counts, slots [arch.NumRFUSlots]arch.Encoding) u
 	for i, e := range slots {
 		k |= uint64(e) << (demandBits + uint(i)*encodingBits)
 	}
+	const slotBits = demandBits + arch.NumRFUSlots*encodingBits
+	k |= uint64(unavail) << slotBits
+	k |= uint64(dead) << (slotBits + arch.NumRFUSlots)
 	return k
 }
 
@@ -281,8 +289,9 @@ func (m *Manager) errorOf(required, available arch.Counts) int {
 // to each of the four configurations including the FFUs", §3.1).
 func (m *Manager) Select(required arch.Counts) Selection {
 	alloc := m.fabric.Allocation()
+	unavail, dead := m.fabric.HealthMasks()
 	if m.DisableCache {
-		return m.selectUncached(required, alloc)
+		return m.selectUncached(required, alloc, dead)
 	}
 	if m.cacheExact != m.ExactCEM {
 		// The error metric changed out from under the cached entries;
@@ -290,7 +299,7 @@ func (m *Manager) Select(required arch.Counts) Selection {
 		m.cache = [steerCacheSize]steerEntry{}
 		m.cacheExact = m.ExactCEM
 	}
-	key := packSteerKey(required, alloc.Slots)
+	key := packSteerKey(required, alloc.Slots, unavail, dead)
 	e := &m.cache[steerCacheIndex(key)]
 	if e.key == key+1 {
 		m.stats.CacheHits++
@@ -310,7 +319,7 @@ func (m *Manager) Select(required arch.Counts) Selection {
 	if m.probe != nil {
 		m.probe.SteeringCacheLookup(false)
 	}
-	sel := m.selectUncached(required, alloc)
+	sel := m.selectUncached(required, alloc, dead)
 	e.key = key + 1
 	e.choice = uint8(sel.Choice)
 	for i := range sel.Errors {
@@ -321,18 +330,49 @@ func (m *Manager) Select(required arch.Counts) Selection {
 }
 
 // selectUncached runs the four CEM generators and the minimal-error
-// selector directly — the cache-miss (and cache-disabled) path.
-func (m *Manager) selectUncached(required arch.Counts, alloc config.AllocationVector) Selection {
+// selector directly — the cache-miss (and cache-disabled) path. Under
+// fault injection the current-configuration candidate scores the
+// degraded unit mix (fault-masked units are not available capacity),
+// and each basis candidate loses the units it can no longer realise
+// because their spans cross permanently dead slots. Transiently faulty
+// slots do not discount the basis candidates: loading a configuration
+// rewrites their frames, restoring them.
+func (m *Manager) selectUncached(required arch.Counts, alloc config.AllocationVector, dead uint8) Selection {
 	var sel Selection
 	sel.Required = required
-	sel.Errors[0] = m.errorOf(required, alloc.TotalCounts())
+	sel.Errors[0] = m.errorOf(required, m.fabric.EffectiveTotalCounts())
 	sel.Distances[0] = 0
 	for i := range m.basis {
-		sel.Errors[i+1] = m.errorOf(required, m.basisAvail[i])
+		avail := m.basisAvail[i]
+		if dead != 0 {
+			avail = m.degradedBasisAvail(i, dead)
+		}
+		sel.Errors[i+1] = m.errorOf(required, avail)
 		sel.Distances[i+1] = alloc.Distance(m.basis[i])
 	}
 	sel.Choice = MinimalErrorSelect(sel.Errors, sel.Distances)
 	return sel
+}
+
+// degradedBasisAvail recomputes basis configuration i's availability
+// counts with dead slots excluded: a unit whose span covers a dead slot
+// cannot be placed there anymore. Allocation-free (runs on the
+// selection hot path when slots have died).
+func (m *Manager) degradedBasisAvail(i int, dead uint8) arch.Counts {
+	var c arch.Counts
+	layout := m.basis[i].Layout
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		t, ok := arch.DecodeUnit(layout[s])
+		if !ok {
+			continue
+		}
+		span := arch.SlotCost(t)
+		spanMask := uint8((1<<uint(span) - 1) << uint(s))
+		if dead&spanMask == 0 {
+			c[t]++
+		}
+	}
+	return c.Add(config.FFUCounts())
 }
 
 // Load steers the fabric toward the selected configuration: when a

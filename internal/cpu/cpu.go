@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/fault"
 	"repro/internal/fetch"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -88,6 +89,23 @@ type Params struct {
 	// The default (false) is an idealised select stage that never
 	// wastes slots on colliding requesters.
 	SelectFree bool
+
+	// FaultTransientRate and FaultPermanentRate enable the
+	// configuration-upset model: each is a per-slot per-cycle
+	// probability in [0,1] (their sum at most 1) of a transient or
+	// permanent upset in that slot's configuration frames. Both zero
+	// (the default) disables fault injection entirely — the fabric
+	// then runs the exact pre-fault fast path.
+	FaultTransientRate float64
+	FaultPermanentRate float64
+	// FaultSeed seeds the fault injector's private PRNG stream;
+	// identical seeds and workloads reproduce identical upset
+	// sequences bit-for-bit.
+	FaultSeed int64
+	// FaultScrubInterval is the cycle period of the readback scrub
+	// that detects corrupt slots; 0 selects the default
+	// (fault.DefaultScrubInterval).
+	FaultScrubInterval int
 }
 
 // DefaultParams returns the reference machine of the experiments.
@@ -208,7 +226,20 @@ func (p Params) Validate() error {
 	if p.IssueOrder < OrderOldest || p.IssueOrder > OrderRotate {
 		return fmt.Errorf("%w: unknown issue order %d", ErrInvalidParams, int(p.IssueOrder))
 	}
+	if err := p.faultPlan().Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
 	return nil
+}
+
+// faultPlan assembles the fault-injection plan from the parameter set.
+func (p Params) faultPlan() fault.Plan {
+	return fault.Plan{
+		Seed:          p.FaultSeed,
+		TransientRate: p.FaultTransientRate,
+		PermanentRate: p.FaultPermanentRate,
+		ScrubInterval: p.FaultScrubInterval,
+	}
 }
 
 // IssueOrder names a scheduler grant-priority policy.
@@ -382,6 +413,9 @@ func New(prog isa.Program, params Params, manager Manager) *Processor {
 		p.fabric.SetFFUsEnabled(false)
 	}
 	p.fabric.SetConfigBusWidth(params.ConfigBusWidth)
+	if plan := params.faultPlan(); plan.Enabled() {
+		p.fabric.EnableFaults(plan)
+	}
 	for i := range p.regProducer {
 		p.regProducer[i] = -1
 	}
@@ -423,6 +457,7 @@ func (p *Processor) telemetryState() telemetry.CoreState {
 		FFUBusy:       ffuBusy,
 		Slots:         p.fabric.Allocation().Slots,
 		ReconfigSlots: p.fabric.ReconfiguringSlots(),
+		MaskedSlots:   p.fabric.MaskedSlots(),
 		Buckets: [4]int{p.stats.CyclesIssued, p.stats.CyclesUnits,
 			p.stats.CyclesDeps, p.stats.CyclesFrontend},
 	}

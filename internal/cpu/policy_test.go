@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -84,12 +85,29 @@ func TestParamsValidate(t *testing.T) {
 	if err := (Params{}).Validate(); err != nil {
 		t.Errorf("zero params invalid: %v", err)
 	}
+	good := []Params{
+		{ConfigBusWidth: 0}, // zero = unlimited bus, valid
+		{ConfigBusWidth: 1},
+		{FaultTransientRate: 0.5, FaultPermanentRate: 0.5}, // sum exactly 1
+		{FaultScrubInterval: 1},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good[%d]: unexpected error %v", i, err)
+		}
+	}
 	bad := []Params{
 		{WindowSize: -1},
 		{ReconfigLatency: -8},
+		{ConfigBusWidth: -1},
 		{MemBytes: 1000}, // not a power of two
 		{CacheLineBytes: 48},
 		{IssueOrder: IssueOrder(99)},
+		{FaultTransientRate: -0.1},
+		{FaultPermanentRate: 1.5},
+		{FaultTransientRate: 0.7, FaultPermanentRate: 0.7}, // sum > 1
+		{FaultTransientRate: math.NaN()},
+		{FaultScrubInterval: -1},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); !errors.Is(err, ErrInvalidParams) {

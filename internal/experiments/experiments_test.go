@@ -193,7 +193,8 @@ func TestArtifactsRegistryComplete(t *testing.T) {
 	arts := Artifacts()
 	for _, name := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "cost", "x1", "x1seeds", "x2", "x3", "x4", "x5", "x6",
-		"x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14", "x15", "x16", "x17", "all"} {
+		"x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14", "x15", "x16", "x17",
+		"x18", "x19", "all"} {
 		if arts[name] == nil {
 			t.Errorf("artifact %q missing", name)
 		}
@@ -212,6 +213,26 @@ func TestX18TelemetryComparison(t *testing.T) {
 	}
 	if !strings.Contains(out, "stall slot-cycles") {
 		t.Error("X18 output missing the decision-log stall column")
+	}
+}
+
+// TestX19FaultSweep: every (policy, rate) point must complete — faults
+// degrade throughput, never deadlock the machine — and the zero-rate
+// rows must report a clean fault pipeline.
+func TestX19FaultSweep(t *testing.T) {
+	out := X19()
+	if strings.Contains(out, "DNF") {
+		t.Errorf("a fault-sweep point did not finish:\n%s", out)
+	}
+	for _, policy := range []string{"steering", "demand", "full-reconfig", "static-int"} {
+		if !strings.Contains(out, policy) {
+			t.Errorf("X19 output missing policy rows for %q", policy)
+		}
+	}
+	for _, col := range []string{"injected", "repaired", "dead slots", "masked slot-cycles %"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("X19 output missing column %q", col)
+		}
 	}
 }
 

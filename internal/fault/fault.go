@@ -1,0 +1,168 @@
+// Package fault models configuration-memory upsets in the
+// reconfigurable fabric: a deterministic, seeded injector that decides,
+// per slot per cycle, whether the slot's configuration frames take a
+// transient upset (corrupted until scrubbed and repaired) or a permanent
+// stuck fault (the slot is dead for the rest of the run).
+//
+// The injector is deliberately self-contained: its stream depends only
+// on the seed and the number of draws consumed, so two runs with the
+// same plan and workload observe byte-identical fault histories — the
+// property the determinism golden test pins. It allocates nothing after
+// construction and draws with a splitmix64 step plus a threshold
+// compare, so the enabled path stays on the simulator's zero-allocation
+// cycle loop.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidPlan reports an out-of-range fault plan. Validate wraps it;
+// match with errors.Is.
+var ErrInvalidPlan = errors.New("fault: invalid plan")
+
+// DefaultScrubInterval is the readback-scrubbing period used when a plan
+// enables faults without choosing one.
+const DefaultScrubInterval = 64
+
+// Plan describes a fault campaign. The zero value disables injection.
+type Plan struct {
+	// Seed initialises the injector's pseudo-random stream. Two plans
+	// with equal seeds and rates produce identical fault histories.
+	Seed int64
+	// TransientRate is the per-slot per-cycle probability of a
+	// transient configuration upset (repairable by rewriting the
+	// slot's frames). Must lie in [0, 1].
+	TransientRate float64
+	// PermanentRate is the per-slot per-cycle probability of a
+	// permanent stuck fault (the slot never recovers). Must lie in
+	// [0, 1], and TransientRate+PermanentRate must not exceed 1.
+	PermanentRate float64
+	// ScrubInterval is the period, in cycles, of the readback scrub
+	// scan that detects corrupted slots. Zero selects
+	// DefaultScrubInterval; negative is invalid.
+	ScrubInterval int
+}
+
+// Enabled reports whether the plan injects any faults.
+func (p Plan) Enabled() bool { return p.TransientRate > 0 || p.PermanentRate > 0 }
+
+// Validate checks the plan's ranges. Errors wrap ErrInvalidPlan.
+func (p Plan) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("%w: %s must be a probability in [0, 1], got %v", ErrInvalidPlan, name, v)
+		}
+		return nil
+	}
+	if err := check("TransientRate", p.TransientRate); err != nil {
+		return err
+	}
+	if err := check("PermanentRate", p.PermanentRate); err != nil {
+		return err
+	}
+	if p.TransientRate+p.PermanentRate > 1 {
+		return fmt.Errorf("%w: TransientRate+PermanentRate must not exceed 1, got %v",
+			ErrInvalidPlan, p.TransientRate+p.PermanentRate)
+	}
+	if p.ScrubInterval < 0 {
+		return fmt.Errorf("%w: ScrubInterval must be non-negative, got %d", ErrInvalidPlan, p.ScrubInterval)
+	}
+	return nil
+}
+
+// scrubInterval returns the effective scrub period.
+func (p Plan) scrubInterval() int {
+	if p.ScrubInterval == 0 {
+		return DefaultScrubInterval
+	}
+	return p.ScrubInterval
+}
+
+// Kind classifies one injector draw.
+type Kind uint8
+
+const (
+	// None: the slot-cycle passed without an upset.
+	None Kind = iota
+	// Transient: the slot's configuration frames flipped; a rewrite
+	// restores them.
+	Transient
+	// Permanent: the slot is stuck; no rewrite recovers it.
+	Permanent
+)
+
+// String names the kind for logs and fault-event records.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injector is a deterministic per-slot-cycle fault source. Build one
+// with NewInjector; the zero value draws nothing.
+type Injector struct {
+	state uint64
+	// Thresholds on the top 63 bits of each draw: u < permThresh is a
+	// permanent fault, permThresh <= u < cumThresh a transient one.
+	permThresh uint64
+	cumThresh  uint64
+	scrub      int
+}
+
+// NewInjector builds an injector for the plan. Invalid plans panic —
+// validate request-supplied plans with Plan.Validate first.
+func NewInjector(p Plan) *Injector {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	// Scale rates to 63-bit thresholds so rate 1.0 is exactly 1<<63
+	// without overflowing, and compare against the draw's top 63 bits.
+	const scale = 1 << 63
+	perm := uint64(p.PermanentRate * scale)
+	trans := uint64(p.TransientRate * scale)
+	return &Injector{
+		// Mix the seed once so small seeds still start far apart in
+		// the splitmix64 sequence.
+		state:      mix(uint64(p.Seed) ^ 0x5851F42D4C957F2D),
+		permThresh: perm,
+		cumThresh:  perm + trans,
+		scrub:      p.scrubInterval(),
+	}
+}
+
+// ScrubInterval returns the plan's effective scrub period.
+func (in *Injector) ScrubInterval() int { return in.scrub }
+
+// Draw consumes one slot-cycle of the stream and reports whether a
+// fault strikes. Callers must draw exactly once per slot per cycle,
+// in slot order, regardless of slot eligibility — that keeps the stream
+// a pure function of (seed, cycle, slot), so fault histories are
+// reproducible across runs and cache configurations.
+func (in *Injector) Draw() Kind {
+	in.state += 0x9E3779B97F4A7C15
+	u := mix(in.state) >> 1
+	if u < in.permThresh {
+		return Permanent
+	}
+	if u < in.cumThresh {
+		return Transient
+	}
+	return None
+}
+
+// mix is the splitmix64 output function.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

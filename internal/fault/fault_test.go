@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPlanValidate(t *testing.T) {
+	good := []Plan{
+		{},
+		{TransientRate: 1},
+		{PermanentRate: 1},
+		{TransientRate: 0.5, PermanentRate: 0.5, Seed: 42, ScrubInterval: 10},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good[%d]: %v", i, err)
+		}
+	}
+	bad := []Plan{
+		{TransientRate: -0.1},
+		{TransientRate: 1.5},
+		{PermanentRate: -1},
+		{TransientRate: 0.7, PermanentRate: 0.7}, // sum > 1
+		{ScrubInterval: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrInvalidPlan) {
+			t.Errorf("bad[%d]: err = %v, want ErrInvalidPlan", i, err)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+	if !(Plan{TransientRate: 1e-6}).Enabled() {
+		t.Error("transient-only plan reports disabled")
+	}
+	if !(Plan{PermanentRate: 1e-6}).Enabled() {
+		t.Error("permanent-only plan reports disabled")
+	}
+}
+
+func TestDrawDeterministic(t *testing.T) {
+	p := Plan{Seed: 7, TransientRate: 0.01, PermanentRate: 0.001}
+	a, b := NewInjector(p), NewInjector(p)
+	for i := 0; i < 100_000; i++ {
+		if ka, kb := a.Draw(), b.Draw(); ka != kb {
+			t.Fatalf("draw %d diverges: %v vs %v", i, ka, kb)
+		}
+	}
+}
+
+func TestDrawSeedsDiffer(t *testing.T) {
+	a := NewInjector(Plan{Seed: 1, TransientRate: 0.5})
+	b := NewInjector(Plan{Seed: 2, TransientRate: 0.5})
+	same := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if a.Draw() == b.Draw() {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestDrawRates checks the empirical fault rates land near the plan's
+// probabilities (law of large numbers; generous 20% tolerance).
+func TestDrawRates(t *testing.T) {
+	const n = 2_000_000
+	p := Plan{Seed: 11, TransientRate: 0.01, PermanentRate: 0.002}
+	in := NewInjector(p)
+	var trans, perm int
+	for i := 0; i < n; i++ {
+		switch in.Draw() {
+		case Transient:
+			trans++
+		case Permanent:
+			perm++
+		}
+	}
+	checkRate := func(name string, got int, want float64) {
+		rate := float64(got) / n
+		if rate < want*0.8 || rate > want*1.2 {
+			t.Errorf("%s rate = %v, want about %v", name, rate, want)
+		}
+	}
+	checkRate("transient", trans, p.TransientRate)
+	checkRate("permanent", perm, p.PermanentRate)
+}
+
+func TestDrawExtremes(t *testing.T) {
+	never := NewInjector(Plan{Seed: 3})
+	for i := 0; i < 10_000; i++ {
+		if k := never.Draw(); k != None {
+			t.Fatalf("zero-rate injector fired: %v", k)
+		}
+	}
+	always := NewInjector(Plan{Seed: 3, TransientRate: 1})
+	for i := 0; i < 10_000; i++ {
+		if k := always.Draw(); k != Transient {
+			t.Fatalf("rate-1 injector missed: %v", k)
+		}
+	}
+}
+
+func TestScrubIntervalDefault(t *testing.T) {
+	if got := NewInjector(Plan{TransientRate: 0.1}).ScrubInterval(); got != DefaultScrubInterval {
+		t.Errorf("default scrub interval = %d, want %d", got, DefaultScrubInterval)
+	}
+	if got := NewInjector(Plan{TransientRate: 0.1, ScrubInterval: 7}).ScrubInterval(); got != 7 {
+		t.Errorf("scrub interval = %d, want 7", got)
+	}
+}
+
+func TestNewInjectorPanicsOnInvalidPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewInjector accepted an invalid plan")
+		}
+	}()
+	NewInjector(Plan{TransientRate: 2})
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{None: "none", Transient: "transient", Permanent: "permanent"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

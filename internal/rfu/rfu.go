@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
 
@@ -54,6 +55,18 @@ type Fabric struct {
 	busyCycles       int // slot+FFU cycles spent executing
 
 	probe *telemetry.Probe
+
+	// Fault injection & degraded mode (see health.go). injector is nil
+	// unless EnableFaults armed it; healthOK starts all-true so the
+	// hot-path masks cost one array load when faults are off.
+	injector       *fault.Injector
+	health         [arch.NumRFUSlots]SlotHealth
+	permanent      [arch.NumRFUSlots]bool // stuck fault underneath the corruption
+	healthOK       [arch.NumRFUSlots]bool // span-aware usable mask (derived)
+	unavailMask    uint8                  // packed non-healthy slots
+	deadMask       uint8                  // packed permanently retired slots
+	scrubCountdown int
+	fstats         FaultStats
 }
 
 // New returns an empty fabric (no RFU units configured) whose span
@@ -63,7 +76,11 @@ func New(latency int) *Fabric {
 	if latency < 0 {
 		panic("rfu: negative reconfiguration latency")
 	}
-	return &Fabric{alloc: config.NewAllocationVector(), latency: latency}
+	f := &Fabric{alloc: config.NewAllocationVector(), latency: latency}
+	for s := range f.healthOK {
+		f.healthOK[s] = true
+	}
+	return f
 }
 
 // ReconfigLatency returns the per-span reconfiguration latency.
@@ -104,7 +121,7 @@ func (f *Fabric) AvailabilitySignals() []bool {
 	out := make([]bool, arch.NumRFUSlots+arch.NumFFUs)
 	for i := 0; i < arch.NumRFUSlots; i++ {
 		_, isUnit := arch.DecodeUnit(f.alloc.Slots[i])
-		out[i] = isUnit && f.busy[i] == 0 && f.reconfig[i] == 0
+		out[i] = isUnit && f.busy[i] == 0 && f.reconfig[i] == 0 && f.healthOK[i]
 	}
 	for i := 0; i < arch.NumFFUs; i++ {
 		out[arch.NumRFUSlots+i] = f.ffuBusy[i] == 0 && !f.ffuDisabled
@@ -122,12 +139,14 @@ func (f *Fabric) SetConfigBusWidth(w int) {
 	f.busWidth = w
 }
 
-// activeSpans counts spans currently mid-reconfiguration (span heads are
-// the reconfiguring slots whose pending target is a unit encoding).
+// activeSpans counts spans currently occupying the configuration bus:
+// steering rewrites (the reconfiguring slots whose pending target is a
+// unit encoding) and fault repairs, which rewrite one slot each and
+// compete for the same bus.
 func (f *Fabric) activeSpans() int {
 	n := 0
 	for s := 0; s < arch.NumRFUSlots; s++ {
-		if f.reconfig[s] > 0 && f.target[s] != arch.EncCont {
+		if f.reconfig[s] > 0 && (f.target[s] != arch.EncCont || f.health[s] == HealthRepairing) {
 			n++
 		}
 	}
@@ -155,6 +174,9 @@ func (f *Fabric) Install(cfg config.Configuration) {
 		}
 	}
 	f.alloc.Slots = cfg.Layout
+	if f.injector != nil {
+		f.recomputeHealthOK()
+	}
 }
 
 // Available reports whether a unit of type t can accept work this cycle
@@ -165,7 +187,7 @@ func (f *Fabric) Install(cfg config.Configuration) {
 func (f *Fabric) Available(t arch.UnitType) bool {
 	want := arch.Encode(t)
 	for s := 0; s < arch.NumRFUSlots; s++ {
-		if f.alloc.Slots[s] == want && f.busy[s] == 0 && f.reconfig[s] == 0 {
+		if f.alloc.Slots[s] == want && f.busy[s] == 0 && f.reconfig[s] == 0 && f.healthOK[s] {
 			return true
 		}
 	}
@@ -178,7 +200,7 @@ func (f *Fabric) AvailableCount(t arch.UnitType) int {
 	want := arch.Encode(t)
 	n := 0
 	for s := 0; s < arch.NumRFUSlots; s++ {
-		if f.alloc.Slots[s] == want && f.busy[s] == 0 && f.reconfig[s] == 0 {
+		if f.alloc.Slots[s] == want && f.busy[s] == 0 && f.reconfig[s] == 0 && f.healthOK[s] {
 			n++
 		}
 	}
@@ -193,7 +215,7 @@ func (f *Fabric) AvailableCount(t arch.UnitType) int {
 func (f *Fabric) AllAvailable() [arch.NumUnitTypes]bool {
 	var out [arch.NumUnitTypes]bool
 	for s := 0; s < arch.NumRFUSlots; s++ {
-		if f.busy[s] != 0 || f.reconfig[s] != 0 {
+		if f.busy[s] != 0 || f.reconfig[s] != 0 || !f.healthOK[s] {
 			continue
 		}
 		if t, ok := arch.DecodeUnit(f.alloc.Slots[s]); ok {
@@ -224,7 +246,7 @@ func (f *Fabric) Acquire(t arch.UnitType, busyCycles int) (UnitRef, bool) {
 	}
 	want := arch.Encode(t)
 	for s := 0; s < arch.NumRFUSlots; s++ {
-		if f.alloc.Slots[s] == want && f.busy[s] == 0 && f.reconfig[s] == 0 {
+		if f.alloc.Slots[s] == want && f.busy[s] == 0 && f.reconfig[s] == 0 && f.healthOK[s] {
 			f.busy[s] = busyCycles
 			return UnitRef{Idx: s}, true
 		}
@@ -259,6 +281,10 @@ func (f *Fabric) Busy(r UnitRef) bool {
 	return f.busy[r.Idx] > 0
 }
 
+// SlotBusy reports whether RFU slot s is executing. Busy is tracked at
+// unit head slots, so continuation slots of a busy unit report false.
+func (f *Fabric) SlotBusy(s int) bool { return f.busy[s] > 0 }
+
 // spanOf returns the slot span [start, start+n) a unit of type t would
 // occupy at head slot start.
 func spanOf(t arch.UnitType, start int) (int, int) {
@@ -281,6 +307,14 @@ func (f *Fabric) CanReconfigure(t arch.UnitType, start int) bool {
 	}
 	for s := lo; s < hi; s++ {
 		if f.reconfig[s] > 0 {
+			return false
+		}
+		// Slots the controller knows are bad — flagged by the scrub,
+		// mid-repair, or permanently dead — are off limits to steering;
+		// the repair path owns them. Undetected corruption does not
+		// block a rewrite (the controller cannot see it), and the
+		// rewrite incidentally heals transient upsets.
+		if h := f.health[s]; h == HealthDetected || h == HealthRepairing || h == HealthDead {
 			return false
 		}
 		head := f.headOf(s)
@@ -342,15 +376,23 @@ func (f *Fabric) Reconfigure(t arch.UnitType, start int) bool {
 	if f.latency == 0 {
 		for s := lo; s < hi; s++ {
 			f.alloc.Slots[s] = f.target[s]
+			if f.injector != nil {
+				f.installHealth(s)
+			}
 		}
+	}
+	if f.injector != nil {
+		f.recomputeHealthOK()
 	}
 	return true
 }
 
 // Tick advances one cycle: execution busy timers and reconfiguration
-// timers count down, and spans whose reconfiguration completes install
-// their new encodings.
+// timers count down, spans whose reconfiguration completes install
+// their new encodings, and — when a fault injector is armed — the fault
+// state machine runs (scrub, repair, salvage, new upsets).
 func (f *Fabric) Tick() {
+	installed := false
 	for s := 0; s < arch.NumRFUSlots; s++ {
 		if f.busy[s] > 0 {
 			f.busy[s]--
@@ -360,6 +402,10 @@ func (f *Fabric) Tick() {
 			f.reconfig[s]--
 			if f.reconfig[s] == 0 {
 				f.alloc.Slots[s] = f.target[s]
+				if f.injector != nil {
+					f.installHealth(s)
+					installed = true
+				}
 			}
 		}
 	}
@@ -368,6 +414,12 @@ func (f *Fabric) Tick() {
 			f.ffuBusy[i]--
 			f.busyCycles++
 		}
+	}
+	if f.injector != nil {
+		if installed {
+			f.recomputeHealthOK()
+		}
+		f.faultTick()
 	}
 }
 

@@ -159,6 +159,61 @@ func TestRunFromWords(t *testing.T) {
 	}
 }
 
+// faultySource loops long enough for a high-rate fault campaign to
+// land upsets during the run.
+const faultySource = `
+	li r1, 200
+loop:	addi r1, r1, -1
+	mul r2, r1, r1
+	bne r1, r0, loop
+	halt
+`
+
+func TestRunWithFaults(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"source": %q, "policy": "steering", "params": {"FaultTransientRate": 0.002, "FaultPermanentRate": 0.0002, "FaultSeed": 11}}`, faultySource)
+	status, doc := postJSON(t, ts, "/v1/run", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	}
+	report := doc["report"].(map[string]any)
+	faults, ok := report["faults"].(map[string]any)
+	if !ok {
+		t.Fatalf("report has no faults block: %v", report)
+	}
+	if faults["scrubScans"].(float64) == 0 {
+		t.Errorf("no scrub scans recorded in %v", faults)
+	}
+}
+
+func TestSweepWithFaultRates(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	body := fmt.Sprintf(`{"source": %q, "points": [
+		{"policy": "steering"},
+		{"policy": "steering", "params": {"FaultTransientRate": 0.002, "FaultSeed": 11}},
+		{"policy": "steering", "params": {"FaultTransientRate": 0.01, "FaultSeed": 11}}
+	]}`, faultySource)
+	status, doc := postJSON(t, ts, "/v1/sweep", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	}
+	points := doc["points"].([]any)
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	for i, raw := range points {
+		p := raw.(map[string]any)
+		if p["error"] != nil {
+			t.Fatalf("point %d: unexpected error %v", i, p["error"])
+		}
+		report := p["report"].(map[string]any)
+		_, hasFaults := report["faults"]
+		if wantFaults := i > 0; hasFaults != wantFaults {
+			t.Errorf("point %d: faults block present = %v, want %v", i, hasFaults, wantFaults)
+		}
+	}
+}
+
 func TestRunBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cases := []struct {
@@ -175,6 +230,11 @@ func TestRunBadRequests(t *testing.T) {
 		{"negative timeout", fmt.Sprintf(`{"source": %q, "timeoutMs": -1}`, haltingSource), CodeInvalidRequest},
 		{"negative cycles", fmt.Sprintf(`{"source": %q, "maxCycles": -1}`, haltingSource), CodeInvalidParams},
 		{"bad params", fmt.Sprintf(`{"source": %q, "params": {"WindowSize": -3}}`, haltingSource), CodeInvalidParams},
+		{"fault rate above 1", fmt.Sprintf(`{"source": %q, "params": {"FaultTransientRate": 1.5}}`, haltingSource), CodeInvalidParams},
+		{"negative fault rate", fmt.Sprintf(`{"source": %q, "params": {"FaultPermanentRate": -0.1}}`, haltingSource), CodeInvalidParams},
+		{"fault rates sum above 1", fmt.Sprintf(`{"source": %q, "params": {"FaultTransientRate": 0.6, "FaultPermanentRate": 0.6}}`, haltingSource), CodeInvalidParams},
+		{"negative scrub interval", fmt.Sprintf(`{"source": %q, "params": {"FaultScrubInterval": -1}}`, haltingSource), CodeInvalidParams},
+		{"negative config bus width", fmt.Sprintf(`{"source": %q, "params": {"ConfigBusWidth": -2}}`, haltingSource), CodeInvalidParams},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -11,11 +11,12 @@ import (
 )
 
 // Exporter receives the sampler's output. Samples arrive every probe
-// interval; decisions arrive the cycle they happen. Flush is called once
-// at end of run.
+// interval; decisions and fault events arrive the cycle they happen.
+// Flush is called once at end of run.
 type Exporter interface {
 	Sample(*Sample) error
 	Decision(*Decision) error
+	Fault(*FaultEvent) error
 	Flush() error
 }
 
@@ -31,6 +32,11 @@ type sampleRecord struct {
 type decisionRecord struct {
 	Record string `json:"record"`
 	*Decision
+}
+
+type faultRecord struct {
+	Record string `json:"record"`
+	*FaultEvent
 }
 
 // JSONL streams samples and decisions as one JSON object per line, each
@@ -61,6 +67,11 @@ func (e *JSONL) Sample(s *Sample) error { return e.write(sampleRecord{Record: "s
 // Decision writes one decision row.
 func (e *JSONL) Decision(d *Decision) error {
 	return e.write(decisionRecord{Record: "decision", Decision: d})
+}
+
+// Fault writes one fault-event row.
+func (e *JSONL) Fault(f *FaultEvent) error {
+	return e.write(faultRecord{Record: "fault", FaultEvent: f})
 }
 
 // Flush drains the buffer.
@@ -140,6 +151,10 @@ func itoa(v int) string { return fmt.Sprintf("%d", v) }
 // Decision is a no-op: decisions do not fit the sample row shape.
 func (e *CSV) Decision(*Decision) error { return nil }
 
+// Fault is a no-op: fault events do not fit the sample row shape — use
+// the JSONL exporter when the fault log matters.
+func (e *CSV) Fault(*FaultEvent) error { return nil }
+
 // Flush drains the buffer.
 func (e *CSV) Flush() error { return e.w.Flush() }
 
@@ -163,14 +178,18 @@ func (e *Prom) Sample(*Sample) error { return nil }
 // Decision is a no-op; switches are counted by rsssim_steering_decisions_total.
 func (e *Prom) Decision(*Decision) error { return nil }
 
+// Fault is a no-op; upsets are counted by the rsssim_faults_* counters.
+func (e *Prom) Fault(*FaultEvent) error { return nil }
+
 // Flush renders the registry.
 func (e *Prom) Flush() error { return e.reg.Render(e.w) }
 
-// Collector retains samples and decisions in memory, for studies and
-// tests that post-process the series instead of streaming it.
+// Collector retains samples, decisions and fault events in memory, for
+// studies and tests that post-process the series instead of streaming it.
 type Collector struct {
 	Samples   []Sample
 	Decisions []Decision
+	Faults    []FaultEvent
 }
 
 // Sample appends a copy of s.
@@ -182,6 +201,12 @@ func (c *Collector) Sample(s *Sample) error {
 // Decision appends a copy of d.
 func (c *Collector) Decision(d *Decision) error {
 	c.Decisions = append(c.Decisions, *d)
+	return nil
+}
+
+// Fault appends a copy of f.
+func (c *Collector) Fault(f *FaultEvent) error {
+	c.Faults = append(c.Faults, *f)
 	return nil
 }
 

@@ -56,6 +56,18 @@ type Sample struct {
 	IntervalSteerCacheHits   int `json:"intervalSteerCacheHits"`
 	IntervalSteerCacheMisses int `json:"intervalSteerCacheMisses"`
 
+	// Fault-injection activity this interval (zero when the injector
+	// is disabled): upsets struck, corrupt slots the scrub scan
+	// detected, slots repaired, and scrub scans run.
+	IntervalFaultsInjected int `json:"intervalFaultsInjected"`
+	IntervalFaultsDetected int `json:"intervalFaultsDetected"`
+	IntervalFaultsRepaired int `json:"intervalFaultsRepaired"`
+	IntervalScrubScans     int `json:"intervalScrubScans"`
+	// MaskedSlots counts slots currently unavailable to steering and
+	// dispatch because of faults (corrupt, detected, repairing or
+	// dead) at the sampling boundary.
+	MaskedSlots int `json:"maskedSlots"`
+
 	// Interval bottleneck classification: every cycle of the interval
 	// falls into exactly one of the four buckets.
 	BucketIssued   int `json:"bucketIssued"`
@@ -90,6 +102,28 @@ type Decision struct {
 	StallSlotCycles int `json:"stallSlotCycles"`
 }
 
+// Fault-event names, the closed vocabulary of FaultEvent.Event.
+const (
+	FaultInjectedTransient = "injected-transient"
+	FaultInjectedPermanent = "injected-permanent"
+	FaultDetected          = "detected"
+	FaultRepairStart       = "repair-start"
+	FaultRepaired          = "repaired"
+	FaultDead              = "dead"
+)
+
+// FaultEvent is one fault-injection log record: an upset striking a
+// slot, the scrub scan detecting it, a repair starting or completing,
+// or a slot being declared permanently dead. Like steering decisions,
+// fault events are not sampled — every transition is logged.
+type FaultEvent struct {
+	Cycle int `json:"cycle"`
+	// Slot is the reconfigurable slot the event concerns.
+	Slot int `json:"slot"`
+	// Event is one of the Fault* constants above.
+	Event string `json:"event"`
+}
+
 // CoreState is the snapshot the processor hands the Probe at a sampling
 // boundary — the fields the Probe cannot see through its event hooks.
 type CoreState struct {
@@ -103,6 +137,9 @@ type CoreState struct {
 	Slots     [arch.NumRFUSlots]arch.Encoding
 
 	ReconfigSlots int
+	// MaskedSlots counts slots fault-masked away from steering and
+	// dispatch right now.
+	MaskedSlots int
 
 	// Cumulative bottleneck buckets (issued, units, deps, frontend).
 	Buckets [4]int
@@ -134,6 +171,12 @@ type Probe struct {
 	cReconfigSlotCy *Counter
 	cSteerHits      *Counter
 	cSteerMisses    *Counter
+	cFaultsTrans    *Counter
+	cFaultsPerm     *Counter
+	cFaultsDetected *Counter
+	cFaultsRepaired *Counter
+	cScrubScans     *Counter
+	cMaskedSlotCy   *Counter
 	gOccupancy      *Gauge
 	gReconfigSlots  *Gauge
 	gCEMError       [arch.NumConfigs]*Gauge
@@ -147,6 +190,10 @@ type Probe struct {
 	ivReconfigs int
 	ivSteerHits int
 	ivSteerMiss int
+	ivFaultsInj int
+	ivFaultsDet int
+	ivFaultsRep int
+	ivScrubs    int
 
 	// Latest selection-unit pass (steering-family policies only).
 	selSeen   bool
@@ -187,6 +234,14 @@ func NewProbe(interval int) *Probe {
 	p.cReconfigSlotCy = reg.NewCounter("rsssim_reconfig_slot_cycles_total", "slot-cycles of reconfiguration started")
 	p.cSteerHits = reg.NewCounter("rsssim_steering_cache_hits_total", "steering-cache lookups served from the packed-key table")
 	p.cSteerMisses = reg.NewCounter("rsssim_steering_cache_misses_total", "steering-cache lookups that ran the CEM generators")
+	p.cFaultsTrans = reg.NewCounter("rsssim_faults_injected_total", "configuration upsets injected per kind",
+		Label{"kind", "transient"})
+	p.cFaultsPerm = reg.NewCounter("rsssim_faults_injected_total", "configuration upsets injected per kind",
+		Label{"kind", "permanent"})
+	p.cFaultsDetected = reg.NewCounter("rsssim_faults_detected_total", "corrupt slots the readback scrub detected")
+	p.cFaultsRepaired = reg.NewCounter("rsssim_faults_repaired_total", "slots restored by repair reconfiguration")
+	p.cScrubScans = reg.NewCounter("rsssim_scrub_scans_total", "readback scrub scans run")
+	p.cMaskedSlotCy = reg.NewCounter("rsssim_masked_slot_cycles_total", "slot-cycles lost to fault masking")
 	p.gOccupancy = reg.NewGauge("rsssim_window_occupancy", "in-flight window entries at the last sample")
 	p.gReconfigSlots = reg.NewGauge("rsssim_reconfiguring_slots", "slots mid-reconfiguration at the last sample")
 	p.hOccupancy = reg.NewHistogram("rsssim_window_occupancy_sampled", "window occupancy distribution over samples",
@@ -325,6 +380,53 @@ func (p *Probe) ConfigSwitch(d Decision) {
 	}
 }
 
+// Fault logs one fault-injection state transition for slot. The probe
+// stamps the cycle, counts the event on the registry and forwards the
+// record to the exporter immediately (fault events are not sampled).
+func (p *Probe) Fault(slot int, event string) {
+	if p == nil {
+		return
+	}
+	switch event {
+	case FaultInjectedTransient:
+		p.cFaultsTrans.Inc()
+		p.ivFaultsInj++
+	case FaultInjectedPermanent:
+		p.cFaultsPerm.Inc()
+		p.ivFaultsInj++
+	case FaultDetected:
+		p.cFaultsDetected.Inc()
+		p.ivFaultsDet++
+	case FaultRepaired:
+		p.cFaultsRepaired.Inc()
+		p.ivFaultsRep++
+	}
+	if p.exp != nil {
+		f := FaultEvent{Cycle: p.cycle, Slot: slot, Event: event}
+		if err := p.exp.Fault(&f); err != nil && p.err == nil {
+			p.err = err
+		}
+	}
+}
+
+// ScrubScan records one readback scrub pass over the fabric.
+func (p *Probe) ScrubScan() {
+	if p == nil {
+		return
+	}
+	p.cScrubScans.Inc()
+	p.ivScrubs++
+}
+
+// MaskedSlotCycles accumulates n slot-cycles lost to fault masking this
+// cycle (called once per cycle by the fabric when faults are enabled).
+func (p *Probe) MaskedSlotCycles(n int) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.cMaskedSlotCy.Add(uint64(n))
+}
+
 // ReconfigStart records one span rewrite beginning: a unit of type t at
 // some head slot, covering slots slots, taking latency cycles per slot
 // span.
@@ -376,6 +478,12 @@ func (p *Probe) EmitSample(cs CoreState) {
 		IntervalSteerCacheHits:   p.ivSteerHits,
 		IntervalSteerCacheMisses: p.ivSteerMiss,
 
+		IntervalFaultsInjected: p.ivFaultsInj,
+		IntervalFaultsDetected: p.ivFaultsDet,
+		IntervalFaultsRepaired: p.ivFaultsRep,
+		IntervalScrubScans:     p.ivScrubs,
+		MaskedSlots:            cs.MaskedSlots,
+
 		BucketIssued:   cs.Buckets[0] - p.lastBuckets[0],
 		BucketUnits:    cs.Buckets[1] - p.lastBuckets[1],
 		BucketDeps:     cs.Buckets[2] - p.lastBuckets[2],
@@ -396,6 +504,10 @@ func (p *Probe) EmitSample(cs CoreState) {
 	p.ivReconfigs = 0
 	p.ivSteerHits = 0
 	p.ivSteerMiss = 0
+	p.ivFaultsInj = 0
+	p.ivFaultsDet = 0
+	p.ivFaultsRep = 0
+	p.ivScrubs = 0
 
 	if p.exp != nil {
 		if err := p.exp.Sample(&s); err != nil && p.err == nil {

@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/rfu"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -322,6 +323,20 @@ func (m *Machine) SteeringCacheStats() (hits, misses int, ok bool) {
 	return st.CacheHits, st.CacheMisses, true
 }
 
+// FaultStats is the fabric's cumulative fault-injection accounting (see
+// Params.FaultTransientRate and friends).
+type FaultStats = rfu.FaultStats
+
+// FaultStats returns the run's fault-injection counters. It returns
+// ok=false when fault injection was not enabled for this machine.
+func (m *Machine) FaultStats() (st FaultStats, ok bool) {
+	f := m.proc.Fabric()
+	if !f.FaultsEnabled() {
+		return FaultStats{}, false
+	}
+	return f.FaultStats(), true
+}
+
 // Report renders a human-readable run summary.
 func (m *Machine) Report() string {
 	s := m.proc.Stats()
@@ -362,6 +377,16 @@ func (m *Machine) Report() string {
 		fmt.Fprintf(&b, "steering cache:  %.1f%% hit rate over %d lookups\n",
 			100*float64(hits)/float64(hits+misses), hits+misses)
 	}
+	if fs, ok := m.FaultStats(); ok {
+		fmt.Fprintf(&b, "faults:          %d transient + %d permanent injected, %d detected (%d scrubs)\n",
+			fs.InjectedTransient, fs.InjectedPermanent, fs.Detected, fs.ScrubScans)
+		fmt.Fprintf(&b, "repairs:         %d started, %d completed, %d healed by steering, %d slots dead\n",
+			fs.RepairsStarted, fs.Repaired, fs.HealedByLoad, fs.DeadSlots)
+		if s.Cycles > 0 {
+			fmt.Fprintf(&b, "degraded:        %.2f%% of slot-cycles masked\n",
+				100*float64(fs.MaskedSlotCycles)/float64(s.Cycles*arch.NumRFUSlots))
+		}
+	}
 	fmt.Fprintf(&b, "final fabric:    %v\n", m.proc.Fabric().Allocation().Slots)
 	return b.String()
 }
@@ -398,6 +423,8 @@ func (m *Machine) ReportJSON() ([]byte, error) {
 
 		SteeringCacheHits   int `json:"steeringCacheHits,omitempty"`
 		SteeringCacheMisses int `json:"steeringCacheMisses,omitempty"`
+
+		Faults *FaultStats `json:"faults,omitempty"`
 	}{
 		Policy:                m.policy.String(),
 		Stats:                 s,
@@ -415,6 +442,9 @@ func (m *Machine) ReportJSON() ([]byte, error) {
 		HybridCycles:          hybrid,
 	}
 	doc.SteeringCacheHits, doc.SteeringCacheMisses, _ = m.SteeringCacheStats()
+	if fs, ok := m.FaultStats(); ok {
+		doc.Faults = &fs
+	}
 	return json.MarshalIndent(doc, "", "  ")
 }
 
