@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/predict"
 	"repro/internal/rfu"
 )
 
@@ -160,5 +161,30 @@ func TestZeroAllocMachineCycleWithFaults(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(2000, p.Cycle); allocs != 0 {
 		t.Errorf("steady-state cycle with faults enabled: %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestZeroAllocMachineCycleWithPrefetch pins the prediction path: the
+// demand-history ring, phase detector, Markov update and speculation
+// gates run every cycle under the prefetch policy and must not
+// allocate once the manager's scratch buffers have grown.
+func TestZeroAllocMachineCycleWithPrefetch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated by the race detector")
+	}
+	prog, err := isa.Assemble(steadyLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cpu.New(prog, cpu.DefaultParams(), nil)
+	p.SetManager(predict.NewManager(p.Fabric(), predict.Config{}))
+	for i := 0; i < 50_000 && !p.Halted(); i++ {
+		p.Cycle()
+	}
+	if p.Halted() {
+		t.Fatal("workload halted during warm-up; steady-state cycles unmeasurable")
+	}
+	if allocs := testing.AllocsPerRun(2000, p.Cycle); allocs != 0 {
+		t.Errorf("steady-state cycle with prefetch policy: %.2f allocs/op, want 0", allocs)
 	}
 }

@@ -1,0 +1,176 @@
+// Command benchdiff compares a fresh `go test -bench` run against a
+// committed perf-trajectory datapoint (a BENCH_<date>.json written by
+// cmd/benchjson) and fails when ns/op regresses beyond a threshold —
+// the CI gate that keeps the zero-allocation cycle loop and the
+// selection-unit fast path from eroding silently.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Fig2 -benchmem . | benchdiff -baseline BENCH_2026-08-06.json
+//	benchdiff -baseline BENCH_2026-08-06.json -in bench.out -threshold 15
+//	benchdiff -baseline BENCH_2026-08-06.json -in bench.out -require Fig2SelectionUnit,Fig3CEMBehavioural
+//
+// Benchmarks present in only one side are reported but not fatal
+// (suites grow); -require names benchmarks that must appear in the
+// fresh run, so a gate cannot silently pass because its subject was
+// renamed away. Exit status: 0 clean, 1 regression or missing required
+// benchmark, 2 usage or I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/benchfmt"
+)
+
+// baselineDoc is the subset of cmd/benchjson's document benchdiff needs.
+type baselineDoc struct {
+	Date    string            `json:"date"`
+	Results []benchfmt.Result `json:"results"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed BENCH_<date>.json to compare against (required)")
+		inPath       = flag.String("in", "-", "fresh `go test -bench` output to parse (\"-\" for stdin)")
+		threshold    = flag.Float64("threshold", 15, "maximum allowed ns/op regression in percent")
+		require      = flag.String("require", "", "comma-separated benchmark names (without the Benchmark prefix) that must appear in the fresh run")
+	)
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold <= 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -threshold must be positive, got %g\n", *threshold)
+		os.Exit(2)
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := readFresh(*inPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in input")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range splitList(*require) {
+		full := "Benchmark" + name
+		if _, ok := fresh[full]; !ok {
+			fmt.Printf("MISSING  %-45s required benchmark absent from fresh run\n", full)
+			failed = true
+		}
+	}
+
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	compared := 0
+	for _, name := range names {
+		cur := fresh[name]
+		ref, ok := base[name]
+		if !ok {
+			fmt.Printf("NEW      %-45s %10.1f ns/op (no baseline)\n", name, cur.NsPerOp)
+			continue
+		}
+		if ref.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		pct := 100 * (cur.NsPerOp - ref.NsPerOp) / ref.NsPerOp
+		switch {
+		case pct > *threshold:
+			fmt.Printf("REGRESS  %-45s %10.1f -> %10.1f ns/op  %+6.1f%% (limit %+.0f%%)\n",
+				name, ref.NsPerOp, cur.NsPerOp, pct, *threshold)
+			failed = true
+		default:
+			fmt.Printf("ok       %-45s %10.1f -> %10.1f ns/op  %+6.1f%%\n",
+				name, ref.NsPerOp, cur.NsPerOp, pct)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark in the fresh run matches the baseline")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Printf("\nFAIL: ns/op regression beyond %.0f%% against %s\n", *threshold, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("\nPASS: %d benchmark(s) within %.0f%% of %s\n", compared, *threshold, *baselinePath)
+}
+
+// readBaseline loads a BENCH_<date>.json and indexes its results by name.
+func readBaseline(path string) (map[string]benchfmt.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	out := make(map[string]benchfmt.Result, len(doc.Results))
+	for _, r := range doc.Results {
+		out[r.Name] = r
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s holds no benchmark results", path)
+	}
+	return out, nil
+}
+
+// readFresh parses `go test -bench` output by name. Duplicate names
+// (e.g. -count > 1) keep the fastest run, damping scheduler noise.
+func readFresh(path string) (map[string]benchfmt.Result, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := benchfmt.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]benchfmt.Result, len(results))
+	for _, res := range results {
+		if prev, ok := out[res.Name]; !ok || res.NsPerOp < prev.NsPerOp {
+			out[res.Name] = res
+		}
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -28,9 +28,10 @@ func main() {
 	var (
 		asmPath    = flag.String("asm", "", "assembly source file to run")
 		kernelName = flag.String("kernel", "", "built-in kernel to run")
-		synthetic  = flag.String("synthetic", "", "synthetic workload: int, fp, mem, mdu, uniform, phased")
+		synthetic  = flag.String("synthetic", "", "synthetic workload: int, fp, mem, mdu, uniform, phased, alternating")
 		policyName = flag.String("policy", repro.PolicySteering.String(), "configuration policy")
 		listK      = flag.Bool("kernels", false, "list built-in kernels and exit")
+		listP      = flag.Bool("list-policies", false, "list configuration policies and exit")
 		maxCycles  = flag.Int("max-cycles", 50_000_000, "cycle budget")
 		seed       = flag.Int64("seed", 7, "seed for synthetic workloads / random policy")
 		window     = flag.Int("window", 0, "scheduling window size; 0 means use the default (7), negative is an error")
@@ -46,6 +47,10 @@ func main() {
 		faultPermRate = flag.Float64("fault-permanent-rate", 0, "per-slot per-cycle probability of a permanent configuration fault")
 		faultSeed     = flag.Int64("fault-seed", 1, "seed for the fault injector's PRNG stream")
 		faultScrub    = flag.Int("fault-scrub-interval", 0, "cycles between readback scrub scans; 0 means the default (64)")
+
+		prefetchOn   = flag.Bool("prefetch", false, "shorthand for -policy prefetch (phase-aware speculative reconfiguration)")
+		prefetchHist = flag.Int("prefetch-history", 0, "demand-history ring depth of the prefetch predictor; 0 means the default (32)")
+		prefetchConf = flag.Float64("prefetch-confidence", 0, "Markov confidence threshold in (0,1] for speculative loads; 0 means the default (0.55)")
 
 		metricsPath     = flag.String("metrics", "", "write telemetry to this file (\"-\" for stdout)")
 		metricsInterval = flag.Int("metrics-interval", repro.DefaultMetricsInterval, "cycles between telemetry samples")
@@ -75,6 +80,20 @@ func main() {
 	if *faultScrub < 0 {
 		fail(fmt.Errorf("-fault-scrub-interval must be non-negative (0 selects the default of 64), got %d", *faultScrub))
 	}
+	if *prefetchHist < 0 {
+		fail(fmt.Errorf("-prefetch-history must be non-negative (0 selects the default of 32), got %d", *prefetchHist))
+	}
+	if *prefetchConf < 0 || *prefetchConf > 1 {
+		fail(fmt.Errorf("-prefetch-confidence must be in [0,1] (0 selects the default of 0.55), got %g", *prefetchConf))
+	}
+	if *prefetchOn {
+		policySet := false
+		flag.Visit(func(f *flag.Flag) { policySet = policySet || f.Name == "policy" })
+		if policySet && *policyName != repro.PolicyPrefetch.String() {
+			fail(fmt.Errorf("-prefetch conflicts with -policy %s", *policyName))
+		}
+		*policyName = repro.PolicyPrefetch.String()
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -88,6 +107,14 @@ func main() {
 	if *listK {
 		for _, k := range repro.Kernels() {
 			fmt.Printf("%-10s %s\n", k.Name, k.Description)
+		}
+		return
+	}
+	if *listP {
+		// The canonical cpu.Policy name table, in declaration order —
+		// the same table ParsePolicy and the rssd error envelopes use.
+		for _, p := range repro.Policies() {
+			fmt.Println(p)
 		}
 		return
 	}
@@ -105,6 +132,8 @@ func main() {
 	params.FaultPermanentRate = *faultPermRate
 	params.FaultSeed = *faultSeed
 	params.FaultScrubInterval = *faultScrub
+	params.PrefetchHistoryDepth = *prefetchHist
+	params.PrefetchConfidence = *prefetchConf
 	opt := repro.Options{Params: params, Policy: policy, Seed: *seed, MinResidency: *residency}
 	if *basisPath != "" {
 		data, err := os.ReadFile(*basisPath)
@@ -229,6 +258,8 @@ func syntheticProgram(kind string, seed int64) (repro.Program, error) {
 			{Mix: repro.MixMemHeavy, Instructions: n / 4},
 			{Mix: repro.MixFPHeavy, Instructions: n / 4},
 		}, seed), nil
+	case "alternating":
+		return repro.Synthesize(repro.AlternatingPhases(n, 250), seed), nil
 	}
 	return nil, fmt.Errorf("unknown synthetic workload %q", kind)
 }

@@ -12,13 +12,16 @@ import (
 )
 
 // TestTelemetryJSONLSchemaGolden pins the JSONL telemetry schema: the
-// field names and JSON types of sample, decision and fault records from
-// a saxpy steering run must match testdata/telemetry_schema.golden.
-// Downstream tooling parses these streams, so adding a field means
-// regenerating the golden file deliberately (delete it and re-run the
-// test with -run TelemetryJSONLSchemaGolden to print the new schema).
-// Fault injection is enabled at a rate high enough that the seeded run
-// deterministically emits at least one fault record.
+// field names and JSON types of sample, decision, fault and prefetch
+// records must match testdata/telemetry_schema.golden. Downstream
+// tooling parses these streams, so adding a field means regenerating
+// the golden file deliberately (delete it and re-run the test with
+// -run TelemetryJSONLSchemaGolden to print the new schema). Sample,
+// decision and fault records come from a saxpy steering run with fault
+// injection at a rate high enough that the seeded run deterministically
+// emits at least one fault record; prefetch records come from a
+// prefetch-policy run on a phase-alternating workload, whose detector
+// deterministically logs phase-change events.
 func TestTelemetryJSONLSchemaGolden(t *testing.T) {
 	k := KernelByName("saxpy")
 	if k == nil {
@@ -39,24 +42,37 @@ func TestTelemetryJSONLSchemaGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// A second run under the prefetch policy supplies prefetch records.
+	var pbuf bytes.Buffer
+	pprog := Synthesize(AlternatingPhases(2000, 250), 7)
+	pmach := NewMachine(pprog, Options{Params: DefaultParams(), Policy: PolicyPrefetch})
+	if _, err := pmach.EnableTelemetry(&pbuf, "jsonl", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pmach.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
 	// Take the first record of each kind and derive its schema.
 	schemas := map[string]string{}
-	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
-		var rec map[string]any
-		if err := json.Unmarshal([]byte(line), &rec); err != nil {
-			t.Fatalf("invalid JSONL line %q: %v", line, err)
-		}
-		kind, _ := rec["record"].(string)
-		if kind == "" {
-			t.Fatalf("record missing record tag: %s", line)
-		}
-		if _, seen := schemas[kind]; !seen {
-			schemas[kind] = schemaOf(rec)
+	for _, stream := range []string{buf.String(), pbuf.String()} {
+		for _, line := range strings.Split(strings.TrimSpace(stream), "\n") {
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("invalid JSONL line %q: %v", line, err)
+			}
+			kind, _ := rec["record"].(string)
+			if kind == "" {
+				t.Fatalf("record missing record tag: %s", line)
+			}
+			if _, seen := schemas[kind]; !seen {
+				schemas[kind] = schemaOf(rec)
+			}
 		}
 	}
-	for _, kind := range []string{"sample", "decision", "fault"} {
+	for _, kind := range []string{"sample", "decision", "fault", "prefetch"} {
 		if schemas[kind] == "" {
-			t.Fatalf("no %s record in the saxpy run", kind)
+			t.Fatalf("no %s record in the instrumented runs", kind)
 		}
 	}
 

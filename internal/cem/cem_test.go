@@ -242,3 +242,84 @@ func TestHardwiredShiftEqualsLiveShift(t *testing.T) {
 		}
 	}
 }
+
+// TestApproximationGapBounded is the property behind trusting the
+// barrel-shifter CEM at all: over the full 3-bit per-term space the
+// shifter term is never below the exact quotient (it divides by a power
+// of two <= avail) and overshoots it by at most 1 — so a 5-term sum can
+// misrank configurations by at most a handful of error units, never
+// wildly.
+func TestApproximationGapBounded(t *testing.T) {
+	for req := 0; req < 8; req++ {
+		for avail := 0; avail < 8; avail++ {
+			approx := Contribution(req, avail)
+			exact := req
+			if avail > 1 {
+				exact = req / avail
+			}
+			gap := approx - exact
+			if gap < 0 || gap > 1 {
+				t.Errorf("req=%d avail=%d: approx %d, exact %d, gap %d outside [0,1]",
+					req, avail, approx, exact, gap)
+			}
+		}
+	}
+}
+
+// TestErrorExactMatchesReferenceMath pins ErrorExact to independent
+// integer math over the full multi-type space of legal demand vectors
+// (sum <= QueueSize) against every 3-bit availability pattern on a
+// fixed-stride sample — exhaustive in the demand dimension, dense in
+// the availability one.
+func TestErrorExactMatchesReferenceMath(t *testing.T) {
+	ref := func(required, available arch.Counts) int {
+		sum := 0
+		for ty := range required {
+			r, a := required[ty], available[ty]
+			if r > 7 {
+				r = 7
+			}
+			if r < 0 {
+				r = 0
+			}
+			switch {
+			case a <= 1:
+				sum += r
+			default:
+				sum += r / a
+			}
+		}
+		if sum > 7 {
+			sum = 7
+		}
+		return sum
+	}
+	var walk func(ty, left int, req arch.Counts)
+	walk = func(ty, left int, req arch.Counts) {
+		if ty == arch.NumUnitTypes {
+			// Availability patterns: all-equal levels plus a mixed ramp,
+			// shifted through every rotation.
+			for level := 0; level < 8; level++ {
+				avail := arch.Counts{level, level, level, level, level}
+				if got, want := ErrorExact(req, avail), ref(req, avail); got != want {
+					t.Fatalf("ErrorExact(%v,%v) = %d, want %d", req, avail, got, want)
+				}
+				for rot := 0; rot < arch.NumUnitTypes; rot++ {
+					var mixed arch.Counts
+					for i := range mixed {
+						mixed[i] = (i + rot + level) % 8
+					}
+					if got, want := ErrorExact(req, mixed), ref(req, mixed); got != want {
+						t.Fatalf("ErrorExact(%v,%v) = %d, want %d", req, mixed, got, want)
+					}
+				}
+			}
+			return
+		}
+		for n := 0; n <= left; n++ {
+			req[ty] = n
+			walk(ty+1, left-n, req)
+		}
+	}
+	walk(0, arch.QueueSize, arch.Counts{})
+}

@@ -145,11 +145,28 @@ type Stats struct {
 	// SuppressedLoads counts selections that wanted a new configuration
 	// but were held back by the residency timer.
 	SuppressedLoads int
+	// HeldLoads counts selections that wanted a new configuration but
+	// were held back by an active speculative prefetch (HoldTarget).
+	HeldLoads int
 	// CacheHits and CacheMisses count steering-cache lookups: a hit
 	// replays a previously computed selection for the same packed
 	// (demand, allocation) key, a miss runs the CEM generators.
 	CacheHits   int
 	CacheMisses int
+	// PrefetchIssued counts speculative span rewrites the prefetch
+	// policy (internal/predict) started on otherwise-unused
+	// configuration-bus spans; the remaining Prefetch* fields count how
+	// its speculations ended. PrefetchWastedSpans is the bus bandwidth
+	// charged to mispredicted or cancelled speculations — spans loaded
+	// for a configuration that never served demand.
+	PrefetchIssued       int
+	PrefetchConfirmed    int
+	PrefetchMispredicted int
+	PrefetchCancelled    int
+	PrefetchWastedSpans  int
+	// PhaseChanges counts workload phase boundaries the prefetch
+	// policy's demand-history detector flagged.
+	PhaseChanges int
 }
 
 // Steering-cache geometry: a small direct-mapped table indexed by a
@@ -236,6 +253,14 @@ type Manager struct {
 	// DisableCache bypasses the steering cache so every Select runs the
 	// CEM generators — used by the equivalence tests and ablations.
 	DisableCache bool
+	// HoldTarget, when non-zero, names the basis configuration (1..3) a
+	// speculative prefetch has committed to: loads toward any other
+	// configuration are suppressed (and counted in Stats.HeldLoads)
+	// until the speculation resolves. Selection, statistics and naming
+	// run unchanged, so the reactive selector still exposes what it
+	// would have done — that is the evidence speculations are resolved
+	// against. Loads toward the held target itself always proceed.
+	HoldTarget int
 
 	sinceLoad int
 	stats     Stats
@@ -274,6 +299,19 @@ func (m *Manager) SetTelemetry(probe *telemetry.Probe) { m.probe = probe }
 
 // Stats returns a copy of the activity counters.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// NotePrefetch accumulates speculative-prefetch deltas into the stats.
+// The stats live here rather than in the predict package so prefetch
+// accounting rides the same Stats value every report path already
+// consumes.
+func (m *Manager) NotePrefetch(issued, confirmed, mispredicted, cancelled, wastedSpans, phaseChanges int) {
+	m.stats.PrefetchIssued += issued
+	m.stats.PrefetchConfirmed += confirmed
+	m.stats.PrefetchMispredicted += mispredicted
+	m.stats.PrefetchCancelled += cancelled
+	m.stats.PrefetchWastedSpans += wastedSpans
+	m.stats.PhaseChanges += phaseChanges
+}
 
 // errorOf runs one CEM generator.
 func (m *Manager) errorOf(required, available arch.Counts) int {
@@ -461,6 +499,13 @@ func (m *Manager) Step(required arch.Counts) Selection {
 	m.sinceLoad++
 	if !sel.Current() && m.sinceLoad <= m.MinResidency {
 		m.stats.SuppressedLoads++
+		return sel
+	}
+	if m.HoldTarget != 0 && !sel.Current() && sel.Choice != m.HoldTarget {
+		// An active speculative prefetch holds the configuration: a
+		// claw-back load here would revert half-converted spans and
+		// freeze them for another full reconfiguration latency.
+		m.stats.HeldLoads++
 		return sel
 	}
 	if m.Load(sel) > 0 {

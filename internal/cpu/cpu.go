@@ -106,6 +106,15 @@ type Params struct {
 	// that detects corrupt slots; 0 selects the default
 	// (fault.DefaultScrubInterval).
 	FaultScrubInterval int
+
+	// PrefetchHistoryDepth sizes the demand-history ring of the
+	// prefetch policy's predictor; 0 selects the default
+	// (predict.DefaultHistoryDepth). Ignored by other policies.
+	PrefetchHistoryDepth int
+	// PrefetchConfidence is the Markov confidence threshold in (0,1]
+	// the prefetch policy requires before issuing speculative loads; 0
+	// selects the default (predict.DefaultConfidence).
+	PrefetchConfidence float64
 }
 
 // DefaultParams returns the reference machine of the experiments.
@@ -211,6 +220,7 @@ func (p Params) Validate() error {
 		{"TraceCacheLineLen", p.TraceCacheLineLen},
 		{"FetchWidthMem", p.FetchWidthMem},
 		{"FetchWidthTC", p.FetchWidthTC},
+		{"PrefetchHistoryDepth", p.PrefetchHistoryDepth},
 	} {
 		if f.v < 0 {
 			return bad(f.name, f.v)
@@ -228,6 +238,10 @@ func (p Params) Validate() error {
 	}
 	if err := p.faultPlan().Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	// NaN fails this comparison too, which is the point.
+	if !(p.PrefetchConfidence >= 0 && p.PrefetchConfidence <= 1) {
+		return fmt.Errorf("%w: PrefetchConfidence must be in [0, 1], got %v", ErrInvalidParams, p.PrefetchConfidence)
 	}
 	return nil
 }

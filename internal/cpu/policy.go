@@ -50,6 +50,11 @@ const (
 	// demand every cycle, with no predefined basis — the paper's §5
 	// future-work direction.
 	PolicyDemand
+	// PolicyPrefetch is the steering manager plus the phase-aware
+	// prediction subsystem (internal/predict): demand-history phase
+	// detection and a Markov transition model drive speculative partial
+	// reconfigurations on otherwise-unused configuration-bus spans.
+	PolicyPrefetch
 
 	numPolicies // sentinel: count of defined policies
 )
@@ -66,6 +71,7 @@ var policyNames = [numPolicies]string{
 	PolicyOracle:         "oracle",
 	PolicyRandom:         "random",
 	PolicyDemand:         "demand",
+	PolicyPrefetch:       "prefetch",
 }
 
 // Valid reports whether p is one of the defined policies.

@@ -116,6 +116,14 @@ type Server struct {
 	cacheMisses *telemetry.Counter
 	steerHits   *telemetry.Counter
 	steerMisses *telemetry.Counter
+	prefetch    map[string]*telemetry.Counter // by prefetch counter name
+}
+
+// prefetchCounterNames are the label values of rssd_prefetch_total —
+// one per field of repro.PrefetchStats.
+var prefetchCounterNames = []string{
+	"spans_issued", "confirmed", "mispredicted", "cancelled",
+	"wasted_spans", "phase_changes",
 }
 
 // handler and job-kind names used as metric label values.
@@ -162,6 +170,12 @@ func New(cfg Config) *Server {
 		"Steering-cache hits aggregated over simulations run by this server.")
 	s.steerMisses = s.registry.NewCounter("rssd_steering_cache_misses_total",
 		"Steering-cache misses aggregated over simulations run by this server.")
+	s.prefetch = map[string]*telemetry.Counter{}
+	for _, name := range prefetchCounterNames {
+		s.prefetch[name] = s.registry.NewCounter("rssd_prefetch_total",
+			"Speculative-prefetch accounting aggregated over prefetch-policy simulations, by counter.",
+			telemetry.Label{Key: "counter", Value: name})
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/assemble", s.handleAssemble)
@@ -368,6 +382,16 @@ func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec RunSpec, k
 		s.mmu.Lock()
 		s.steerHits.Add(uint64(hits))
 		s.steerMisses.Add(uint64(misses))
+		s.mmu.Unlock()
+	}
+	if ps, ok := m.PrefetchStats(); ok {
+		s.mmu.Lock()
+		s.prefetch["spans_issued"].Add(uint64(ps.Issued))
+		s.prefetch["confirmed"].Add(uint64(ps.Confirmed))
+		s.prefetch["mispredicted"].Add(uint64(ps.Mispredicted))
+		s.prefetch["cancelled"].Add(uint64(ps.Cancelled))
+		s.prefetch["wasted_spans"].Add(uint64(ps.WastedSpans))
+		s.prefetch["phase_changes"].Add(uint64(ps.PhaseChanges))
 		s.mmu.Unlock()
 	}
 	elapsedMs := float64(elapsed) / float64(time.Millisecond)

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro"
 )
 
 // haltingSource is a tiny program that retires a HALT quickly.
@@ -246,6 +248,57 @@ func TestRunBadRequests(t *testing.T) {
 				t.Errorf("code = %s, want %s", code, tc.wantCode)
 			}
 		})
+	}
+}
+
+func TestRunPrefetchPolicy(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, doc := postJSON(t, ts, "/v1/run",
+		fmt.Sprintf(`{"source": %q, "policy": "prefetch"}`, haltingSource))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	}
+	report := doc["report"].(map[string]any)
+	if report["policy"] != "prefetch" {
+		t.Errorf("report policy = %v, want prefetch", report["policy"])
+	}
+	if _, ok := report["prefetch"].(map[string]any); !ok {
+		t.Errorf("report has no prefetch block: %v", report)
+	}
+
+	// The run's prefetch accounting aggregates into the service metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	text := buf.String()
+	for _, name := range prefetchCounterNames {
+		if !strings.Contains(text, fmt.Sprintf("rssd_prefetch_total{counter=%q}", name)) {
+			t.Errorf("metrics missing rssd_prefetch_total counter %q\n%s", name, text)
+		}
+	}
+}
+
+// TestUnknownPolicyEnvelopeListsAll pins the error envelope to the
+// canonical policy table: the 400 for a bogus policy name must
+// enumerate every parseable policy, so the API surface and
+// rsssim -list-policies can never drift apart.
+func TestUnknownPolicyEnvelopeListsAll(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, doc := postJSON(t, ts, "/v1/run",
+		fmt.Sprintf(`{"source": %q, "policy": "bogus"}`, haltingSource))
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%v)", status, doc)
+	}
+	env := doc["error"].(map[string]any)
+	msg, _ := env["message"].(string)
+	for _, p := range repro.Policies() {
+		if !strings.Contains(msg, p.String()) {
+			t.Errorf("unknown-policy message does not list %q: %s", p, msg)
+		}
 	}
 }
 

@@ -11,12 +11,13 @@ import (
 )
 
 // Exporter receives the sampler's output. Samples arrive every probe
-// interval; decisions and fault events arrive the cycle they happen.
-// Flush is called once at end of run.
+// interval; decisions, fault events and prefetch events arrive the
+// cycle they happen. Flush is called once at end of run.
 type Exporter interface {
 	Sample(*Sample) error
 	Decision(*Decision) error
 	Fault(*FaultEvent) error
+	Prefetch(*PrefetchEvent) error
 	Flush() error
 }
 
@@ -37,6 +38,11 @@ type decisionRecord struct {
 type faultRecord struct {
 	Record string `json:"record"`
 	*FaultEvent
+}
+
+type prefetchRecord struct {
+	Record string `json:"record"`
+	*PrefetchEvent
 }
 
 // JSONL streams samples and decisions as one JSON object per line, each
@@ -72,6 +78,11 @@ func (e *JSONL) Decision(d *Decision) error {
 // Fault writes one fault-event row.
 func (e *JSONL) Fault(f *FaultEvent) error {
 	return e.write(faultRecord{Record: "fault", FaultEvent: f})
+}
+
+// Prefetch writes one prefetch-event row.
+func (e *JSONL) Prefetch(p *PrefetchEvent) error {
+	return e.write(prefetchRecord{Record: "prefetch", PrefetchEvent: p})
 }
 
 // Flush drains the buffer.
@@ -155,6 +166,10 @@ func (e *CSV) Decision(*Decision) error { return nil }
 // the JSONL exporter when the fault log matters.
 func (e *CSV) Fault(*FaultEvent) error { return nil }
 
+// Prefetch is a no-op: prefetch events do not fit the sample row shape
+// either; their interval aggregates ride the sample rows.
+func (e *CSV) Prefetch(*PrefetchEvent) error { return nil }
+
 // Flush drains the buffer.
 func (e *CSV) Flush() error { return e.w.Flush() }
 
@@ -181,15 +196,20 @@ func (e *Prom) Decision(*Decision) error { return nil }
 // Fault is a no-op; upsets are counted by the rsssim_faults_* counters.
 func (e *Prom) Fault(*FaultEvent) error { return nil }
 
+// Prefetch is a no-op; speculation is counted by the rsssim_prefetch_*
+// counters.
+func (e *Prom) Prefetch(*PrefetchEvent) error { return nil }
+
 // Flush renders the registry.
 func (e *Prom) Flush() error { return e.reg.Render(e.w) }
 
 // Collector retains samples, decisions and fault events in memory, for
 // studies and tests that post-process the series instead of streaming it.
 type Collector struct {
-	Samples   []Sample
-	Decisions []Decision
-	Faults    []FaultEvent
+	Samples    []Sample
+	Decisions  []Decision
+	Faults     []FaultEvent
+	Prefetches []PrefetchEvent
 }
 
 // Sample appends a copy of s.
@@ -207,6 +227,12 @@ func (c *Collector) Decision(d *Decision) error {
 // Fault appends a copy of f.
 func (c *Collector) Fault(f *FaultEvent) error {
 	c.Faults = append(c.Faults, *f)
+	return nil
+}
+
+// Prefetch appends a copy of p.
+func (c *Collector) Prefetch(p *PrefetchEvent) error {
+	c.Prefetches = append(c.Prefetches, *p)
 	return nil
 }
 

@@ -56,6 +56,14 @@ type Sample struct {
 	IntervalSteerCacheHits   int `json:"intervalSteerCacheHits"`
 	IntervalSteerCacheMisses int `json:"intervalSteerCacheMisses"`
 
+	// Speculative-prefetch activity this interval (zero unless the
+	// prefetch policy is active): spans speculatively loaded, and
+	// speculation outcomes resolved.
+	IntervalPrefetchIssued       int `json:"intervalPrefetchIssued"`
+	IntervalPrefetchConfirmed    int `json:"intervalPrefetchConfirmed"`
+	IntervalPrefetchMispredicted int `json:"intervalPrefetchMispredicted"`
+	IntervalPrefetchCancelled    int `json:"intervalPrefetchCancelled"`
+
 	// Fault-injection activity this interval (zero when the injector
 	// is disabled): upsets struck, corrupt slots the scrub scan
 	// detected, slots repaired, and scrub scans run.
@@ -124,6 +132,37 @@ type FaultEvent struct {
 	Event string `json:"event"`
 }
 
+// Prefetch-event names, the closed vocabulary of PrefetchEvent.Event.
+const (
+	PrefetchIssue       = "issue"
+	PrefetchConfirm     = "confirm"
+	PrefetchMispredict  = "mispredict"
+	PrefetchCancel      = "cancel"
+	PrefetchPhaseChange = "phase-change"
+)
+
+// PrefetchEvent is one speculative-prefetch log record from the
+// prediction subsystem (internal/predict): spans speculatively loaded
+// for a predicted configuration, the speculation's outcome (confirm /
+// mispredict / cancel), or a detected workload phase change. Like
+// steering decisions and fault events, prefetch events are not sampled
+// — every transition is logged.
+type PrefetchEvent struct {
+	Cycle int `json:"cycle"`
+	// Event is one of the Prefetch* constants above.
+	Event string `json:"event"`
+	// Config names the predicted target configuration (empty for
+	// phase-change events).
+	Config string `json:"config"`
+	// Spans counts the speculative span rewrites the event covers: for
+	// issue events the spans loaded this cycle, for mispredict/cancel
+	// the speculation's total spans — the bus bandwidth wasted.
+	Spans int `json:"spans"`
+	// ConfidencePct is the Markov-predictor confidence behind the
+	// speculation, in percent.
+	ConfidencePct int `json:"confidencePct"`
+}
+
 // CoreState is the snapshot the processor hands the Probe at a sampling
 // boundary — the fields the Probe cannot see through its event hooks.
 type CoreState struct {
@@ -171,6 +210,12 @@ type Probe struct {
 	cReconfigSlotCy *Counter
 	cSteerHits      *Counter
 	cSteerMisses    *Counter
+	cPrefIssued     *Counter
+	cPrefConfirmed  *Counter
+	cPrefMispred    *Counter
+	cPrefCancelled  *Counter
+	cPrefWasted     *Counter
+	cPhaseChanges   *Counter
 	cFaultsTrans    *Counter
 	cFaultsPerm     *Counter
 	cFaultsDetected *Counter
@@ -194,6 +239,10 @@ type Probe struct {
 	ivFaultsDet int
 	ivFaultsRep int
 	ivScrubs    int
+	ivPrefIss   int
+	ivPrefConf  int
+	ivPrefMisp  int
+	ivPrefCanc  int
 
 	// Latest selection-unit pass (steering-family policies only).
 	selSeen   bool
@@ -234,6 +283,12 @@ func NewProbe(interval int) *Probe {
 	p.cReconfigSlotCy = reg.NewCounter("rsssim_reconfig_slot_cycles_total", "slot-cycles of reconfiguration started")
 	p.cSteerHits = reg.NewCounter("rsssim_steering_cache_hits_total", "steering-cache lookups served from the packed-key table")
 	p.cSteerMisses = reg.NewCounter("rsssim_steering_cache_misses_total", "steering-cache lookups that ran the CEM generators")
+	p.cPrefIssued = reg.NewCounter("rsssim_prefetch_issued_total", "speculative span rewrites the prefetch policy started")
+	p.cPrefConfirmed = reg.NewCounter("rsssim_prefetch_confirmed_total", "speculations confirmed by a matching demand shift")
+	p.cPrefMispred = reg.NewCounter("rsssim_prefetch_mispredicted_total", "speculations ended by demand selecting a different configuration")
+	p.cPrefCancelled = reg.NewCounter("rsssim_prefetch_cancelled_total", "speculations abandoned without a demand shift")
+	p.cPrefWasted = reg.NewCounter("rsssim_prefetch_wasted_spans_total", "configuration-bus spans charged to mispredicted or cancelled speculations")
+	p.cPhaseChanges = reg.NewCounter("rsssim_phase_changes_total", "workload phase boundaries the demand-history detector flagged")
 	p.cFaultsTrans = reg.NewCounter("rsssim_faults_injected_total", "configuration upsets injected per kind",
 		Label{"kind", "transient"})
 	p.cFaultsPerm = reg.NewCounter("rsssim_faults_injected_total", "configuration upsets injected per kind",
@@ -409,6 +464,40 @@ func (p *Probe) Fault(slot int, event string) {
 	}
 }
 
+// Prefetch logs one speculative-prefetch event. The probe stamps the
+// cycle, counts the event on the registry (mispredict/cancel events
+// also charge their spans as wasted bus bandwidth) and forwards the
+// record to the exporter immediately (prefetch events are not sampled).
+func (p *Probe) Prefetch(ev PrefetchEvent) {
+	if p == nil {
+		return
+	}
+	ev.Cycle = p.cycle
+	switch ev.Event {
+	case PrefetchIssue:
+		p.cPrefIssued.Add(uint64(ev.Spans))
+		p.ivPrefIss += ev.Spans
+	case PrefetchConfirm:
+		p.cPrefConfirmed.Inc()
+		p.ivPrefConf++
+	case PrefetchMispredict:
+		p.cPrefMispred.Inc()
+		p.cPrefWasted.Add(uint64(ev.Spans))
+		p.ivPrefMisp++
+	case PrefetchCancel:
+		p.cPrefCancelled.Inc()
+		p.cPrefWasted.Add(uint64(ev.Spans))
+		p.ivPrefCanc++
+	case PrefetchPhaseChange:
+		p.cPhaseChanges.Inc()
+	}
+	if p.exp != nil {
+		if err := p.exp.Prefetch(&ev); err != nil && p.err == nil {
+			p.err = err
+		}
+	}
+}
+
 // ScrubScan records one readback scrub pass over the fabric.
 func (p *Probe) ScrubScan() {
 	if p == nil {
@@ -478,6 +567,11 @@ func (p *Probe) EmitSample(cs CoreState) {
 		IntervalSteerCacheHits:   p.ivSteerHits,
 		IntervalSteerCacheMisses: p.ivSteerMiss,
 
+		IntervalPrefetchIssued:       p.ivPrefIss,
+		IntervalPrefetchConfirmed:    p.ivPrefConf,
+		IntervalPrefetchMispredicted: p.ivPrefMisp,
+		IntervalPrefetchCancelled:    p.ivPrefCanc,
+
 		IntervalFaultsInjected: p.ivFaultsInj,
 		IntervalFaultsDetected: p.ivFaultsDet,
 		IntervalFaultsRepaired: p.ivFaultsRep,
@@ -508,6 +602,10 @@ func (p *Probe) EmitSample(cs CoreState) {
 	p.ivFaultsDet = 0
 	p.ivFaultsRep = 0
 	p.ivScrubs = 0
+	p.ivPrefIss = 0
+	p.ivPrefConf = 0
+	p.ivPrefMisp = 0
+	p.ivPrefCanc = 0
 
 	if p.exp != nil {
 		if err := p.exp.Sample(&s); err != nil && p.err == nil {

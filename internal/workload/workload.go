@@ -432,6 +432,29 @@ type Phase struct {
 	Instructions int
 }
 
+// AlternatingPhases builds a phase list that switches between the
+// integer-heavy and FP-heavy mixes every period instructions until
+// total instructions are covered (the last phase is truncated to fit).
+// Feeding the result to Synthesize yields the phase-shifting workloads
+// the prefetch policy's predictor is designed to exploit (experiment
+// X20). Both arguments must be positive.
+func AlternatingPhases(total, period int) []Phase {
+	if total <= 0 || period <= 0 {
+		panic(fmt.Sprintf("workload: AlternatingPhases needs positive total and period, got %d, %d", total, period))
+	}
+	mixes := [2]Mix{MixIntHeavy, MixFPHeavy}
+	out := make([]Phase, 0, (total+period-1)/period)
+	for i := 0; total > 0; i++ {
+		n := period
+		if n > total {
+			n = total
+		}
+		out = append(out, Phase{Mix: mixes[i%2], Instructions: n})
+		total -= n
+	}
+	return out
+}
+
 // SynthParams shapes the synthetic generator.
 type SynthParams struct {
 	// DepDensity is the probability each source register is drawn from

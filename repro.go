@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/predict"
 	"repro/internal/rfu"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -131,6 +132,11 @@ const (
 	// demand every cycle, with no predefined basis — the paper's §5
 	// future-work direction.
 	PolicyDemand = cpu.PolicyDemand
+	// PolicyPrefetch is the steering manager plus the phase-aware
+	// prediction subsystem: demand-history phase detection and a Markov
+	// transition model drive speculative partial reconfigurations on
+	// otherwise-unused configuration-bus spans.
+	PolicyPrefetch = cpu.PolicyPrefetch
 )
 
 // ParsePolicy resolves a policy name (the Policy.String round-trip); the
@@ -240,6 +246,15 @@ func NewMachine(prog Program, opt Options) *Machine {
 		d := core.NewDemandManager(p.Fabric())
 		m.policyObj = d
 		p.SetManager(d)
+	case PolicyPrefetch:
+		pf := predict.NewManagerBasis(p.Fabric(), basis, predict.Config{
+			HistoryDepth: opt.Params.PrefetchHistoryDepth,
+			Confidence:   opt.Params.PrefetchConfidence,
+		})
+		pf.Core().MinResidency = opt.MinResidency
+		m.steering = pf.Core()
+		m.policyObj = pf
+		p.SetManager(pf)
 	default:
 		panic(fmt.Sprintf("repro: unknown policy %d", opt.Policy))
 	}
@@ -323,6 +338,36 @@ func (m *Machine) SteeringCacheStats() (hits, misses int, ok bool) {
 	return st.CacheHits, st.CacheMisses, true
 }
 
+// PrefetchStats is the speculative-prefetch accounting of the prefetch
+// policy: spans speculatively loaded, how the speculations ended, the
+// configuration-bus spans wasted on wrong guesses, and the workload
+// phase boundaries the predictor detected.
+type PrefetchStats struct {
+	Issued       int `json:"issued"`
+	Confirmed    int `json:"confirmed"`
+	Mispredicted int `json:"mispredicted"`
+	Cancelled    int `json:"cancelled"`
+	WastedSpans  int `json:"wastedSpans"`
+	PhaseChanges int `json:"phaseChanges"`
+}
+
+// PrefetchStats returns the run's speculative-prefetch counters. It
+// returns ok=false for policies other than PolicyPrefetch.
+func (m *Machine) PrefetchStats() (PrefetchStats, bool) {
+	if m.policy != PolicyPrefetch || m.steering == nil {
+		return PrefetchStats{}, false
+	}
+	st := m.steering.Stats()
+	return PrefetchStats{
+		Issued:       st.PrefetchIssued,
+		Confirmed:    st.PrefetchConfirmed,
+		Mispredicted: st.PrefetchMispredicted,
+		Cancelled:    st.PrefetchCancelled,
+		WastedSpans:  st.PrefetchWastedSpans,
+		PhaseChanges: st.PhaseChanges,
+	}, true
+}
+
 // FaultStats is the fabric's cumulative fault-injection accounting (see
 // Params.FaultTransientRate and friends).
 type FaultStats = rfu.FaultStats
@@ -377,6 +422,11 @@ func (m *Machine) Report() string {
 		fmt.Fprintf(&b, "steering cache:  %.1f%% hit rate over %d lookups\n",
 			100*float64(hits)/float64(hits+misses), hits+misses)
 	}
+	if ps, ok := m.PrefetchStats(); ok {
+		fmt.Fprintf(&b, "prefetch:        %d spans issued, %d confirmed, %d mispredicted, %d cancelled (%d wasted spans)\n",
+			ps.Issued, ps.Confirmed, ps.Mispredicted, ps.Cancelled, ps.WastedSpans)
+		fmt.Fprintf(&b, "phase changes:   %d detected\n", ps.PhaseChanges)
+	}
 	if fs, ok := m.FaultStats(); ok {
 		fmt.Fprintf(&b, "faults:          %d transient + %d permanent injected, %d detected (%d scrubs)\n",
 			fs.InjectedTransient, fs.InjectedPermanent, fs.Detected, fs.ScrubScans)
@@ -424,7 +474,8 @@ func (m *Machine) ReportJSON() ([]byte, error) {
 		SteeringCacheHits   int `json:"steeringCacheHits,omitempty"`
 		SteeringCacheMisses int `json:"steeringCacheMisses,omitempty"`
 
-		Faults *FaultStats `json:"faults,omitempty"`
+		Prefetch *PrefetchStats `json:"prefetch,omitempty"`
+		Faults   *FaultStats    `json:"faults,omitempty"`
 	}{
 		Policy:                m.policy.String(),
 		Stats:                 s,
@@ -442,6 +493,9 @@ func (m *Machine) ReportJSON() ([]byte, error) {
 		HybridCycles:          hybrid,
 	}
 	doc.SteeringCacheHits, doc.SteeringCacheMisses, _ = m.SteeringCacheStats()
+	if ps, ok := m.PrefetchStats(); ok {
+		doc.Prefetch = &ps
+	}
 	if fs, ok := m.FaultStats(); ok {
 		doc.Faults = &fs
 	}
@@ -576,6 +630,14 @@ var (
 // Synthesize generates a phase-structured synthetic program.
 func Synthesize(phases []Phase, seed int64) Program {
 	return workload.Synthesize(phases, workload.SynthParams{Seed: seed})
+}
+
+// AlternatingPhases builds a phase list switching between the
+// integer-heavy and FP-heavy mixes every period instructions — the
+// phase-shifting workload shape the prefetch policy's predictor is
+// designed to exploit.
+func AlternatingPhases(total, period int) []Phase {
+	return workload.AlternatingPhases(total, period)
 }
 
 // RunKernel builds a machine for the kernel (setup applied), runs it, and

@@ -39,7 +39,7 @@ func TestAllPoliciesRunAllKernels(t *testing.T) {
 	policies := []Policy{
 		PolicySteering, PolicyStaticInteger, PolicyStaticMemory,
 		PolicyStaticFloating, PolicyNone, PolicyFullReconfig,
-		PolicyOracle, PolicyRandom, PolicyDemand,
+		PolicyOracle, PolicyRandom, PolicyDemand, PolicyPrefetch,
 	}
 	for _, k := range Kernels() {
 		for _, pol := range policies {

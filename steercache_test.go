@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/predict"
 	"repro/internal/rfu"
 	"repro/internal/workload"
 )
@@ -183,5 +184,84 @@ func TestSteeringCacheSelectionStream(t *testing.T) {
 				t.Error("cached manager recorded no hits over 5000 selections")
 			}
 		})
+	}
+}
+
+// runPrefetch executes prog under the prefetch policy and returns the
+// processor stats, the wrapped manager's stats and the final fabric
+// allocation, with the steering cache on or off.
+func runPrefetch(t *testing.T, prog isa.Program, params cpu.Params, disableCache bool) (cpu.Stats, core.Stats, config.AllocationVector) {
+	t.Helper()
+	p := cpu.New(prog, params, nil)
+	m := predict.NewManager(p.Fabric(), predict.Config{})
+	m.Core().DisableCache = disableCache
+	p.SetManager(m)
+	st, err := p.Run(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, m.Core().Stats(), p.Fabric().Allocation()
+}
+
+// TestSteeringCacheEquivalenceWithPrefetch extends the equivalence
+// property to the prefetch policy: speculative loads mutate the fabric
+// allocation — which is part of the packed cache key — so a cached run
+// must still replay exactly the uncached decisions when the predictor
+// is live. The latency is high enough that speculations actually fire
+// (the X20 regime), exercising hold suppression and claw-back paths
+// under both cache settings.
+func TestSteeringCacheEquivalenceWithPrefetch(t *testing.T) {
+	prog := workload.Synthesize(workload.AlternatingPhases(4000, 500), workload.SynthParams{Seed: 7})
+	params := cpu.DefaultParams()
+	params.ReconfigLatency = 128
+
+	cachedCPU, cachedMgr, cachedAlloc := runPrefetch(t, prog, params, false)
+	plainCPU, plainMgr, plainAlloc := runPrefetch(t, prog, params, true)
+
+	if cachedCPU != plainCPU {
+		t.Errorf("processor stats diverge:\n  cached:   %+v\n  uncached: %+v", cachedCPU, plainCPU)
+	}
+	if got, want := stripCacheCounters(cachedMgr), stripCacheCounters(plainMgr); got != want {
+		t.Errorf("manager stats diverge:\n  cached:   %+v\n  uncached: %+v", got, want)
+	}
+	if cachedAlloc.Slots != plainAlloc.Slots {
+		t.Errorf("final fabric layouts diverge:\n  cached:   %v\n  uncached: %v", cachedAlloc.Slots, plainAlloc.Slots)
+	}
+	if cachedMgr.PrefetchIssued == 0 {
+		t.Error("no speculative spans issued; the equivalence run did not exercise prefetch")
+	}
+	if cachedMgr.CacheHits == 0 {
+		t.Error("cached run recorded no hits; cache is inert")
+	}
+}
+
+// TestPrefetchInertMatchesSteering pins the disabled-predictor
+// determinism property: when anticipation never engages (cheap
+// reconfiguration keeps the participation gate closed), a prefetch-
+// policy run is bit-identical to plain steering — same architectural
+// stats, same selection stream, same final fabric.
+func TestPrefetchInertMatchesSteering(t *testing.T) {
+	prog := workload.Synthesize(workload.AlternatingPhases(3000, 250), workload.SynthParams{Seed: 7})
+	params := cpu.DefaultParams() // latency 8: 16*8 << phase length, gate closed
+
+	preCPU, preMgr, preAlloc := runPrefetch(t, prog, params, false)
+	steerCPU, steerMgr, steerAlloc := runSteering(t, prog, params, config.DefaultBasis(), false, false)
+
+	if preMgr.PrefetchIssued != 0 || preMgr.HeldLoads != 0 {
+		t.Fatalf("predictor was not inert: %d spans issued, %d held loads",
+			preMgr.PrefetchIssued, preMgr.HeldLoads)
+	}
+	if preCPU != steerCPU {
+		t.Errorf("processor stats diverge:\n  prefetch: %+v\n  steering: %+v", preCPU, steerCPU)
+	}
+	// The prefetch run's extra counters (phase changes) are its own;
+	// everything the steering manager also tracks must match.
+	preMgr.PhaseChanges = 0
+	steerMgr.PhaseChanges = 0
+	if preMgr != steerMgr {
+		t.Errorf("manager stats diverge:\n  prefetch: %+v\n  steering: %+v", preMgr, steerMgr)
+	}
+	if preAlloc.Slots != steerAlloc.Slots {
+		t.Errorf("final fabric layouts diverge:\n  prefetch: %v\n  steering: %v", preAlloc.Slots, steerAlloc.Slots)
 	}
 }
