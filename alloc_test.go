@@ -19,6 +19,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/predict"
 	"repro/internal/rfu"
+	"repro/internal/span"
 )
 
 // fig2Demands mirrors BenchmarkFig2SelectionUnit's demand stream: 64
@@ -161,6 +162,43 @@ func TestZeroAllocMachineCycleWithFaults(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(2000, p.Cycle); allocs != 0 {
 		t.Errorf("steady-state cycle with faults enabled: %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestZeroAllocMachineCycleWithSpans pins the instrumented cycle path:
+// with a span recorder attached (and faults injecting so the fault and
+// repair hooks actually fire), recording goes into preallocated storage
+// and the steady-state cycle must still not allocate. (The recorder-nil
+// path is pinned by TestZeroAllocMachineCycle above: the hooks reduce
+// to one predictable branch.)
+func TestZeroAllocMachineCycleWithSpans(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated by the race detector")
+	}
+	prog, err := isa.Assemble(steadyLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := cpu.DefaultParams()
+	params.FaultTransientRate = 0.001
+	params.FaultSeed = 9
+	p := cpu.New(prog, params, nil)
+	mgr := predict.NewManager(p.Fabric(), predict.Config{})
+	p.SetManager(mgr)
+	rec := span.NewRecorder(span.Config{}, arch.NumRFUSlots)
+	p.SetSpans(rec)
+	mgr.SetSpans(rec)
+	for i := 0; i < 50_000 && !p.Halted(); i++ {
+		p.Cycle()
+	}
+	if p.Halted() {
+		t.Fatal("workload halted during warm-up; steady-state cycles unmeasurable")
+	}
+	if allocs := testing.AllocsPerRun(2000, p.Cycle); allocs != 0 {
+		t.Errorf("steady-state cycle with span recorder: %.2f allocs/op, want 0", allocs)
+	}
+	if len(rec.Entries()) == 0 {
+		t.Error("span recorder captured nothing; the instrumented path was not exercised")
 	}
 }
 

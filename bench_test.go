@@ -22,6 +22,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/rfu"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wakeup"
@@ -425,6 +426,36 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 					probe.SetExporter(&telemetry.Collector{})
 					p.SetTelemetry(probe)
 					steer.SetTelemetry(probe)
+				}
+				if _, err := p.Run(50_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Span-recorder overhead: the same workload with the recorder absent
+// (every hook reduces to a nil check) and attached (recording into
+// preallocated storage plus the per-window trigger evaluation). Both
+// cases must stay within 2% of each other — the recorder is designed
+// to be cheap enough to leave on. The workload is deliberately long:
+// building a default-size recorder zeroes ~4 MB of preallocated trace
+// once per run, which would dominate a millisecond-scale benchmark but
+// amortizes to nothing over a realistic campaign.
+func BenchmarkSpanOverhead(b *testing.B) {
+	prog := workload.Synthesize(workload.AlternatingPhases(60_000, 500),
+		workload.SynthParams{Seed: 7})
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := cpu.New(prog, cpu.DefaultParams(), nil)
+				steer := baseline.NewSteering(p.Fabric())
+				p.SetManager(steer)
+				if mode == "on" {
+					rec := span.NewRecorder(span.Config{}, arch.NumRFUSlots)
+					p.SetSpans(rec)
+					steer.SetSpans(rec)
 				}
 				if _, err := p.Run(50_000_000); err != nil {
 					b.Fatal(err)

@@ -39,6 +39,9 @@ func main() {
 		cacheSize    = flag.Int("cache", 64, "assembled-program LRU capacity (negative disables)")
 		sweepPoints  = flag.Int("sweep-points", 256, "max grid points per sweep request")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests at shutdown")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		spansPath    = flag.String("trace-spans", "", "write request spans as Chrome Trace JSON here after drain ('-' for stdout)")
+		flightSize   = flag.Int("span-flight-size", 0, "service span flight-recorder ring size (0 = default)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,8 @@ func main() {
 		MaxCyclesCap:     *cyclesCap,
 		CacheSize:        *cacheSize,
 		MaxSweepPoints:   *sweepPoints,
+		EnablePprof:      *enablePprof,
+		SpanFlightSize:   *flightSize,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -83,5 +88,27 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("rssd: serve: %v", err)
 	}
+	// Flush the span sink only after Shutdown returns: at that point the
+	// drain is complete and no handler is still appending spans.
+	if *spansPath != "" {
+		if err := dumpSpans(api, *spansPath); err != nil {
+			log.Fatalf("rssd: trace-spans: %v", err)
+		}
+	}
 	log.Printf("rssd: drained, bye")
+}
+
+// dumpSpans writes the service flight recorder as a Chrome Trace so the
+// request timeline of a finished rssd session loads in Perfetto.
+func dumpSpans(api *server.Server, path string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return api.Spans().WriteChromeTrace(w)
 }

@@ -10,6 +10,8 @@
 //	rsssim -synthetic phased -policy steering -trace
 //	rsssim -kernel saxpy -metrics run.jsonl                 # telemetry time series
 //	rsssim -kernel matmul -metrics - -metrics-format csv    # to stdout
+//	rsssim -synthetic alternating -prefetch -trace-spans trace.json  # Perfetto timeline
+//	rsssim -kernel saxpy -fault-rate 0.01 -flight-dump dump.json     # dump ring at anomaly
 //	rsssim -kernels            # list built-in kernels
 package main
 
@@ -22,6 +24,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/span"
 )
 
 func main() {
@@ -56,6 +59,10 @@ func main() {
 		metricsInterval = flag.Int("metrics-interval", repro.DefaultMetricsInterval, "cycles between telemetry samples")
 		metricsFormat   = flag.String("metrics-format", "jsonl", "telemetry format: jsonl, csv, prom")
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for profiling the simulator")
+
+		spansPath   = flag.String("trace-spans", "", "write a span trace of the run to this file (\"-\" for stdout)")
+		spansFormat = flag.String("trace-spans-format", "chrome", "span trace format: chrome (Perfetto-loadable Chrome Trace JSON) or jsonl")
+		flightPath  = flag.String("flight-dump", "", "arm the flight recorder: dump the last-N span ring to this file when an anomaly trigger fires (fault storm, IPC collapse)")
 	)
 	flag.Parse()
 
@@ -85,6 +92,9 @@ func main() {
 	}
 	if *prefetchConf < 0 || *prefetchConf > 1 {
 		fail(fmt.Errorf("-prefetch-confidence must be in [0,1] (0 selects the default of 0.55), got %g", *prefetchConf))
+	}
+	if *spansFormat != "chrome" && *spansFormat != "jsonl" {
+		fail(fmt.Errorf("-trace-spans-format must be chrome or jsonl, got %q", *spansFormat))
 	}
 	if *prefetchOn {
 		policySet := false
@@ -207,8 +217,46 @@ func main() {
 			fail(err)
 		}
 	}
-	if _, err := m.Run(*maxCycles); err != nil {
-		fail(err)
+	if *spansPath != "" || *flightPath != "" {
+		var cfg repro.SpanConfig
+		if *flightPath != "" {
+			// Dump the flight ring once, at the first anomaly, so the
+			// file captures the spans surrounding the trigger rather
+			// than whatever the ring holds at exit.
+			dumped := false
+			path := *flightPath
+			cfg.OnTrigger = func(r *span.Recorder, reason string) {
+				if dumped {
+					return
+				}
+				dumped = true
+				f, err := os.Create(path)
+				if err == nil {
+					err = r.DumpFlight(f, reason)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "rsssim: flight dump:", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "flight recorder: %s trigger, ring dumped to %s\n", reason, path)
+			}
+		}
+		m.EnableSpans(cfg)
+	}
+	_, runErr := m.Run(*maxCycles)
+	if rec := m.Spans(); rec != nil {
+		if *spansPath != "" {
+			writeSpans(rec, *spansPath, *spansFormat)
+		}
+		if *flightPath != "" && rec.Triggers() == 0 {
+			fmt.Fprintln(os.Stderr, "flight recorder: no anomaly triggers fired; no dump written")
+		}
+	}
+	if runErr != nil {
+		fail(runErr)
 	}
 	if metricsFile != nil {
 		// Run flushed the exporter; surface close errors so a full disk
@@ -262,6 +310,37 @@ func syntheticProgram(kind string, seed int64) (repro.Program, error) {
 		return repro.Synthesize(repro.AlternatingPhases(n, 250), seed), nil
 	}
 	return nil, fmt.Errorf("unknown synthetic workload %q", kind)
+}
+
+// writeSpans exports the recorded span trace to path ("-" for stdout)
+// in the requested format.
+func writeSpans(rec *span.Recorder, path, format string) {
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			fail(err)
+		}
+		w = f
+	}
+	var err error
+	if format == "jsonl" {
+		err = rec.WriteJSONL(w)
+	} else {
+		err = rec.WriteChromeTrace(w)
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fail(err)
+	}
+	if n := rec.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "span trace: %d entries dropped (trace buffer full; raise SpanConfig.MaxTrace)\n", n)
+	}
 }
 
 func fail(err error) {

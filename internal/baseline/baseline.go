@@ -21,6 +21,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/rfu"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -45,6 +46,10 @@ func (s *Steering) Manage(required arch.Counts) { s.M.Step(required) }
 
 // SetTelemetry forwards a telemetry probe to the manager.
 func (s *Steering) SetTelemetry(p *telemetry.Probe) { s.M.SetTelemetry(p) }
+
+// SetSpans forwards a span recorder to the manager so steering-cache
+// flush epochs are recorded.
+func (s *Steering) SetSpans(r *span.Recorder) { s.M.SetSpans(r) }
 
 // Static is the no-reconfiguration baseline; the machine keeps whatever
 // the fabric was preloaded with (see rfu.Fabric.Install).
@@ -198,6 +203,9 @@ func (o *Oracle) Manage(required arch.Counts) { o.m.Step(required) }
 
 // SetTelemetry forwards a telemetry probe to the manager.
 func (o *Oracle) SetTelemetry(p *telemetry.Probe) { o.m.SetTelemetry(p) }
+
+// SetSpans forwards a span recorder to the manager.
+func (o *Oracle) SetSpans(r *span.Recorder) { o.m.SetSpans(r) }
 
 // Random loads a random steering configuration every Period cycles — the
 // control showing that steering's wins come from matching, not from

@@ -15,6 +15,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/logic"
 	"repro/internal/rfu"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -265,6 +266,7 @@ type Manager struct {
 	sinceLoad int
 	stats     Stats
 	probe     *telemetry.Probe
+	spans     *span.Recorder
 
 	// cache is the direct-mapped steering cache; cacheExact records the
 	// ExactCEM mode its entries were computed under, so toggling the
@@ -296,6 +298,13 @@ func (m *Manager) Basis() [3]config.Configuration { return m.basis }
 // SetTelemetry installs a telemetry probe receiving every selection pass
 // and a steering-decision record per configuration switch (nil disables).
 func (m *Manager) SetTelemetry(probe *telemetry.Probe) { m.probe = probe }
+
+// SetSpans installs a span recorder tracking steering-cache flush
+// epochs (nil disables).
+func (m *Manager) SetSpans(r *span.Recorder) {
+	m.spans = r
+	r.AttachCacheEpochs()
+}
 
 // Stats returns a copy of the activity counters.
 func (m *Manager) Stats() Stats { return m.stats }
@@ -336,6 +345,7 @@ func (m *Manager) Select(required arch.Counts) Selection {
 		// flush in place (no allocation — the table is an array field).
 		m.cache = [steerCacheSize]steerEntry{}
 		m.cacheExact = m.ExactCEM
+		m.spans.CacheFlush()
 	}
 	key := packSteerKey(required, alloc.Slots, unavail, dead)
 	e := &m.cache[steerCacheIndex(key)]

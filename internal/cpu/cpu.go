@@ -24,6 +24,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/rfu"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wakeup"
@@ -375,6 +376,7 @@ type Processor struct {
 
 	tracer        trace.Recorder
 	probe         *telemetry.Probe
+	spans         *span.Recorder
 	lastReconfigs int
 	reqSnapshot   []bool // per-row request lines, rebuilt each issue cycle
 
@@ -455,6 +457,15 @@ func (p *Processor) SetTracer(t trace.Recorder) { p.tracer = t }
 func (p *Processor) SetTelemetry(probe *telemetry.Probe) {
 	p.probe = probe
 	p.fabric.SetTelemetry(probe)
+}
+
+// SetSpans installs a span recorder (nil disables; the hot loop then
+// costs one branch per cycle). The recorder also reaches into the
+// fabric for reconfiguration, repair and fault spans. The recorder is
+// a pure observer: runs are bit-identical with it attached or not.
+func (p *Processor) SetSpans(r *span.Recorder) {
+	p.spans = r
+	p.fabric.SetSpans(r)
 }
 
 // telemetryState snapshots the machine for the sampler. Called only on
@@ -557,6 +568,11 @@ func (p *Processor) Cycle() {
 	p.stats.Cycles++
 	if p.probe != nil {
 		p.probe.BeginCycle(p.stats.Cycles)
+	}
+	if p.spans != nil {
+		// Advances the recorder clock and, at window boundaries, the
+		// flight-recorder anomaly triggers (fault storm, IPC collapse).
+		p.spans.BeginCycle(p.stats.Cycles, p.stats.Retired)
 	}
 	p.array.Tick()
 	p.fabric.Tick()

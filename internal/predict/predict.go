@@ -34,6 +34,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/rfu"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -194,6 +195,7 @@ type Manager struct {
 	specIssued [arch.NumRFUSlots]bool
 
 	probe *telemetry.Probe
+	spans *span.Recorder
 
 	// Reusable scratch buffers so Manage never allocates.
 	unitsScratch []config.PlacedUnit
@@ -230,6 +232,13 @@ func (pm *Manager) Core() *core.Manager { return pm.m }
 func (pm *Manager) SetTelemetry(p *telemetry.Probe) {
 	pm.probe = p
 	pm.m.SetTelemetry(p)
+}
+
+// SetSpans installs a span recorder on the predictor (phase and
+// speculation spans) and the wrapped reactive manager (cache epochs).
+func (pm *Manager) SetSpans(r *span.Recorder) {
+	pm.spans = r
+	pm.m.SetSpans(r)
 }
 
 // Manage runs one cycle of prediction-augmented configuration
@@ -339,6 +348,7 @@ func (pm *Manager) phaseChange() {
 	if pm.probe != nil {
 		pm.probe.Prefetch(telemetry.PrefetchEvent{Event: telemetry.PrefetchPhaseChange})
 	}
+	pm.spans.PhaseBoundary()
 	pm.boundary()
 	if !pm.specActive {
 		return
@@ -461,16 +471,20 @@ func (pm *Manager) specTTL() int {
 // event, charging wasted bus spans for mispredictions and cancels.
 func (pm *Manager) resolveSpec(event string) {
 	confirmed, mispredicted, cancelled, wasted := 0, 0, 0, 0
+	outcome := span.OutcomeCancel
 	switch event {
 	case telemetry.PrefetchConfirm:
 		confirmed = 1
+		outcome = span.OutcomeConfirm
 	case telemetry.PrefetchMispredict:
 		mispredicted = 1
 		wasted = pm.specSpans
+		outcome = span.OutcomeMispredict
 	case telemetry.PrefetchCancel:
 		cancelled = 1
 		wasted = pm.specSpans
 	}
+	pm.spans.SpecResolve(outcome, pm.specSpans)
 	pm.m.NotePrefetch(0, confirmed, mispredicted, cancelled, wasted, 0)
 	if pm.probe != nil {
 		pm.probe.Prefetch(telemetry.PrefetchEvent{
@@ -512,6 +526,7 @@ func (pm *Manager) speculate(sel core.Selection) {
 		pm.specHeldStreak = 0
 		pm.specOpens++
 		pm.specIssued = [arch.NumRFUSlots]bool{}
+		pm.spans.SpecOpen(pm.m.Basis()[next-1].Name, confPct)
 	}
 	pm.issueSpans()
 }

@@ -126,6 +126,7 @@ func (f *Fabric) InjectFault(s int, permanent bool) bool {
 		f.fstats.InjectedTransient++
 		f.probe.Fault(s, telemetry.FaultInjectedTransient)
 	}
+	f.spans.FaultInjected(s, permanent)
 	f.recomputeHealthOK()
 	return true
 }
@@ -227,6 +228,7 @@ func (f *Fabric) installHealth(s int) {
 			f.health[s] = HealthHealthy
 			f.fstats.HealedByLoad++
 			f.probe.Fault(s, telemetry.FaultRepaired)
+			f.spans.FaultHealed(s)
 		}
 	}
 }
@@ -238,11 +240,13 @@ func (f *Fabric) completeRepair(s int) {
 		f.health[s] = HealthDead
 		f.fstats.DeadSlots++
 		f.probe.Fault(s, telemetry.FaultDead)
+		f.spans.RepairEnd(s, true)
 		return
 	}
 	f.health[s] = HealthHealthy
 	f.fstats.Repaired++
 	f.probe.Fault(s, telemetry.FaultRepaired)
+	f.spans.RepairEnd(s, false)
 }
 
 // faultTick runs once per cycle, after the timers advanced, when the
@@ -263,6 +267,7 @@ func (f *Fabric) faultTick() {
 				f.health[s] = HealthDetected
 				f.fstats.Detected++
 				f.probe.Fault(s, telemetry.FaultDetected)
+				f.spans.FaultDetected(s)
 				changed = true
 			}
 		}
@@ -284,6 +289,7 @@ func (f *Fabric) faultTick() {
 		}
 		f.fstats.RepairsStarted++
 		f.probe.Fault(s, telemetry.FaultRepairStart)
+		f.spans.RepairStart(s)
 		if f.latency == 0 {
 			f.completeRepair(s)
 		} else {
@@ -338,6 +344,7 @@ func (f *Fabric) faultTick() {
 			f.fstats.InjectedTransient++
 			f.probe.Fault(s, telemetry.FaultInjectedTransient)
 		}
+		f.spans.FaultInjected(s, k == fault.Permanent)
 		changed = true
 	}
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/config"
 	"repro/internal/fault"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -55,6 +56,7 @@ type Fabric struct {
 	busyCycles       int // slot+FFU cycles spent executing
 
 	probe *telemetry.Probe
+	spans *span.Recorder
 
 	// Fault injection & degraded mode (see health.go). injector is nil
 	// unless EnableFaults armed it; healthOK starts all-true so the
@@ -373,6 +375,9 @@ func (f *Fabric) Reconfigure(t arch.UnitType, start int) bool {
 	if f.probe != nil {
 		f.probe.ReconfigStart(t, hi-lo, f.latency)
 	}
+	// The bus transaction completes in exactly latency cycles, so the
+	// span is known in full at start.
+	f.spans.Reconfig(lo, hi-lo, f.latency, t.String())
 	if f.latency == 0 {
 		for s := lo; s < hi; s++ {
 			f.alloc.Slots[s] = f.target[s]
@@ -448,6 +453,11 @@ func (f *Fabric) Reconfiguring() bool {
 // SetTelemetry installs a telemetry probe notified when span rewrites
 // start (nil disables; the hook then costs one branch per rewrite).
 func (f *Fabric) SetTelemetry(probe *telemetry.Probe) { f.probe = probe }
+
+// SetSpans installs a span recorder capturing reconfiguration bus
+// transactions, repair windows and fault instants (nil disables; the
+// recorder's methods are nil-receiver safe).
+func (f *Fabric) SetSpans(r *span.Recorder) { f.spans = r }
 
 // ReconfiguringSlots counts slots currently mid-reconfiguration — the
 // sampler's in-flight reconfiguration gauge.

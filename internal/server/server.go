@@ -15,6 +15,8 @@
 //	POST /v1/sweep     one program × a grid of RunSpecs → per-point reports
 //	GET  /v1/healthz   liveness + pool occupancy
 //	GET  /metrics      Prometheus text exposition of service metrics
+//	GET  /debug/flightrecorder   last-N request spans + deadline triggers
+//	GET  /debug/pprof/ net/http/pprof (only with Config.EnablePprof)
 package server
 
 import (
@@ -23,12 +25,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/span"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
@@ -57,6 +61,13 @@ type Config struct {
 	CacheSize int
 	// MaxSweepPoints caps the grid size of one sweep (default 256).
 	MaxSweepPoints int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. The pprof
+	// endpoints bypass the request-counting and latency middleware —
+	// profiling traffic must not pollute service metrics.
+	EnablePprof bool
+	// SpanFlightSize bounds the service span flight-recorder ring
+	// served by GET /debug/flightrecorder (default 4096).
+	SpanFlightSize int
 }
 
 // withDefaults fills zero fields.
@@ -110,6 +121,8 @@ type Server struct {
 	failures    map[string]*telemetry.Counter   // by handler
 	rejected    map[string]*telemetry.Counter   // by reason
 	jobs        map[string]*telemetry.Histogram // latency ms by kind
+	queueWait   map[string]*telemetry.Histogram // admission-to-slot µs by kind
+	handlerDur  map[string]*telemetry.Histogram // handler wall µs by handler
 	gaugeRun    *telemetry.Gauge
 	gaugeQueued *telemetry.Gauge
 	cacheHits   *telemetry.Counter
@@ -117,6 +130,11 @@ type Server struct {
 	steerHits   *telemetry.Counter
 	steerMisses *telemetry.Counter
 	prefetch    map[string]*telemetry.Counter // by prefetch counter name
+
+	// spans is the service flight recorder: request lifecycle spans
+	// (queue-wait → execute → encode, one child per sweep point) and
+	// deadline-exceeded triggers, served by GET /debug/flightrecorder.
+	spans *span.ServiceRecorder
 }
 
 // prefetchCounterNames are the label values of rssd_prefetch_total —
@@ -127,20 +145,23 @@ var prefetchCounterNames = []string{
 }
 
 // handler and job-kind names used as metric label values.
-var handlerNames = []string{"assemble", "run", "sweep", "healthz", "metrics"}
+var handlerNames = []string{"assemble", "run", "sweep", "healthz", "metrics", "flightrecorder"}
 
 // New builds a server from the config.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		pool:     newPool(cfg.Workers, cfg.Backlog),
-		cache:    newProgramCache(cfg.CacheSize),
-		registry: telemetry.NewRegistry(),
-		requests: map[string]*telemetry.Counter{},
-		failures: map[string]*telemetry.Counter{},
-		rejected: map[string]*telemetry.Counter{},
-		jobs:     map[string]*telemetry.Histogram{},
+		cfg:        cfg,
+		pool:       newPool(cfg.Workers, cfg.Backlog),
+		cache:      newProgramCache(cfg.CacheSize),
+		registry:   telemetry.NewRegistry(),
+		requests:   map[string]*telemetry.Counter{},
+		failures:   map[string]*telemetry.Counter{},
+		rejected:   map[string]*telemetry.Counter{},
+		jobs:       map[string]*telemetry.Histogram{},
+		queueWait:  map[string]*telemetry.Histogram{},
+		handlerDur: map[string]*telemetry.Histogram{},
+		spans:      span.NewService(cfg.SpanFlightSize),
 	}
 	for _, h := range handlerNames {
 		s.requests[h] = s.registry.NewCounter("rssd_requests_total",
@@ -153,10 +174,22 @@ func New(cfg Config) *Server {
 			"Jobs rejected at admission, by reason.", telemetry.Label{Key: "reason", Value: reason})
 	}
 	bounds := []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+	// Queue waits and handler latencies are often sub-millisecond, so
+	// those histograms bucket in microseconds.
+	usBounds := []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
+		50000, 100000, 250000, 500000, 1000000, 5000000, 30000000}
 	for _, kind := range []string{"run", "sweep_point"} {
 		s.jobs[kind] = s.registry.NewHistogram("rssd_job_duration_ms",
 			"Simulation wall-clock latency in milliseconds, by job kind.", bounds,
 			telemetry.Label{Key: "kind", Value: kind})
+		s.queueWait[kind] = s.registry.NewHistogram("rssd_queue_wait_us",
+			"Admission-to-worker-slot wait in microseconds, by job kind.", usBounds,
+			telemetry.Label{Key: "kind", Value: kind})
+	}
+	for _, h := range handlerNames {
+		s.handlerDur[h] = s.registry.NewHistogram("rssd_handler_duration_us",
+			"Handler wall-clock latency in microseconds, by handler.", usBounds,
+			telemetry.Label{Key: "handler", Value: h})
 	}
 	s.gaugeRun = s.registry.NewGauge("rssd_jobs_running",
 		"Simulations currently holding a worker slot.")
@@ -178,13 +211,38 @@ func New(cfg Config) *Server {
 	}
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/assemble", s.handleAssemble)
-	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// timed wraps each service handler with its per-endpoint latency
+	// histogram; the handlers count their own requests (so rejection
+	// reasons stay close to the rejection logic).
+	timed := func(pattern, name string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			s.observeHandler(name, time.Since(start))
+		})
+	}
+	timed("POST /v1/assemble", "assemble", s.handleAssemble)
+	timed("POST /v1/run", "run", s.handleRun)
+	timed("POST /v1/sweep", "sweep", s.handleSweep)
+	timed("GET /v1/healthz", "healthz", s.handleHealthz)
+	timed("GET /metrics", "metrics", s.handleMetrics)
+	timed("GET /debug/flightrecorder", "flightrecorder", s.handleFlightRecorder)
+	if cfg.EnablePprof {
+		// Deliberately mounted raw: profiling traffic bypasses the
+		// request-counting and latency instrumentation above.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
+
+// Spans exposes the service span flight recorder, for the drain path
+// in cmd/rssd to dump before exit.
+func (s *Server) Spans() *span.ServiceRecorder { return s.spans }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -222,6 +280,18 @@ func (s *Server) countRejected(reason string) {
 func (s *Server) observeJob(kind string, elapsed time.Duration) {
 	s.mmu.Lock()
 	s.jobs[kind].Observe(elapsed.Milliseconds())
+	s.mmu.Unlock()
+}
+
+func (s *Server) observeQueueWait(kind string, elapsed time.Duration) {
+	s.mmu.Lock()
+	s.queueWait[kind].Observe(elapsed.Microseconds())
+	s.mmu.Unlock()
+}
+
+func (s *Server) observeHandler(name string, elapsed time.Duration) {
+	s.mmu.Lock()
+	s.handlerDur[name].Observe(elapsed.Microseconds())
 	s.mmu.Unlock()
 }
 
@@ -366,8 +436,10 @@ func (s *Server) resolveSpec(spec *RunSpec) error {
 }
 
 // simulate runs one job to completion under ctx and renders its report.
-// The caller must already hold a worker slot.
-func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec RunSpec, kind string) (json.RawMessage, float64, error) {
+// The caller must already hold a worker slot. req and point feed the
+// worker-execution span of the service flight recorder (point is -1
+// for non-sweep jobs).
+func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec RunSpec, kind string, req uint64, point int) (json.RawMessage, float64, error) {
 	m := lp.newMachine(repro.Options{
 		Params:       spec.Params,
 		Policy:       spec.Policy,
@@ -378,6 +450,15 @@ func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec RunSpec, k
 	_, err := m.RunContext(ctx, spec.MaxCycles)
 	elapsed := time.Since(start)
 	s.observeJob(kind, elapsed)
+	name := "execute"
+	if point >= 0 {
+		name = "point"
+	}
+	s.spans.Record(req, name, kind, point, start, start.Add(elapsed))
+	if errors.Is(err, context.DeadlineExceeded) {
+		// The service-side flight-recorder anomaly trigger.
+		s.spans.TriggerDeadline(req, kind, point, start, start.Add(elapsed))
+	}
 	if hits, misses, ok := m.SteeringCacheStats(); ok {
 		s.mmu.Lock()
 		s.steerHits.Add(uint64(hits))
@@ -480,21 +561,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer leave()
 
+	reqID := s.spans.NextRequest()
+	admitted := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 	if err := s.pool.acquire(ctx); err != nil {
 		s.fail(w, "run", err)
 		return
 	}
+	acquired := time.Now()
+	s.observeQueueWait("run", acquired.Sub(admitted))
+	s.spans.Record(reqID, "queue-wait", "run", -1, admitted, acquired)
 	report, elapsedMs, err := func() (json.RawMessage, float64, error) {
 		defer s.pool.release()
-		return s.simulate(ctx, lp, spec, "run")
+		return s.simulate(ctx, lp, spec, "run", reqID, -1)
 	}()
 	if err != nil {
 		s.fail(w, "run", err)
 		return
 	}
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, RunResponse{Report: report, ElapsedMs: elapsedMs, Cached: lp.cached})
+	s.spans.Record(reqID, "encode", "run", -1, encodeStart, time.Now())
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -538,6 +626,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer leave()
 
+	reqID := s.spans.NextRequest()
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 	start := time.Now()
@@ -548,12 +637,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	points, runErr := sweep.RunContext(ctx, len(specs), s.cfg.Workers,
 		func(ctx context.Context, i int) SweepPointResult {
 			res := SweepPointResult{Index: i, Policy: specs[i].Policy.String()}
+			waitStart := time.Now()
 			if err := s.pool.acquire(ctx); err != nil {
 				_, res.Error = classify(err)
 				return res
 			}
 			defer s.pool.release()
-			report, _, err := s.simulate(ctx, lp, specs[i], "sweep_point")
+			acquired := time.Now()
+			s.observeQueueWait("sweep_point", acquired.Sub(waitStart))
+			s.spans.Record(reqID, "queue-wait", "sweep_point", i, waitStart, acquired)
+			report, _, err := s.simulate(ctx, lp, specs[i], "sweep_point", reqID, i)
 			if err != nil {
 				_, res.Error = classify(err)
 				return res
@@ -561,19 +654,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			res.Report = report
 			return res
 		})
+	// The request-level sweep span covers the whole grid; its per-point
+	// children carry their own queue-wait and execution stages.
+	s.spans.Record(reqID, "sweep", "sweep", -1, start, time.Now())
 	// A sweep-wide context error makes the whole response an error: a
 	// sweep that hit its deadline or lost its client has incomplete
 	// results, so partial reports are not served as if they were the
 	// full grid.
 	if runErr != nil {
+		if errors.Is(runErr, context.DeadlineExceeded) {
+			s.spans.TriggerDeadline(reqID, "sweep", -1, start, time.Now())
+		}
 		s.fail(w, "sweep", runErr)
 		return
 	}
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, SweepResponse{
 		Points:    points,
 		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
 		Cached:    lp.cached,
 	})
+	s.spans.Record(reqID, "encode", "sweep", -1, encodeStart, time.Now())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -591,6 +692,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Running:  s.pool.running(),
 		Admitted: s.pool.admitted(),
 	})
+}
+
+// handleFlightRecorder serves the service-span flight ring as JSON: the
+// last N request lifecycle spans (queue-wait, execute, encode, sweep
+// points) plus deadline-trigger counters. It reads a snapshot under the
+// recorder's own lock, so it is safe to hit while requests are in flight.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("flightrecorder")
+	w.Header().Set("Content-Type", "application/json")
+	s.spans.WriteJSON(w) //nolint:errcheck // client went away; nothing to do
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,486 @@
+// Package span records duration-bearing epochs from both layers of the
+// system: simulator spans (reconfiguration bus transactions, repair
+// windows, prefetch speculation, workload phases, steering-cache flush
+// epochs) and service spans (rssd request lifecycle stages). It follows
+// the same nil-sink discipline as internal/telemetry: every Recorder
+// method is safe on a nil receiver, so instrumented call sites cost one
+// predictable branch when tracing is off and the hot loop stays at
+// 0 allocs/cycle either way.
+//
+// The Recorder is single-goroutine (it lives inside the cycle loop) and
+// preallocates all storage up front: a bounded trace buffer for full
+// exports and a flight-recorder ring that always keeps the last N
+// entries. Anomaly triggers — a fault storm inside one window, or IPC
+// collapsing below a fraction of the warm-up baseline — fire a callback
+// so the ring can be dumped at the moment of the anomaly rather than at
+// end of run. Entry names are static strings; recording never allocates.
+package span
+
+// Kind discriminates trace entries. Span kinds carry a duration;
+// instant kinds mark a single cycle.
+type Kind uint8
+
+const (
+	// KindReconfig is a reconfiguration bus transaction rewriting one
+	// unit span: Slot is the head slot, A the span width in slots, B
+	// the bus latency in cycles.
+	KindReconfig Kind = iota
+	// KindRepair is a repair window on one slot, from repair start to
+	// completion. Aux is the outcome ("repaired" or "dead").
+	KindRepair
+	// KindSpec is a prefetch speculation from open to resolution. Name
+	// is the predicted configuration, Aux the outcome ("confirm",
+	// "mispredict", "cancel", or "open" if unresolved at end of run),
+	// A the number of speculative bus transactions issued, B the
+	// predictor confidence in percent.
+	KindSpec
+	// KindPhase is one detected workload phase; A is the phase ordinal.
+	KindPhase
+	// KindCacheEpoch is a steering-cache epoch: the interval between
+	// two cache flushes (or run start / end of run).
+	KindCacheEpoch
+	// KindFault is an instant: a fault event on Slot. Name is the
+	// event ("inject", "detect", "heal"); Aux qualifies it
+	// ("transient", "permanent", "scrub", "load").
+	KindFault
+	// KindTrigger is an instant: a flight-recorder anomaly trigger.
+	// Name is the reason ("fault-storm", "ipc-collapse"); A carries
+	// the offending window measurement, B the comparison threshold.
+	KindTrigger
+
+	numKinds
+)
+
+// kindNames maps Kind to its JSONL / Chrome-Trace category string.
+var kindNames = [numKinds]string{
+	"reconfig", "repair", "speculation", "phase", "cache-epoch",
+	"fault", "trigger",
+}
+
+// String returns the category name for k.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Entry is one recorded span or instant event. All strings are static;
+// an Entry is recorded by value into preallocated storage, so the hot
+// path never allocates.
+type Entry struct {
+	Kind  Kind
+	Slot  int16 // RFU slot, or -1 when not slot-scoped
+	A, B  int32 // kind-specific arguments (see Kind docs)
+	Start int64 // cycle the span opened (or the instant's cycle)
+	Dur   int64 // span length in cycles; 0 for instants
+	Name  string
+	Aux   string
+}
+
+// Trigger reasons and speculation outcomes, exported for tests and
+// callers that inspect the stream.
+const (
+	TriggerFaultStorm  = "fault-storm"
+	TriggerIPCCollapse = "ipc-collapse"
+
+	OutcomeConfirm    = "confirm"
+	OutcomeMispredict = "mispredict"
+	OutcomeCancel     = "cancel"
+	OutcomeOpen       = "open"
+)
+
+// Config sizes the recorder and its anomaly triggers. The zero value
+// is usable: every field falls back to the default below.
+type Config struct {
+	// MaxTrace bounds the full trace buffer (entries). Recording past
+	// the bound drops entries (counted in Dropped) rather than
+	// growing, so steady-state recording stays allocation-free.
+	MaxTrace int
+	// FlightSize bounds the flight-recorder ring (entries).
+	FlightSize int
+	// Window is the trigger-evaluation window in cycles; rounded up
+	// to a power of two.
+	Window int
+	// FaultStorm fires the fault-storm trigger when more than this
+	// many fault injections land inside one window.
+	FaultStorm int
+	// IPCCollapsePct fires the ipc-collapse trigger when a window
+	// retires fewer than this percentage of the warm-up baseline
+	// (the mean of trigger windows 2-4; window 1 is pipeline ramp).
+	IPCCollapsePct int
+	// OnTrigger, when set, runs synchronously after each trigger
+	// entry is recorded — the hook used to dump the flight ring at
+	// the moment of the anomaly. It must not mutate simulator state.
+	OnTrigger func(r *Recorder, reason string)
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxTrace       = 1 << 16
+	DefaultFlightSize     = 4096
+	DefaultWindow         = 1024
+	DefaultFaultStorm     = 16
+	DefaultIPCCollapsePct = 25
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxTrace <= 0 {
+		c.MaxTrace = DefaultMaxTrace
+	}
+	if c.FlightSize <= 0 {
+		c.FlightSize = DefaultFlightSize
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	// Round the window up to a power of two so the boundary check in
+	// BeginCycle is a mask, not a division.
+	w := 1
+	for w < c.Window {
+		w <<= 1
+	}
+	c.Window = w
+	if c.FaultStorm <= 0 {
+		c.FaultStorm = DefaultFaultStorm
+	}
+	if c.IPCCollapsePct <= 0 {
+		c.IPCCollapsePct = DefaultIPCCollapsePct
+	}
+	return c
+}
+
+// baselineWindows is the number of post-ramp windows averaged into the
+// IPC baseline (windows 2..1+baselineWindows; window 1 is ramp).
+const baselineWindows = 3
+
+// Recorder captures simulator spans. It is a pure observer: its
+// methods read the values passed in and mutate only recorder state,
+// so a run is bit-identical with the recorder attached or not.
+// All methods are nil-receiver safe. Not safe for concurrent use —
+// it belongs to the machine's cycle loop.
+type Recorder struct {
+	cfg Config
+
+	trace   []Entry // bounded full trace, in record order
+	dropped int     // entries dropped after trace hit MaxTrace
+
+	ring    []Entry // flight ring, overwrite-oldest
+	ringPos int
+	ringLen int
+
+	now int64 // current cycle, set by BeginCycle
+
+	// Trigger-window state.
+	winMask     int64
+	winIndex    int
+	winFaults   int
+	lastRetired int
+	baseSum     int
+	baseline    int // mean retired per warm-up window; 0 until set
+	triggers    int
+
+	// Open-span state, all fixed size.
+	repairStart []int64 // per-slot repair-window open cycle, -1 idle
+	specOpen    bool
+	specStart   int64
+	specName    string
+	specConf    int32
+	phaseOpen   bool
+	phaseStart  int64
+	phaseCount  int32
+	cacheUsed   bool // a steering cache is attached; emit epochs
+	cacheStart  int64
+	finished    bool
+}
+
+// NewRecorder builds a recorder with all storage preallocated. slots
+// is the reconfigurable-fabric slot count (per-slot repair tracking).
+func NewRecorder(cfg Config, slots int) *Recorder {
+	cfg = cfg.withDefaults()
+	r := &Recorder{
+		cfg:         cfg,
+		trace:       make([]Entry, 0, cfg.MaxTrace),
+		ring:        make([]Entry, cfg.FlightSize),
+		winMask:     int64(cfg.Window - 1),
+		repairStart: make([]int64, slots),
+	}
+	for i := range r.repairStart {
+		r.repairStart[i] = -1
+	}
+	return r
+}
+
+// record appends e to the trace buffer (until full) and the flight
+// ring (always). Zero allocations: both stores are preallocated.
+func (r *Recorder) record(e Entry) {
+	if len(r.trace) < cap(r.trace) {
+		r.trace = append(r.trace, e)
+	} else {
+		r.dropped++
+	}
+	r.ring[r.ringPos] = e
+	r.ringPos++
+	if r.ringPos == len(r.ring) {
+		r.ringPos = 0
+	}
+	if r.ringLen < len(r.ring) {
+		r.ringLen++
+	}
+}
+
+// BeginCycle advances the recorder clock and, at window boundaries,
+// evaluates the anomaly triggers. cycle is the machine cycle counter
+// (1-based), retired the cumulative retired-instruction count.
+func (r *Recorder) BeginCycle(cycle, retired int) {
+	if r == nil {
+		return
+	}
+	r.now = int64(cycle)
+	if int64(cycle)&r.winMask != 0 {
+		return
+	}
+	winRetired := retired - r.lastRetired
+	r.lastRetired = retired
+	r.winIndex++
+	if r.winFaults > r.cfg.FaultStorm {
+		r.trigger(TriggerFaultStorm, int32(r.winFaults), int32(r.cfg.FaultStorm))
+	}
+	r.winFaults = 0
+	switch {
+	case r.winIndex == 1:
+		// Pipeline ramp; not representative.
+	case r.winIndex <= 1+baselineWindows:
+		r.baseSum += winRetired
+		if r.winIndex == 1+baselineWindows {
+			r.baseline = r.baseSum / baselineWindows
+		}
+	default:
+		if r.baseline > 0 && winRetired*100 < r.baseline*r.cfg.IPCCollapsePct {
+			r.trigger(TriggerIPCCollapse, int32(winRetired), int32(r.baseline))
+		}
+	}
+}
+
+func (r *Recorder) trigger(reason string, got, threshold int32) {
+	r.triggers++
+	r.record(Entry{Kind: KindTrigger, Slot: -1, A: got, B: threshold,
+		Start: r.now, Name: reason})
+	if r.cfg.OnTrigger != nil {
+		r.cfg.OnTrigger(r, reason)
+	}
+}
+
+// Reconfig records one reconfiguration bus transaction: a complete
+// span on the head slot's lane, since the bus finishes in exactly
+// latency cycles. unit is the functional-unit type being installed.
+func (r *Recorder) Reconfig(headSlot, width, latency int, unit string) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindReconfig, Slot: int16(headSlot),
+		A: int32(width), B: int32(latency),
+		Start: r.now, Dur: int64(latency), Name: unit})
+}
+
+// FaultInjected records a fault-injection instant on slot and feeds
+// the fault-storm window counter.
+func (r *Recorder) FaultInjected(slot int, permanent bool) {
+	if r == nil {
+		return
+	}
+	r.winFaults++
+	aux := "transient"
+	if permanent {
+		aux = "permanent"
+	}
+	r.record(Entry{Kind: KindFault, Slot: int16(slot), Start: r.now,
+		Name: "inject", Aux: aux})
+}
+
+// FaultDetected records a scrub-detection instant on slot.
+func (r *Recorder) FaultDetected(slot int) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindFault, Slot: int16(slot), Start: r.now,
+		Name: "detect", Aux: "scrub"})
+}
+
+// FaultHealed records an incidental heal (a steering reconfiguration
+// rewrote a corrupt slot before the scrubber saw it).
+func (r *Recorder) FaultHealed(slot int) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindFault, Slot: int16(slot), Start: r.now,
+		Name: "heal", Aux: "load"})
+}
+
+// RepairStart opens a repair window on slot.
+func (r *Recorder) RepairStart(slot int) {
+	if r == nil || slot >= len(r.repairStart) {
+		return
+	}
+	r.repairStart[slot] = r.now
+}
+
+// RepairEnd closes the repair window on slot. dead marks a permanent
+// fault that survived the rewrite.
+func (r *Recorder) RepairEnd(slot int, dead bool) {
+	if r == nil || slot >= len(r.repairStart) {
+		return
+	}
+	start := r.repairStart[slot]
+	if start < 0 {
+		return
+	}
+	r.repairStart[slot] = -1
+	aux := "repaired"
+	if dead {
+		aux = "dead"
+	}
+	r.record(Entry{Kind: KindRepair, Slot: int16(slot),
+		Start: start, Dur: r.now - start, Name: "repair", Aux: aux})
+}
+
+// SpecOpen opens a prefetch-speculation span predicting the named
+// configuration with the given confidence (percent). An already-open
+// speculation is resolved as cancelled first (defensive; the predictor
+// resolves before reopening).
+func (r *Recorder) SpecOpen(config string, confidencePct int) {
+	if r == nil {
+		return
+	}
+	if r.specOpen {
+		r.SpecResolve(OutcomeCancel, 0)
+	}
+	r.specOpen = true
+	r.specStart = r.now
+	r.specName = config
+	r.specConf = int32(confidencePct)
+}
+
+// SpecResolve closes the open speculation span with the given outcome
+// (OutcomeConfirm, OutcomeMispredict or OutcomeCancel) and the number
+// of speculative bus transactions that were issued.
+func (r *Recorder) SpecResolve(outcome string, spansIssued int) {
+	if r == nil || !r.specOpen {
+		return
+	}
+	r.specOpen = false
+	r.record(Entry{Kind: KindSpec, Slot: -1,
+		A: int32(spansIssued), B: r.specConf,
+		Start: r.specStart, Dur: r.now - r.specStart,
+		Name: r.specName, Aux: outcome})
+}
+
+// PhaseBoundary closes the current workload-phase span (if one is
+// open) and opens the next. The predictor calls this on each detected
+// phase change.
+func (r *Recorder) PhaseBoundary() {
+	if r == nil {
+		return
+	}
+	if r.phaseOpen {
+		r.record(Entry{Kind: KindPhase, Slot: -1, A: r.phaseCount,
+			Start: r.phaseStart, Dur: r.now - r.phaseStart, Name: "phase"})
+	}
+	r.phaseOpen = true
+	r.phaseStart = r.now
+	r.phaseCount++
+}
+
+// AttachCacheEpochs marks that a steering cache is present, so the
+// trailing cache epoch is emitted at Finish even if no flush occurs.
+func (r *Recorder) AttachCacheEpochs() {
+	if r == nil {
+		return
+	}
+	r.cacheUsed = true
+}
+
+// CacheFlush closes the current steering-cache epoch and opens the
+// next. Called when the steering cache is flushed in place.
+func (r *Recorder) CacheFlush() {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindCacheEpoch, Slot: -1,
+		Start: r.cacheStart, Dur: r.now - r.cacheStart, Name: "cache-epoch"})
+	r.cacheStart = r.now
+}
+
+// Finish closes any open epochs at the current cycle: the trailing
+// phase, cache epoch, speculation (resolved as "open") and repair
+// windows. Safe to call once at end of run; a second call is a no-op
+// until new spans open.
+func (r *Recorder) Finish() {
+	if r == nil || r.finished {
+		return
+	}
+	r.finished = true
+	if r.phaseOpen {
+		r.phaseOpen = false
+		r.record(Entry{Kind: KindPhase, Slot: -1, A: r.phaseCount,
+			Start: r.phaseStart, Dur: r.now - r.phaseStart, Name: "phase"})
+	}
+	if r.specOpen {
+		r.specOpen = false
+		r.record(Entry{Kind: KindSpec, Slot: -1, A: 0, B: r.specConf,
+			Start: r.specStart, Dur: r.now - r.specStart,
+			Name: r.specName, Aux: OutcomeOpen})
+	}
+	for s, start := range r.repairStart {
+		if start >= 0 {
+			r.repairStart[s] = -1
+			r.record(Entry{Kind: KindRepair, Slot: int16(s),
+				Start: start, Dur: r.now - start, Name: "repair", Aux: OutcomeOpen})
+		}
+	}
+	if r.cacheUsed {
+		r.record(Entry{Kind: KindCacheEpoch, Slot: -1,
+			Start: r.cacheStart, Dur: r.now - r.cacheStart, Name: "cache-epoch"})
+	}
+}
+
+// Entries returns the recorded trace in record order. The slice is
+// the recorder's own storage; callers must not mutate it.
+func (r *Recorder) Entries() []Entry {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// Flight returns a copy of the flight ring, oldest first.
+func (r *Recorder) Flight() []Entry {
+	if r == nil {
+		return nil
+	}
+	out := make([]Entry, 0, r.ringLen)
+	start := r.ringPos - r.ringLen
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.ringLen; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Triggers returns how many anomaly triggers have fired.
+func (r *Recorder) Triggers() int {
+	if r == nil {
+		return 0
+	}
+	return r.triggers
+}
+
+// Dropped returns how many entries the bounded trace buffer dropped.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}

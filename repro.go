@@ -41,6 +41,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/predict"
 	"repro/internal/rfu"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -205,6 +206,7 @@ type Machine struct {
 	steering  *core.Manager // non-nil for steering-family policies
 	tracer    *trace.Buffer
 	probe     *telemetry.Probe
+	spans     *span.Recorder
 }
 
 // NewMachine builds a machine for the program under the given options.
@@ -280,6 +282,12 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles int) (Stats, error) 
 	stats, err := m.proc.RunContext(ctx, maxCycles)
 	if ferr := m.probe.Flush(); err == nil && ferr != nil {
 		err = fmt.Errorf("telemetry: %w", ferr)
+	}
+	if m.spans != nil && m.proc.Halted() {
+		// Close trailing epochs (phase, cache, speculation, repairs)
+		// once the program is done. A cancelled or budget-exhausted run
+		// leaves them open so a resumed RunContext keeps recording.
+		m.spans.Finish()
 	}
 	return stats, err
 }
@@ -561,6 +569,39 @@ func (m *Machine) attachProbe(probe *telemetry.Probe) {
 
 // Telemetry returns the attached probe, or nil when telemetry is off.
 func (m *Machine) Telemetry() *telemetry.Probe { return m.probe }
+
+// SpanConfig sizes the span recorder and its flight-recorder triggers;
+// the zero value selects the defaults (see internal/span.Config).
+type SpanConfig = span.Config
+
+// EnableSpans attaches a span recorder capturing duration-bearing
+// epochs — reconfiguration bus transactions, repair windows, prefetch
+// speculations, detected workload phases, steering-cache flush epochs
+// — plus fault instants and flight-recorder anomaly triggers. Call
+// before Run; export the trace afterwards with the recorder's
+// WriteChromeTrace / WriteJSONL, or dump the flight ring with
+// DumpFlight. The recorder is a pure observer: runs are bit-identical
+// with it attached or not.
+func (m *Machine) EnableSpans(cfg SpanConfig) *span.Recorder {
+	r := span.NewRecorder(cfg, arch.NumRFUSlots)
+	m.attachSpans(r)
+	return r
+}
+
+// attachSpans wires a recorder into the processor (and through it the
+// fabric) and, when the policy supports it, the configuration-
+// management stack.
+func (m *Machine) attachSpans(r *span.Recorder) {
+	m.spans = r
+	m.proc.SetSpans(r)
+	if ss, ok := m.policyObj.(interface{ SetSpans(*span.Recorder) }); ok {
+		ss.SetSpans(r)
+	}
+}
+
+// Spans returns the attached span recorder, or nil when span tracing
+// is off.
+func (m *Machine) Spans() *span.Recorder { return m.spans }
 
 // FlushTelemetry flushes the telemetry exporter and reports the first
 // export error of the run — useful when driving the machine with Cycle
