@@ -1,0 +1,299 @@
+// Command rssbench orchestrates a policy × reconfiguration-latency ×
+// seed sweep over an rssd cluster and renders the result as an
+// EXPERIMENTS-ready markdown IPC table. It is the jobs-API showcase:
+// the grid goes up as one durable job (POST /v1/jobs), progress is
+// followed live over the events stream, and per-point failures land in
+// the table as holes instead of aborting the run.
+//
+// Usage:
+//
+//	rssbench -addr http://127.0.0.1:8080
+//	rssbench -policies steering,demand,oracle -latencies 4,8,16 -seeds 7,8
+//	rssbench -program prog.s -max-cycles 2000000 -o table.md
+//
+// Without -program it synthesizes the paper's phase-alternating
+// workload (deterministic for a given -synth-seed), so a bare rssbench
+// against a fresh rssd produces a meaningful table.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/api"
+	"repro/internal/client"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "rssd base URL")
+		program   = flag.String("program", "", "assembly source file (empty: synthesize a phased workload)")
+		synthLen  = flag.Int("synth-len", 4000, "synthetic workload length in instructions")
+		synthPer  = flag.Int("synth-period", 500, "synthetic workload phase period")
+		synthSeed = flag.Int64("synth-seed", 7, "synthetic workload generator seed")
+		policies  = flag.String("policies", "steering,demand,prefetch,full-reconfig,ffu-only", "comma-separated policy names")
+		latencies = flag.String("latencies", "4,8,16", "comma-separated reconfiguration latencies (cycles)")
+		seeds     = flag.String("seeds", "7", "comma-separated simulation seeds (averaged per cell)")
+		maxCycles = flag.Int("max-cycles", 0, "cycle budget per point (0: server default)")
+		pointTO   = flag.Duration("point-timeout", 30*time.Second, "per-point simulation deadline")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "overall deadline for the sweep")
+		label     = flag.String("label", "rssbench", "job label")
+		outPath   = flag.String("o", "-", "markdown output path ('-' for stdout)")
+		jsonlPath = flag.String("jsonl", "", "also dump raw per-point results as JSONL here")
+		quiet     = flag.Bool("q", false, "suppress per-point progress on stderr")
+	)
+	flag.Parse()
+	if err := run(*addr, *program, *synthLen, *synthPer, *synthSeed, *policies, *latencies,
+		*seeds, *maxCycles, *pointTO, *timeout, *label, *outPath, *jsonlPath, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "rssbench:", err)
+		os.Exit(1)
+	}
+}
+
+// gridPoint remembers which cell of the table a job point belongs to.
+type gridPoint struct {
+	policy  string
+	latency int
+	seed    int64
+}
+
+func run(addr, program string, synthLen, synthPer int, synthSeed int64,
+	policyCSV, latencyCSV, seedCSV string, maxCycles int,
+	pointTO, timeout time.Duration, label, outPath, jsonlPath string, quiet bool) error {
+
+	policyNames, err := splitNames(policyCSV)
+	if err != nil {
+		return err
+	}
+	lats, err := splitInts(latencyCSV)
+	if err != nil {
+		return fmt.Errorf("parsing -latencies: %w", err)
+	}
+	seeds, err := splitInts(seedCSV)
+	if err != nil {
+		return fmt.Errorf("parsing -seeds: %w", err)
+	}
+
+	// Resolve the program: a source file, or the synthesized
+	// phase-alternating workload encoded to binary words.
+	req := api.JobRequest{Label: label, PointTimeoutMs: int(pointTO / time.Millisecond)}
+	switch {
+	case program != "":
+		src, err := os.ReadFile(program)
+		if err != nil {
+			return err
+		}
+		req.Source = string(src)
+	default:
+		prog := repro.Synthesize(repro.AlternatingPhases(synthLen, synthPer), synthSeed)
+		words, err := repro.EncodeProgram(prog)
+		if err != nil {
+			return fmt.Errorf("encoding synthetic workload: %w", err)
+		}
+		req.Words = words
+	}
+
+	// Build the grid in deterministic order: policy-major, then latency,
+	// then seed — the point index maps back through the same order.
+	var grid []gridPoint
+	for _, pname := range policyNames {
+		p, err := repro.ParsePolicy(pname)
+		if err != nil {
+			return err
+		}
+		for _, lat := range lats {
+			for _, seed := range seeds {
+				grid = append(grid, gridPoint{policy: pname, latency: lat, seed: int64(seed)})
+				req.Points = append(req.Points, api.RunSpec{
+					Policy:    p,
+					Params:    repro.Params{ReconfigLatency: lat},
+					MaxCycles: maxCycles,
+					Seed:      int64(seed),
+				})
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := client.New(addr)
+	created, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		return fmt.Errorf("submitting job: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "rssbench: job %s submitted (%d points)\n", created.ID, created.Total)
+
+	done := 0
+	status, err := c.WaitJob(ctx, created.ID, func(ev api.JobEvent) {
+		if ev.Type != api.EventPoint || ev.Point == nil {
+			return
+		}
+		done++
+		if quiet {
+			return
+		}
+		g := grid[ev.Point.Index]
+		outcome := "ok"
+		if ev.Point.Error != nil {
+			outcome = ev.Point.Error.Code
+		}
+		fmt.Fprintf(os.Stderr, "rssbench: [%d/%d] %s lat=%d seed=%d on %s: %s\n",
+			done, created.Total, g.policy, g.latency, g.seed, ev.Point.Worker, outcome)
+	})
+	if err != nil {
+		return fmt.Errorf("waiting for job %s: %w", created.ID, err)
+	}
+	if status.State != api.JobDone {
+		return fmt.Errorf("job %s ended %s with %d/%d points", created.ID, status.State, status.Done, status.Total)
+	}
+
+	if jsonlPath != "" {
+		if err := dumpJSONL(jsonlPath, status.Points); err != nil {
+			return err
+		}
+	}
+	table, failed := renderTable(grid, status.Points, policyNames, lats, len(seeds))
+	if err := writeOut(outPath, table); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d points failed (holes in the table)", failed, len(grid))
+	}
+	return nil
+}
+
+// renderTable aggregates per-point IPC into a policy × latency markdown
+// table (cells average over seeds) and returns it with the failed-point
+// count.
+func renderTable(grid []gridPoint, points []api.PointResult, policyNames []string, lats []int, seedCount int) (string, int) {
+	type cell struct {
+		sum float64
+		n   int
+	}
+	cells := map[string]map[int]*cell{}
+	for _, p := range policyNames {
+		cells[p] = map[int]*cell{}
+		for _, l := range lats {
+			cells[p][l] = &cell{}
+		}
+	}
+	failed := 0
+	for _, res := range points {
+		if res.Index < 0 || res.Index >= len(grid) {
+			continue
+		}
+		if res.Error != nil {
+			failed++
+			continue
+		}
+		var rep struct {
+			IPC float64 `json:"ipc"`
+		}
+		if json.Unmarshal(res.Report, &rep) != nil {
+			failed++
+			continue
+		}
+		g := grid[res.Index]
+		c := cells[g.policy][g.latency]
+		c.sum += rep.IPC
+		c.n++
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "| policy | %s |\n", joinHeader(lats))
+	fmt.Fprintf(&b, "|---|%s\n", strings.Repeat("---|", len(lats)))
+	for _, p := range policyNames {
+		fmt.Fprintf(&b, "| %s |", p)
+		for _, l := range lats {
+			c := cells[p][l]
+			if c.n == 0 {
+				b.WriteString(" — |")
+				continue
+			}
+			fmt.Fprintf(&b, " %.3f |", c.sum/float64(c.n))
+		}
+		b.WriteByte('\n')
+	}
+	if seedCount > 1 {
+		fmt.Fprintf(&b, "\nIPC, mean of %d seeds per cell.\n", seedCount)
+	}
+	return b.String(), failed
+}
+
+func joinHeader(lats []int) string {
+	parts := make([]string, len(lats))
+	for i, l := range lats {
+		parts[i] = fmt.Sprintf("IPC @ lat=%d", l)
+	}
+	return strings.Join(parts, " | ")
+}
+
+func dumpJSONL(path string, points []api.PointResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sorted := append([]api.PointResult(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	enc := json.NewEncoder(f)
+	for _, p := range sorted {
+		if err := enc.Encode(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeOut(path, table string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	_, err := io.WriteString(w, table)
+	return err
+}
+
+func splitNames(csv string) ([]string, error) {
+	var out []string
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty name list %q", csv)
+	}
+	return out, nil
+}
+
+func splitInts(csv string) ([]int, error) {
+	names, err := splitNames(csv)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(names))
+	for i, s := range names {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

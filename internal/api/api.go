@@ -1,15 +1,14 @@
-// api.go defines the wire schema of the rssd batch-simulation service:
-// the request/response documents of each endpoint, the structured error
-// envelope every non-2xx response carries, and the mapping from the
-// facade's sentinel errors to HTTP status codes.
-package server
+// Package api is the wire schema of the rssd service: the
+// request/response documents of every /v1 endpoint, the structured
+// error envelope each non-2xx response carries, and the mapping from
+// the facade's sentinel errors to HTTP statuses. It is the single
+// definition shared by the server (internal/server), the typed client
+// (internal/client), and the cmd tools — a field added here is the
+// field on the wire, everywhere.
+package api
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
-	"fmt"
-	"net/http"
 
 	"repro"
 )
@@ -32,10 +31,21 @@ type AssembleResponse struct {
 	Cached bool `json:"cached"`
 }
 
+// Program names one simulation program in either form: assembly text or
+// its 32-bit binary encoding. Exactly one field is set.
+type Program struct {
+	Source string   `json:"source,omitempty"`
+	Words  []uint32 `json:"words,omitempty"`
+}
+
+// Empty reports whether neither form is present.
+func (p Program) Empty() bool { return p.Source == "" && len(p.Words) == 0 }
+
 // RunSpec describes one simulation: the machine sizing, the
 // configuration-management policy, and the run budget. The zero value
 // selects the paper's reference machine under the steering policy. It is
-// both the core of RunRequest and the per-point element of a sweep.
+// both the core of RunRequest and the per-point element of sweeps and
+// jobs.
 type RunSpec struct {
 	// Policy is the configuration-management policy name; omitted or
 	// empty selects "steering". Unknown names fail decoding.
@@ -80,6 +90,11 @@ type RunResponse struct {
 // SweepRequest is the body of POST /v1/sweep: one program fanned out
 // over a grid of run specifications. Exactly one of Source or Words
 // must be set.
+//
+// Deprecated: /v1/sweep is the synchronous legacy surface, kept as a
+// thin wrapper over the jobs path (POST /v1/jobs). New callers should
+// submit a job and stream /v1/jobs/{id}/events instead — a sweep's
+// results die with the connection, a job's survive in the store.
 type SweepRequest struct {
 	Source string   `json:"source,omitempty"`
 	Words  []uint32 `json:"words,omitempty"`
@@ -103,7 +118,7 @@ type SweepPointResult struct {
 	Index  int             `json:"index"`
 	Policy string          `json:"policy"`
 	Report json.RawMessage `json:"report,omitempty"`
-	Error  *APIError       `json:"error,omitempty"`
+	Error  *Error          `json:"error,omitempty"`
 }
 
 // HealthResponse is the body of GET /v1/healthz.
@@ -117,84 +132,4 @@ type HealthResponse struct {
 	// Admitted is the number of jobs admitted and not yet finished
 	// (running plus waiting for a worker slot).
 	Admitted int `json:"admitted"`
-}
-
-// APIError is the structured error every non-2xx response carries,
-// wrapped as {"error": {...}}. Code is a stable machine-readable
-// identifier; Line/Col pin assembly errors to their source position.
-type APIError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	Line    int    `json:"line,omitempty"`
-	Col     int    `json:"col,omitempty"`
-}
-
-// Error makes APIError usable as a Go error inside the handlers.
-func (e *APIError) Error() string { return e.Message }
-
-// Stable error codes.
-const (
-	CodeInvalidRequest   = "invalid_request"
-	CodeAssembleError    = "assemble_error"
-	CodeUnknownPolicy    = "unknown_policy"
-	CodeInvalidParams    = "invalid_params"
-	CodeCycleLimit       = "cycle_limit"
-	CodeDeadlineExceeded = "deadline_exceeded"
-	CodeCanceled         = "canceled"
-	CodeQueueFull        = "queue_full"
-	CodeDraining         = "draining"
-	CodeBodyTooLarge     = "body_too_large"
-	CodeInternal         = "internal"
-)
-
-// Admission sentinels, mapped to 503 by classify.
-var (
-	errQueueFull = errors.New("job queue is full")
-	errDraining  = errors.New("server is draining")
-)
-
-// errInvalidRequest marks request-shape failures (missing program,
-// negative timeout, too many points) for classification as 400s.
-var errInvalidRequest = errors.New("invalid request")
-
-// invalidRequestf builds a 400-classified error.
-func invalidRequestf(format string, args ...any) error {
-	return fmt.Errorf(format+": %w", append(args, errInvalidRequest)...)
-}
-
-// classify maps an error from the load/validate/simulate path to its
-// HTTP status and structured form. The mapping leans entirely on the
-// facade's sentinel errors and errors.Is/As — no message parsing.
-func classify(err error) (int, *APIError) {
-	var asmErr *repro.AsmError
-	var maxBytes *http.MaxBytesError
-	switch {
-	case errors.As(err, &asmErr):
-		return http.StatusBadRequest, &APIError{
-			Code: CodeAssembleError, Message: err.Error(),
-			Line: asmErr.Line, Col: asmErr.Col,
-		}
-	case errors.As(err, &maxBytes):
-		return http.StatusRequestEntityTooLarge, &APIError{
-			Code: CodeBodyTooLarge, Message: err.Error(),
-		}
-	case errors.Is(err, repro.ErrUnknownPolicy):
-		return http.StatusBadRequest, &APIError{Code: CodeUnknownPolicy, Message: err.Error()}
-	case errors.Is(err, repro.ErrInvalidParams):
-		return http.StatusBadRequest, &APIError{Code: CodeInvalidParams, Message: err.Error()}
-	case errors.Is(err, errInvalidRequest):
-		return http.StatusBadRequest, &APIError{Code: CodeInvalidRequest, Message: err.Error()}
-	case errors.Is(err, repro.ErrCycleLimit):
-		return http.StatusUnprocessableEntity, &APIError{Code: CodeCycleLimit, Message: err.Error()}
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout, &APIError{Code: CodeDeadlineExceeded, Message: "request deadline exceeded"}
-	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable, &APIError{Code: CodeCanceled, Message: "request canceled"}
-	case errors.Is(err, errQueueFull):
-		return http.StatusServiceUnavailable, &APIError{Code: CodeQueueFull, Message: err.Error()}
-	case errors.Is(err, errDraining):
-		return http.StatusServiceUnavailable, &APIError{Code: CodeDraining, Message: err.Error()}
-	default:
-		return http.StatusInternalServerError, &APIError{Code: CodeInternal, Message: err.Error()}
-	}
 }

@@ -1,0 +1,171 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// TestRetryOn503 pins the retry contract: 503 admission envelopes
+// (draining, queue_full) are retried within the budget, and the call
+// succeeds once the server admits the request.
+func TestRetryOn503(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":{"code":"draining","message":"server is draining"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"report":{"ipc":1.5},"elapsedMs":1}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(3, time.Millisecond))
+	resp, err := c.Run(context.Background(), api.RunRequest{Source: "halt\n"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 rejected + 1 admitted)", got)
+	}
+	if len(resp.Report) == 0 {
+		t.Error("no report decoded after retry")
+	}
+}
+
+// TestRetryBudgetExhausted: a permanently draining server surfaces the
+// final 503 envelope after the budget runs out.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":{"code":"queue_full","message":"queue full"}}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(2, time.Millisecond))
+	_, err := c.Run(context.Background(), api.RunRequest{Source: "halt\n"})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *api.Error", err)
+	}
+	if apiErr.Code != api.CodeQueueFull || apiErr.Status != http.StatusServiceUnavailable {
+		t.Errorf("envelope = %s/%d, want queue_full/503", apiErr.Code, apiErr.Status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestNoRetryOn4xx: client errors are authoritative, never retried, and
+// the envelope decodes with position info intact.
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprint(w, `{"error":{"code":"assemble_error","message":"unknown mnemonic","line":3}}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(5, time.Millisecond))
+	_, err := c.Run(context.Background(), api.RunRequest{Source: "bogus\n"})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *api.Error", err)
+	}
+	if apiErr.Code != api.CodeAssembleError || apiErr.Line != 3 || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Errorf("envelope = %+v, want assemble_error at line 3, status 422", apiErr)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want exactly 1", got)
+	}
+}
+
+// TestNonEnvelopeError: a non-JSON error body (proxy, panic page) is
+// synthesized into an internal envelope instead of a decode failure.
+func TestNonEnvelopeError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).Run(context.Background(), api.RunRequest{Source: "halt\n"})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *api.Error", err)
+	}
+	if apiErr.Code != api.CodeInternal || apiErr.Status != http.StatusBadGateway {
+		t.Errorf("envelope = %+v, want internal/502", apiErr)
+	}
+}
+
+// TestRetryRespectsContext: a cancelled context stops the backoff loop
+// promptly instead of sleeping through the remaining budget.
+func TestRetryRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":{"code":"draining","message":"draining"}}`)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := New(ts.URL, WithRetry(100, 10*time.Millisecond)).Run(ctx, api.RunRequest{Source: "halt\n"})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retry loop ran %v after cancellation", elapsed)
+	}
+}
+
+// TestEventStreamDecode: the JSONL decoder yields each line as an event
+// and ends with io.EOF, tolerating blank lines between records.
+func TestEventStreamDecode(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.WriteString(w, `{"type":"state","state":"running","total":2}`+"\n")
+		io.WriteString(w, "\n") // blank keep-alive line
+		io.WriteString(w, `{"type":"point","point":{"index":0,"report":{"ipc":1.0}}}`+"\n")
+		io.WriteString(w, `{"type":"state","state":"done","done":2,"total":2}`+"\n")
+	}))
+	defer ts.Close()
+
+	stream, err := New(ts.URL).StreamEvents(context.Background(), "j-1")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer stream.Close()
+	var types []string
+	for {
+		ev, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		types = append(types, ev.Type)
+	}
+	want := []string{"state", "point", "state"}
+	if len(types) != len(want) {
+		t.Fatalf("events = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("events = %v, want %v", types, want)
+		}
+	}
+}

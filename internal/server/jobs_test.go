@@ -1,0 +1,423 @@
+// Tests for the jobs surface of the server: submit/status/events/cancel
+// over the typed client, the jobs metrics, and the crash-resume
+// guarantee at the HTTP level — a server restarted over the same job
+// directory completes an interrupted job with a byte-identical result
+// set.
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/client"
+)
+
+// busySource loops long enough per point (~at the default machine) that
+// a multi-point job is reliably still in flight when a test interrupts
+// it, but short enough that suites stay fast.
+const busySource = `
+	li r1, 60000
+loop:	addi r1, r1, -1
+	mul r2, r1, r1
+	bne r1, r0, loop
+	halt
+`
+
+// jobPoints builds an n-point grid varying the seed (the program is
+// deterministic; distinct seeds keep the points distinguishable).
+func jobPoints(n int) []api.RunSpec {
+	pts := make([]api.RunSpec, n)
+	for i := range pts {
+		pts[i] = api.RunSpec{Seed: int64(i), MaxCycles: 2_000_000}
+	}
+	return pts
+}
+
+func TestJobSubmitAndWait(t *testing.T) {
+	_, ts, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	created, err := c.SubmitJob(ctx, api.JobRequest{
+		Source: haltingSource,
+		Points: jobPoints(4),
+		Label:  "suite",
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if created.ID == "" || created.Total != 4 {
+		t.Fatalf("created = %+v, want id and total 4", created)
+	}
+
+	status, err := c.WaitJob(ctx, created.ID, nil)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if status.State != api.JobDone || status.Done != 4 || status.Failed != 0 {
+		t.Fatalf("status = %+v, want done 4/0 failed", status)
+	}
+	if status.Label != "suite" {
+		t.Errorf("label = %q, want suite", status.Label)
+	}
+	for i, p := range status.Points {
+		if p.Index != i || p.Worker != "local" || len(p.Report) == 0 {
+			t.Errorf("point %d = %+v, want local worker with report", i, p)
+		}
+	}
+
+	// The fabric's lifecycle landed on the metrics registry.
+	text := metricsText(t, ts.URL)
+	for _, want := range []string{
+		`rssd_sweep_jobs_submitted_total 1`,
+		`rssd_sweep_jobs_finished_total{state="done"} 1`,
+		`rssd_job_points_total{outcome="done"} 4`,
+		`rssd_sweep_jobs_active 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestJobEventsBeforeFinish pins the streaming guarantee: with one
+// worker slot and a deliberately slow final point, the events stream
+// delivers earlier per-point results while the job is still running.
+func TestJobEventsBeforeFinish(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	points := jobPoints(2)
+	points = append(points, api.RunSpec{Seed: 99, MaxCycles: 30_000_000}) // the slow tail
+	created, err := c.SubmitJob(ctx, api.JobRequest{Source: busySource, Points: points})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	stream, err := c.StreamEvents(ctx, created.ID)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer stream.Close()
+
+	// Read the first per-point result off the live stream, then ask for
+	// status: the slow tail point guarantees the job has not finished.
+	var first api.JobEvent
+	for {
+		ev, err := stream.Next()
+		if err != nil {
+			t.Fatalf("stream next: %v", err)
+		}
+		if ev.Type == api.EventPoint {
+			first = ev
+			break
+		}
+	}
+	if first.Point == nil || len(first.Point.Report) == 0 {
+		t.Fatalf("first point event carries no report: %+v", first)
+	}
+	status, err := c.Job(ctx, created.ID, false)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if status.State.Terminal() {
+		t.Errorf("job already %s when the first event arrived; stream did not beat completion", status.State)
+	}
+
+	// Drain to the end: the stream must finish with a terminal state event.
+	sawState := false
+	for {
+		ev, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream next: %v", err)
+		}
+		if ev.Type == api.EventState && ev.State.Terminal() {
+			sawState = true
+		}
+	}
+	if !sawState {
+		t.Error("stream ended without a terminal state event")
+	}
+}
+
+func TestJobCancel(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	created, err := c.SubmitJob(ctx, api.JobRequest{
+		Source: spinSource,
+		Points: []api.RunSpec{{MaxCycles: 500_000_000}, {MaxCycles: 500_000_000}},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	status, err := c.CancelJob(ctx, created.ID)
+	if err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if status.State != api.JobCancelled {
+		t.Fatalf("state = %s, want cancelled", status.State)
+	}
+	// Idempotent: cancelling again answers the same terminal status.
+	if again, err := c.CancelJob(ctx, created.ID); err != nil || again.State != api.JobCancelled {
+		t.Errorf("second cancel = %+v, %v", again, err)
+	}
+	// The events stream of a cancelled job replays and closes.
+	stream, err := c.StreamEvents(ctx, created.ID)
+	if err != nil {
+		t.Fatalf("events after cancel: %v", err)
+	}
+	defer stream.Close()
+	for {
+		ev, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream next: %v", err)
+		}
+		if ev.Type == api.EventState && ev.State != api.JobCancelled {
+			t.Errorf("state event = %+v, want cancelled", ev)
+		}
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	_, _, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	for name, call := range map[string]func() error{
+		"status": func() error { _, err := c.Job(ctx, "j-nope", false); return err },
+		"cancel": func() error { _, err := c.CancelJob(ctx, "j-nope"); return err },
+		"events": func() error { _, err := c.StreamEvents(ctx, "j-nope"); return err },
+	} {
+		apiErr := apiError(t, call())
+		if apiErr.Status != http.StatusNotFound || apiErr.Code != api.CodeNotFound {
+			t.Errorf("%s: got %d/%s, want 404/%s", name, apiErr.Status, apiErr.Code, api.CodeNotFound)
+		}
+	}
+}
+
+func TestJobSubmitValidation(t *testing.T) {
+	_, _, c := newTestServer(t, Config{MaxJobPoints: 2})
+	ctx := context.Background()
+	cases := []struct {
+		name     string
+		req      api.JobRequest
+		wantCode string
+	}{
+		{"no points", api.JobRequest{Source: haltingSource}, api.CodeInvalidRequest},
+		{"too many points", api.JobRequest{Source: haltingSource, Points: jobPoints(3)}, api.CodeInvalidRequest},
+		{"bad program", api.JobRequest{Source: "bogus r1\n", Points: jobPoints(1)}, api.CodeAssembleError},
+		{"no program", api.JobRequest{Points: jobPoints(1)}, api.CodeInvalidRequest},
+		{"negative point timeout", api.JobRequest{Source: haltingSource, Points: jobPoints(1), PointTimeoutMs: -1}, api.CodeInvalidRequest},
+		{"bad point", api.JobRequest{Source: haltingSource, Points: []api.RunSpec{{MaxCycles: -1}}}, api.CodeInvalidRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.SubmitJob(ctx, tc.req)
+			apiErr := apiError(t, err)
+			if apiErr.Code != tc.wantCode {
+				t.Errorf("code = %s, want %s (%v)", apiErr.Code, tc.wantCode, apiErr)
+			}
+		})
+	}
+}
+
+func TestJobListAndActiveCap(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1, MaxActiveJobs: 1})
+	ctx := context.Background()
+
+	created, err := c.SubmitJob(ctx, api.JobRequest{
+		Source: spinSource,
+		Points: []api.RunSpec{{MaxCycles: 500_000_000}},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// The cap counts non-terminal jobs: a second submission is rejected
+	// with 503 queue_full until the first finishes.
+	_, err = c.SubmitJob(ctx, api.JobRequest{Source: haltingSource, Points: jobPoints(1)})
+	apiErr := apiError(t, err)
+	if apiErr.Status != http.StatusServiceUnavailable || apiErr.Code != api.CodeQueueFull {
+		t.Fatalf("over-cap submit = %d/%s, want 503/%s", apiErr.Status, apiErr.Code, api.CodeQueueFull)
+	}
+
+	list, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != created.ID {
+		t.Fatalf("list = %+v, want exactly job %s", list.Jobs, created.ID)
+	}
+	if _, err := c.CancelJob(ctx, created.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	// Terminal now — the cap frees up.
+	if _, err := c.SubmitJob(ctx, api.JobRequest{Source: haltingSource, Points: jobPoints(1)}); err != nil {
+		t.Errorf("submit after cancel: %v", err)
+	}
+}
+
+// TestJobCrashResumeByteIdentical is the tentpole acceptance test at
+// the HTTP level: interrupt a server mid-job, bring a new server up on
+// the same job directory, and the resumed job's full result set must be
+// byte-identical to an uninterrupted run of the same grid.
+func TestJobCrashResumeByteIdentical(t *testing.T) {
+	spec := api.JobRequest{Source: busySource, Points: jobPoints(6), Label: "resume-me"}
+	ctx := context.Background()
+
+	// Baseline: the same grid, uninterrupted, on a volatile server.
+	_, _, base := newTestServer(t, Config{Workers: 1})
+	baseCreated, err := base.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatalf("baseline submit: %v", err)
+	}
+	baseline, err := base.WaitJob(ctx, baseCreated.ID, nil)
+	if err != nil || baseline.State != api.JobDone {
+		t.Fatalf("baseline: %+v, %v", baseline, err)
+	}
+
+	// Interrupted run: durable store, one worker; stop the server after
+	// the first point lands.
+	dir := t.TempDir()
+	s1, err := New(Config{Workers: 1, JobDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts1 := newHTTPServer(t, s1)
+	c1 := client.New(ts1, client.WithRetry(0, -1))
+	created, err := c1.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	stream, err := c1.StreamEvents(ctx, created.ID)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	for {
+		ev, err := stream.Next()
+		if err != nil {
+			t.Fatalf("stream next: %v", err)
+		}
+		if ev.Type == api.EventPoint {
+			break
+		}
+	}
+	stream.Close()
+	s1.Close() // the "crash": in-flight point dropped, store released
+
+	// Restart over the same directory: New resumes incomplete jobs.
+	s2, err := New(Config{Workers: 1, JobDir: dir})
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	t.Cleanup(func() { s2.Close() })
+	ts2 := newHTTPServer(t, s2)
+	c2 := client.New(ts2, client.WithRetry(0, -1))
+	resumed, err := c2.WaitJob(ctx, created.ID, nil)
+	if err != nil {
+		t.Fatalf("wait after restart: %v", err)
+	}
+	if resumed.State != api.JobDone || resumed.Done != len(spec.Points) {
+		t.Fatalf("resumed job = %+v, want done %d points", resumed, len(spec.Points))
+	}
+	if resumed.Label != "resume-me" {
+		t.Errorf("label lost across restart: %q", resumed.Label)
+	}
+
+	if len(resumed.Points) != len(baseline.Points) {
+		t.Fatalf("resumed has %d results, baseline %d", len(resumed.Points), len(baseline.Points))
+	}
+	for i := range resumed.Points {
+		got, want := resumed.Points[i], baseline.Points[i]
+		if got.Index != want.Index {
+			t.Fatalf("result order diverged at %d: %d vs %d", i, got.Index, want.Index)
+		}
+		if !bytes.Equal(got.Report, want.Report) {
+			t.Errorf("point %d: resumed report differs from uninterrupted run\nresumed:  %s\nbaseline: %s",
+				got.Index, got.Report, want.Report)
+		}
+		if got.Error != nil || want.Error != nil {
+			t.Errorf("point %d: unexpected errors (resumed %v, baseline %v)", got.Index, got.Error, want.Error)
+		}
+	}
+}
+
+// TestJobSurvivesRestartWhenComplete checks a finished job is served
+// (with results) by a later server over the same directory.
+func TestJobDurableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	s1, err := New(Config{Workers: 1, JobDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c1 := client.New(newHTTPServer(t, s1), client.WithRetry(0, -1))
+	created, err := c1.SubmitJob(ctx, api.JobRequest{Source: haltingSource, Points: jobPoints(2)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	finished, err := c1.WaitJob(ctx, created.ID, nil)
+	if err != nil || finished.State != api.JobDone {
+		t.Fatalf("first run: %+v, %v", finished, err)
+	}
+	s1.Close()
+
+	s2, err := New(Config{Workers: 1, JobDir: dir})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	t.Cleanup(func() { s2.Close() })
+	c2 := client.New(newHTTPServer(t, s2), client.WithRetry(0, -1))
+	reloaded, err := c2.Job(ctx, created.ID, true)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if reloaded.State != api.JobDone || len(reloaded.Points) != 2 {
+		t.Fatalf("reloaded = %+v, want done with 2 results", reloaded)
+	}
+	for i := range reloaded.Points {
+		if !bytes.Equal(reloaded.Points[i].Report, finished.Points[i].Report) {
+			t.Errorf("point %d report changed across restart", i)
+		}
+	}
+}
+
+// TestSweepShimRecordsJobInStore pins the satellite rewiring: the
+// legacy synchronous sweep now runs through the jobs fabric, so its
+// grid shows up as a completed job of kind "sweep".
+func TestSweepShimRecordsJobInStore(t *testing.T) {
+	s, _, c := newTestServer(t, Config{Workers: 2})
+	resp, err := c.Sweep(context.Background(), api.SweepRequest{
+		Source: haltingSource,
+		Points: []api.RunSpec{{}, {}},
+	})
+	if err != nil || len(resp.Points) != 2 {
+		t.Fatalf("sweep: %v (%d points)", err, len(resp.Points))
+	}
+	jobs := s.Coordinator().Store().Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("store holds %d jobs after a sweep, want 1", len(jobs))
+	}
+	if jobs[0].Spec.Kind != "sweep" || jobs[0].State() != api.JobDone {
+		t.Errorf("sweep job = kind %q state %s, want sweep/done", jobs[0].Spec.Kind, jobs[0].State())
+	}
+}
+
+// newHTTPServer mounts a prebuilt Server on an httptest listener and
+// returns its base URL; used by the restart tests that manage the
+// Server lifecycle themselves.
+func newHTTPServer(t *testing.T, s *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}

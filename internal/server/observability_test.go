@@ -54,7 +54,7 @@ func flightDoc(t *testing.T, url string) (doc struct {
 // TestFlightRecorderEndpoint runs one job and checks its lifecycle
 // stages — queue-wait, execute, encode — land in the flight ring.
 func TestFlightRecorderEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, _ := newTestServer(t, Config{})
 	doc := flightDoc(t, ts.URL)
 	if doc.Recorded != 0 || len(doc.Spans) != 0 {
 		t.Fatalf("fresh server has %d spans recorded", doc.Recorded)
@@ -87,7 +87,7 @@ func TestFlightRecorderEndpoint(t *testing.T) {
 // TestSweepSpans checks a sweep records per-point children plus the
 // request-level sweep and encode spans, all under one request ordinal.
 func TestSweepSpans(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	_, ts, _ := newTestServer(t, Config{Workers: 2})
 	body := fmt.Sprintf(`{"source": %q, "points": [{"policy": "steering"}, {"policy": "demand"}]}`, haltingSource)
 	if code, _ := postJSON(t, ts, "/v1/sweep", body); code != http.StatusOK {
 		t.Fatalf("sweep status = %d", code)
@@ -123,7 +123,7 @@ func TestSweepSpans(t *testing.T) {
 // run that exceeds its deadline must bump the deadline tally and leave
 // a deadline-exceeded span in the ring.
 func TestDeadlineTriggerRecorded(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, _ := newTestServer(t, Config{})
 	code, _ := postJSON(t, ts, "/v1/run",
 		fmt.Sprintf(`{"source": %q, "maxCycles": 500000000, "timeoutMs": 50}`, spinSource))
 	if code != http.StatusGatewayTimeout {
@@ -147,7 +147,7 @@ func TestDeadlineTriggerRecorded(t *testing.T) {
 // TestLatencyHistograms checks the queue-wait and handler-duration
 // histograms appear in /metrics with observations after traffic.
 func TestLatencyHistograms(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	_, ts, _ := newTestServer(t, Config{Workers: 2})
 	postJSON(t, ts, "/v1/run", fmt.Sprintf(`{"source": %q}`, haltingSource))
 	postJSON(t, ts, "/v1/sweep",
 		fmt.Sprintf(`{"source": %q, "points": [{"policy": "steering"}, {"policy": "demand"}]}`, haltingSource))
@@ -169,7 +169,7 @@ func TestLatencyHistograms(t *testing.T) {
 // with EnablePprof, and that profiling traffic stays out of the request
 // metrics.
 func TestPprofGated(t *testing.T) {
-	_, off := newTestServer(t, Config{})
+	_, off, _ := newTestServer(t, Config{})
 	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
 	if err != nil {
 		t.Fatal(err)
@@ -179,7 +179,7 @@ func TestPprofGated(t *testing.T) {
 		t.Errorf("pprof without flag: status %d, want 404", resp.StatusCode)
 	}
 
-	_, on := newTestServer(t, Config{EnablePprof: true})
+	_, on, _ := newTestServer(t, Config{EnablePprof: true})
 	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
 	if err != nil {
 		t.Fatal(err)
@@ -197,7 +197,7 @@ func TestPprofGated(t *testing.T) {
 // the span sink must export everything recorded during the session in
 // both formats.
 func TestDrainFlushesSpans(t *testing.T) {
-	s, ts := newTestServer(t, Config{})
+	s, ts, _ := newTestServer(t, Config{})
 	postJSON(t, ts, "/v1/run", fmt.Sprintf(`{"source": %q}`, haltingSource))
 	s.StartDrain()
 

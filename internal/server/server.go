@@ -1,22 +1,29 @@
 // Package server is the rssd batch-simulation service: an HTTP/JSON API
 // over the repro facade that assembles programs, runs single
-// simulations, and fans parameter sweeps out over a bounded worker
-// pool. The package owns everything between the socket and the
-// simulator — request validation and size limits, the structured error
-// envelope, per-request deadlines wired into Machine.RunContext, the
+// simulations, and fans parameter sweeps out — synchronously over a
+// bounded worker pool, or asynchronously as durable jobs sharded across
+// a worker fleet by the internal/job coordinator. The package owns
+// everything between the socket and the simulator — request validation
+// and size limits, the structured error envelope (internal/api),
+// per-request deadlines wired into Machine.RunContext, the
 // assembled-program LRU, service metrics, and the draining flag the
 // graceful-shutdown path sets — while cmd/rssd adds only flags, signal
-// handling and the http.Server lifecycle.
+// handling, worker spawning and the http.Server lifecycle.
 //
 // Endpoints:
 //
-//	POST /v1/assemble  source → encoded words + disassembly
-//	POST /v1/run       source or words + RunSpec → run report
-//	POST /v1/sweep     one program × a grid of RunSpecs → per-point reports
-//	GET  /v1/healthz   liveness + pool occupancy
-//	GET  /metrics      Prometheus text exposition of service metrics
-//	GET  /debug/flightrecorder   last-N request spans + deadline triggers
-//	GET  /debug/pprof/ net/http/pprof (only with Config.EnablePprof)
+//	POST   /v1/assemble        source → encoded words + disassembly
+//	POST   /v1/run             source or words + RunSpec → run report
+//	POST   /v1/sweep           synchronous sweep (legacy shim over the jobs path)
+//	POST   /v1/jobs            submit a sweep as a durable asynchronous job
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       job status (?results=1 adds per-point results)
+//	GET    /v1/jobs/{id}/events  chunked-JSONL per-point results as they land
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/healthz         liveness + pool occupancy
+//	GET    /metrics            Prometheus text exposition of service metrics
+//	GET    /debug/flightrecorder   last-N request spans + deadline triggers
+//	GET    /debug/pprof/       net/http/pprof (only with Config.EnablePprof)
 package server
 
 import (
@@ -32,8 +39,9 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/api"
+	"repro/internal/job"
 	"repro/internal/span"
-	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
 
@@ -59,8 +67,25 @@ type Config struct {
 	// CacheSize is the assembled-program LRU capacity (default 64;
 	// negative disables caching).
 	CacheSize int
-	// MaxSweepPoints caps the grid size of one sweep (default 256).
+	// MaxSweepPoints caps the grid size of one synchronous sweep
+	// (default 256).
 	MaxSweepPoints int
+	// MaxJobPoints caps the grid size of one asynchronous job
+	// (default 4096).
+	MaxJobPoints int
+	// MaxActiveJobs caps concurrently non-terminal jobs; past it new
+	// submissions get 503 (default 64).
+	MaxActiveJobs int
+	// JobDir is the durable job-store directory; empty keeps jobs in
+	// memory only (working fabric, not restart-safe).
+	JobDir string
+	// WorkerURLs names remote rssd workers the coordinator shards job
+	// points over. Empty runs points in-process through the worker
+	// pool. /v1/run and /v1/assemble always execute locally.
+	WorkerURLs []string
+	// WorkerSlots is the per-remote-worker point concurrency
+	// (default 4).
+	WorkerSlots int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. The pprof
 	// endpoints bypass the request-counting and latency middleware —
 	// profiling traffic must not pollute service metrics.
@@ -99,6 +124,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 256
 	}
+	if c.MaxJobPoints <= 0 {
+		c.MaxJobPoints = 4096
+	}
+	if c.MaxActiveJobs <= 0 {
+		c.MaxActiveJobs = 64
+	}
+	if c.WorkerSlots <= 0 {
+		c.WorkerSlots = 4
+	}
 	return c
 }
 
@@ -110,30 +144,36 @@ type Server struct {
 	cache    *programCache
 	mux      *http.ServeMux
 	draining atomic.Bool
+	coord    *job.Coordinator
 
 	// Service metrics. The telemetry registry is single-goroutine by
 	// design (it belongs to the simulator's hot path), so every access
 	// here — updates from handler goroutines and Render on /metrics —
 	// holds mmu.
-	mmu         sync.Mutex
-	registry    *telemetry.Registry
-	requests    map[string]*telemetry.Counter   // by handler
-	failures    map[string]*telemetry.Counter   // by handler
-	rejected    map[string]*telemetry.Counter   // by reason
-	jobs        map[string]*telemetry.Histogram // latency ms by kind
-	queueWait   map[string]*telemetry.Histogram // admission-to-slot µs by kind
-	handlerDur  map[string]*telemetry.Histogram // handler wall µs by handler
-	gaugeRun    *telemetry.Gauge
-	gaugeQueued *telemetry.Gauge
-	cacheHits   *telemetry.Counter
-	cacheMisses *telemetry.Counter
-	steerHits   *telemetry.Counter
-	steerMisses *telemetry.Counter
-	prefetch    map[string]*telemetry.Counter // by prefetch counter name
+	mmu           sync.Mutex
+	registry      *telemetry.Registry
+	requests      map[string]*telemetry.Counter   // by handler
+	failures      map[string]*telemetry.Counter   // by handler
+	rejected      map[string]*telemetry.Counter   // by reason
+	jobs          map[string]*telemetry.Histogram // latency ms by kind
+	queueWait     map[string]*telemetry.Histogram // admission-to-slot µs by kind
+	handlerDur    map[string]*telemetry.Histogram // handler wall µs by handler
+	gaugeRun      *telemetry.Gauge
+	gaugeQueued   *telemetry.Gauge
+	cacheHits     *telemetry.Counter
+	cacheMisses   *telemetry.Counter
+	steerHits     *telemetry.Counter
+	steerMisses   *telemetry.Counter
+	prefetch      map[string]*telemetry.Counter // by prefetch counter name
+	jobsSubmitted *telemetry.Counter
+	jobsFinished  map[string]*telemetry.Counter // by terminal state
+	jobPoints     map[string]*telemetry.Counter // by outcome
+	gaugeJobsAct  *telemetry.Gauge
+	gaugeJobQueue *telemetry.Gauge
 
 	// spans is the service flight recorder: request lifecycle spans
-	// (queue-wait → execute → encode, one child per sweep point) and
-	// deadline-exceeded triggers, served by GET /debug/flightrecorder.
+	// (queue-wait → execute → encode, one child per sweep/job point)
+	// and deadline-exceeded triggers, served by GET /debug/flightrecorder.
 	spans *span.ServiceRecorder
 }
 
@@ -145,10 +185,24 @@ var prefetchCounterNames = []string{
 }
 
 // handler and job-kind names used as metric label values.
-var handlerNames = []string{"assemble", "run", "sweep", "healthz", "metrics", "flightrecorder"}
+var handlerNames = []string{
+	"assemble", "run", "sweep", "healthz", "metrics", "flightrecorder",
+	"jobs", "jobs_list", "job", "job_events", "job_cancel",
+}
 
-// New builds a server from the config.
-func New(cfg Config) *Server {
+// jobKindNames label the simulation-latency and queue-wait histograms.
+var jobKindNames = []string{"run", "sweep_point", "job_point"}
+
+// jobStateNames label rssd_jobs_finished_total.
+var jobStateNames = []string{string(api.JobDone), string(api.JobCancelled)}
+
+// pointOutcomeNames label rssd_job_points_total.
+var pointOutcomeNames = []string{"done", "failed", "requeued"}
+
+// New builds a server from the config: metrics, the bounded pool, the
+// job store (opened from cfg.JobDir, resuming any incomplete jobs) and
+// the coordinator over the configured worker set.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:        cfg,
@@ -169,7 +223,7 @@ func New(cfg Config) *Server {
 		s.failures[h] = s.registry.NewCounter("rssd_failures_total",
 			"Requests answered with a non-2xx status, by handler.", telemetry.Label{Key: "handler", Value: h})
 	}
-	for _, reason := range []string{CodeQueueFull, CodeDraining} {
+	for _, reason := range []string{api.CodeQueueFull, api.CodeDraining} {
 		s.rejected[reason] = s.registry.NewCounter("rssd_rejected_total",
 			"Jobs rejected at admission, by reason.", telemetry.Label{Key: "reason", Value: reason})
 	}
@@ -178,7 +232,7 @@ func New(cfg Config) *Server {
 	// those histograms bucket in microseconds.
 	usBounds := []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
 		50000, 100000, 250000, 500000, 1000000, 5000000, 30000000}
-	for _, kind := range []string{"run", "sweep_point"} {
+	for _, kind := range jobKindNames {
 		s.jobs[kind] = s.registry.NewHistogram("rssd_job_duration_ms",
 			"Simulation wall-clock latency in milliseconds, by job kind.", bounds,
 			telemetry.Label{Key: "kind", Value: kind})
@@ -209,6 +263,41 @@ func New(cfg Config) *Server {
 			"Speculative-prefetch accounting aggregated over prefetch-policy simulations, by counter.",
 			telemetry.Label{Key: "counter", Value: name})
 	}
+	s.jobsSubmitted = s.registry.NewCounter("rssd_sweep_jobs_submitted_total",
+		"Sweep jobs accepted by the coordinator (both surfaces: /v1/jobs and the /v1/sweep shim).")
+	s.jobsFinished = map[string]*telemetry.Counter{}
+	for _, state := range jobStateNames {
+		s.jobsFinished[state] = s.registry.NewCounter("rssd_sweep_jobs_finished_total",
+			"Sweep jobs reaching a terminal state, by state.", telemetry.Label{Key: "state", Value: state})
+	}
+	s.jobPoints = map[string]*telemetry.Counter{}
+	for _, outcome := range pointOutcomeNames {
+		s.jobPoints[outcome] = s.registry.NewCounter("rssd_job_points_total",
+			"Grid points scheduled by the coordinator, by outcome (requeued counts re-dispatches after worker failures).",
+			telemetry.Label{Key: "outcome", Value: outcome})
+	}
+	s.gaugeJobsAct = s.registry.NewGauge("rssd_sweep_jobs_active",
+		"Jobs in a non-terminal state.")
+	s.gaugeJobQueue = s.registry.NewGauge("rssd_job_queue_depth",
+		"Grid points waiting for an executor slot.")
+
+	// The sweep fabric: the durable store plus the coordinator over the
+	// configured worker set. No worker URLs means points execute
+	// in-process through the same bounded pool /v1/run uses.
+	store, err := job.Open(cfg.JobDir)
+	if err != nil {
+		return nil, err
+	}
+	var execs []job.Executor
+	if len(cfg.WorkerURLs) > 0 {
+		for i, u := range cfg.WorkerURLs {
+			execs = append(execs, job.NewHTTPExecutor(fmt.Sprintf("worker-%d", i+1), u, cfg.WorkerSlots))
+		}
+	} else {
+		execs = append(execs, &localExecutor{s: s})
+	}
+	s.coord = job.NewCoordinator(store, execs, job.Config{Observer: &coordObserver{s: s}})
+	s.coord.Resume()
 
 	s.mux = http.NewServeMux()
 	// timed wraps each service handler with its per-endpoint latency
@@ -224,6 +313,11 @@ func New(cfg Config) *Server {
 	timed("POST /v1/assemble", "assemble", s.handleAssemble)
 	timed("POST /v1/run", "run", s.handleRun)
 	timed("POST /v1/sweep", "sweep", s.handleSweep)
+	timed("POST /v1/jobs", "jobs", s.handleJobSubmit)
+	timed("GET /v1/jobs", "jobs_list", s.handleJobList)
+	timed("GET /v1/jobs/{id}", "job", s.handleJobGet)
+	timed("GET /v1/jobs/{id}/events", "job_events", s.handleJobEvents)
+	timed("DELETE /v1/jobs/{id}", "job_cancel", s.handleJobCancel)
 	timed("GET /v1/healthz", "healthz", s.handleHealthz)
 	timed("GET /metrics", "metrics", s.handleMetrics)
 	timed("GET /debug/flightrecorder", "flightrecorder", s.handleFlightRecorder)
@@ -237,12 +331,16 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	return s, nil
 }
 
 // Spans exposes the service span flight recorder, for the drain path
 // in cmd/rssd to dump before exit.
 func (s *Server) Spans() *span.ServiceRecorder { return s.spans }
+
+// Coordinator exposes the sweep-fabric coordinator (cmd/rssd logs
+// resume counts; tests drive crash-resume through it).
+func (s *Server) Coordinator() *job.Coordinator { return s.coord }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -254,6 +352,15 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the sweep fabric: the coordinator cancels in-flight
+// points (they stay pending in the store for the next boot's resume)
+// and the store releases its file handles. Call it after the HTTP
+// server has shut down.
+func (s *Server) Close() error {
+	s.coord.Close()
+	return s.coord.Store().Close()
+}
 
 // --- metric update helpers (all take mmu) ---
 
@@ -319,10 +426,10 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 		if errors.As(err, &maxBytes) || errors.Is(err, repro.ErrUnknownPolicy) {
 			return err
 		}
-		return invalidRequestf("decoding body: %v", err)
+		return api.InvalidRequestf("decoding body: %v", err)
 	}
 	if dec.More() {
-		return invalidRequestf("trailing data after JSON body")
+		return api.InvalidRequestf("trailing data after JSON body")
 	}
 	return nil
 }
@@ -338,21 +445,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // fail classifies err, counts it, and writes the error envelope.
 func (s *Server) fail(w http.ResponseWriter, handler string, err error) {
-	status, apiErr := classify(err)
+	status, apiErr := api.Classify(err)
 	s.countFailure(handler)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(struct {
-		Error *APIError `json:"error"`
-	}{apiErr}) //nolint:errcheck
+	enc.Encode(api.Envelope{Error: apiErr}) //nolint:errcheck
 }
 
 // timeout resolves a request's deadline from its TimeoutMs field.
 func (s *Server) timeout(ms int) (time.Duration, error) {
 	if ms < 0 {
-		return 0, invalidRequestf("timeoutMs must be non-negative, got %d", ms)
+		return 0, api.InvalidRequestf("timeoutMs must be non-negative, got %d", ms)
 	}
 	d := s.cfg.DefaultTimeout
 	if ms > 0 {
@@ -387,7 +492,7 @@ func (lp loadedProgram) newMachine(opt repro.Options) *repro.Machine {
 func (s *Server) load(source string, words []uint32) (loadedProgram, error) {
 	switch {
 	case source != "" && len(words) > 0:
-		return loadedProgram{}, invalidRequestf("source and words are mutually exclusive")
+		return loadedProgram{}, api.InvalidRequestf("source and words are mutually exclusive")
 	case source != "":
 		if unit, ok := s.cache.get(source); ok {
 			s.countCache(true)
@@ -403,16 +508,16 @@ func (s *Server) load(source string, words []uint32) (loadedProgram, error) {
 	case len(words) > 0:
 		prog, err := repro.DecodeProgram(words)
 		if err != nil {
-			return loadedProgram{}, invalidRequestf("decoding words: %v", err)
+			return loadedProgram{}, api.InvalidRequestf("decoding words: %v", err)
 		}
 		return loadedProgram{prog: prog}, nil
 	default:
-		return loadedProgram{}, invalidRequestf("one of source or words is required")
+		return loadedProgram{}, api.InvalidRequestf("one of source or words is required")
 	}
 }
 
 // resolveSpec validates a RunSpec and fills budget defaults in place.
-func (s *Server) resolveSpec(spec *RunSpec) error {
+func (s *Server) resolveSpec(spec *api.RunSpec) error {
 	if !spec.Policy.Valid() {
 		return fmt.Errorf("policy %d out of range: %w", int(spec.Policy), repro.ErrUnknownPolicy)
 	}
@@ -439,7 +544,7 @@ func (s *Server) resolveSpec(spec *RunSpec) error {
 // The caller must already hold a worker slot. req and point feed the
 // worker-execution span of the service flight recorder (point is -1
 // for non-sweep jobs).
-func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec RunSpec, kind string, req uint64, point int) (json.RawMessage, float64, error) {
+func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec api.RunSpec, kind string, req uint64, point int) (json.RawMessage, float64, error) {
 	m := lp.newMachine(repro.Options{
 		Params:       spec.Params,
 		Policy:       spec.Policy,
@@ -486,17 +591,17 @@ func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec RunSpec, k
 	return report, elapsedMs, nil
 }
 
-// admitJob performs queue admission for a job endpoint: draining check
-// first, then a non-blocking backlog reservation. The returned release
-// func is non-nil exactly when err is nil.
+// admitJob performs queue admission for a synchronous job endpoint:
+// draining check first, then a non-blocking backlog reservation. The
+// returned release func is non-nil exactly when err is nil.
 func (s *Server) admitJob() (func(), error) {
 	if s.draining.Load() {
-		s.countRejected(CodeDraining)
-		return nil, errDraining
+		s.countRejected(api.CodeDraining)
+		return nil, api.ErrDraining
 	}
 	if !s.pool.admit() {
-		s.countRejected(CodeQueueFull)
-		return nil, errQueueFull
+		s.countRejected(api.CodeQueueFull)
+		return nil, api.ErrQueueFull
 	}
 	return s.pool.leave, nil
 }
@@ -505,13 +610,13 @@ func (s *Server) admitJob() (func(), error) {
 
 func (s *Server) handleAssemble(w http.ResponseWriter, r *http.Request) {
 	s.countRequest("assemble")
-	var req AssembleRequest
+	var req api.AssembleRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.fail(w, "assemble", err)
 		return
 	}
 	if req.Source == "" {
-		s.fail(w, "assemble", invalidRequestf("source is required"))
+		s.fail(w, "assemble", api.InvalidRequestf("source is required"))
 		return
 	}
 	lp, err := s.load(req.Source, nil)
@@ -524,7 +629,7 @@ func (s *Server) handleAssemble(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "assemble", fmt.Errorf("encoding program: %w", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, AssembleResponse{
+	writeJSON(w, http.StatusOK, api.AssembleResponse{
 		Instructions: len(lp.unit.Program),
 		Words:        words,
 		Disassembly:  repro.Disassemble(lp.unit.Program),
@@ -534,7 +639,7 @@ func (s *Server) handleAssemble(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.countRequest("run")
-	var req RunRequest
+	var req api.RunRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.fail(w, "run", err)
 		return
@@ -581,13 +686,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	encodeStart := time.Now()
-	writeJSON(w, http.StatusOK, RunResponse{Report: report, ElapsedMs: elapsedMs, Cached: lp.cached})
+	writeJSON(w, http.StatusOK, api.RunResponse{Report: report, ElapsedMs: elapsedMs, Cached: lp.cached})
 	s.spans.Record(reqID, "encode", "run", -1, encodeStart, time.Now())
 }
 
+// handleSweep is the legacy synchronous sweep, reimplemented as a thin
+// create-job-and-wait wrapper over the jobs path: the grid becomes a
+// coordinator job (kind "sweep"), the handler blocks on its events
+// until completion, and the response shape is unchanged — point
+// failures are data, a sweep-wide deadline or disconnect cancels the
+// job and fails the request, exactly as before.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.countRequest("sweep")
-	var req SweepRequest
+	var req api.SweepRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.fail(w, "sweep", err)
 		return
@@ -598,11 +709,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Points) == 0 {
-		s.fail(w, "sweep", invalidRequestf("points must not be empty"))
+		s.fail(w, "sweep", api.InvalidRequestf("points must not be empty"))
 		return
 	}
 	if len(req.Points) > s.cfg.MaxSweepPoints {
-		s.fail(w, "sweep", invalidRequestf("%d points exceed the sweep cap of %d",
+		s.fail(w, "sweep", api.InvalidRequestf("%d points exceed the sweep cap of %d",
 			len(req.Points), s.cfg.MaxSweepPoints))
 		return
 	}
@@ -611,7 +722,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "sweep", err)
 		return
 	}
-	specs := make([]RunSpec, len(req.Points))
+	specs := make([]api.RunSpec, len(req.Points))
 	for i := range req.Points {
 		specs[i] = req.Points[i]
 		if err := s.resolveSpec(&specs[i]); err != nil {
@@ -630,51 +741,67 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 	start := time.Now()
-	// Fan the grid out over the sweep harness. Each point competes for a
-	// worker slot, so total simulation concurrency stays bounded across
-	// all in-flight requests; the sweep itself holds no slot, so points
-	// of other requests interleave freely and nothing can deadlock.
-	points, runErr := sweep.RunContext(ctx, len(specs), s.cfg.Workers,
-		func(ctx context.Context, i int) SweepPointResult {
-			res := SweepPointResult{Index: i, Policy: specs[i].Policy.String()}
-			waitStart := time.Now()
-			if err := s.pool.acquire(ctx); err != nil {
-				_, res.Error = classify(err)
-				return res
-			}
-			defer s.pool.release()
-			acquired := time.Now()
-			s.observeQueueWait("sweep_point", acquired.Sub(waitStart))
-			s.spans.Record(reqID, "queue-wait", "sweep_point", i, waitStart, acquired)
-			report, _, err := s.simulate(ctx, lp, specs[i], "sweep_point", reqID, i)
-			if err != nil {
-				_, res.Error = classify(err)
-				return res
-			}
-			res.Report = report
-			return res
-		})
+	j, err := s.coord.Submit(job.Spec{
+		Label:   "sweep",
+		Kind:    "sweep",
+		Program: api.Program{Source: req.Source, Words: req.Words},
+		Points:  specs,
+	}, reqID)
+	if err != nil {
+		s.fail(w, "sweep", err)
+		return
+	}
+	runErr := s.waitJob(ctx, j)
 	// The request-level sweep span covers the whole grid; its per-point
 	// children carry their own queue-wait and execution stages.
 	s.spans.Record(reqID, "sweep", "sweep", -1, start, time.Now())
 	// A sweep-wide context error makes the whole response an error: a
 	// sweep that hit its deadline or lost its client has incomplete
 	// results, so partial reports are not served as if they were the
-	// full grid.
+	// full grid. The job is cancelled — its completed points stay in
+	// the store, the rest never run.
 	if runErr != nil {
+		s.coord.Cancel(j.ID) //nolint:errcheck // the job is known to exist
 		if errors.Is(runErr, context.DeadlineExceeded) {
 			s.spans.TriggerDeadline(reqID, "sweep", -1, start, time.Now())
 		}
 		s.fail(w, "sweep", runErr)
 		return
 	}
+	points := make([]api.SweepPointResult, 0, len(specs))
+	for _, res := range j.Results() {
+		points = append(points, api.SweepPointResult{
+			Index:  res.Index,
+			Policy: res.Policy,
+			Report: res.Report,
+			Error:  res.Error,
+		})
+	}
 	encodeStart := time.Now()
-	writeJSON(w, http.StatusOK, SweepResponse{
+	writeJSON(w, http.StatusOK, api.SweepResponse{
 		Points:    points,
 		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
 		Cached:    lp.cached,
 	})
 	s.spans.Record(reqID, "encode", "sweep", -1, encodeStart, time.Now())
+}
+
+// waitJob blocks until j reaches a terminal state or ctx ends.
+func (s *Server) waitJob(ctx context.Context, j *job.Job) error {
+	_, ch := j.Subscribe()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return nil
+			}
+			if ev.Type == api.EventState && ev.State.Terminal() {
+				return nil
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -686,7 +813,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 		s.countFailure("healthz")
 	}
-	writeJSON(w, code, HealthResponse{
+	writeJSON(w, code, api.HealthResponse{
 		Status:   status,
 		Workers:  s.pool.workers(),
 		Running:  s.pool.running(),
@@ -710,6 +837,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	defer s.mmu.Unlock()
 	s.gaugeRun.Set(int64(s.pool.running()))
 	s.gaugeQueued.Set(int64(s.pool.admitted()))
+	s.gaugeJobsAct.Set(int64(s.coord.Active()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.registry.Render(w) //nolint:errcheck // client went away; nothing to do
 }

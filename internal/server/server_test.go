@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/api"
+	"repro/internal/client"
 )
 
 // haltingSource is a tiny program that retires a HALT quickly.
@@ -26,13 +29,23 @@ const haltingSource = `
 // spinSource never halts; runs against it end only by budget or deadline.
 const spinSource = "loop: j loop\n"
 
-// newTestServer builds a server plus an httptest front end.
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+// newTestServer builds a server plus an httptest front end and a typed
+// client pointed at it. The suites drive the server through the client
+// wherever the test is about behavior; tests about the wire format
+// itself (malformed bodies, raw envelopes) post raw JSON instead.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *client.Client) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
-	return s, ts
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	// No retries by default: tests asserting 503s want the first answer.
+	return s, ts, client.New(ts.URL, client.WithRetry(0, -1))
 }
 
 // postJSON sends body to path and returns the status plus decoded body.
@@ -76,88 +89,107 @@ func errCode(t *testing.T, doc map[string]any) string {
 	return code
 }
 
-func marshal(t *testing.T, v any) string {
+// apiError asserts err is a typed envelope and returns it.
+func apiError(t *testing.T, err error) *api.Error {
 	t.Helper()
-	b, err := json.Marshal(v)
-	if err != nil {
-		t.Fatalf("marshal: %v", err)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v (%T) is not an *api.Error", err, err)
 	}
-	return string(b)
+	return apiErr
+}
+
+// report decodes a raw run report into a map for assertions.
+func report(t *testing.T, raw json.RawMessage) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	return doc
+}
+
+func policy(t *testing.T, name string) repro.Policy {
+	t.Helper()
+	p, err := repro.ParsePolicy(name)
+	if err != nil {
+		t.Fatalf("parsing policy %q: %v", name, err)
+	}
+	return p
 }
 
 func TestAssemble(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, _, c := newTestServer(t, Config{})
+	ctx := context.Background()
 
-	status, doc := postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: haltingSource}))
-	if status != http.StatusOK {
-		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	resp, err := c.Assemble(ctx, api.AssembleRequest{Source: haltingSource})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
 	}
-	if n := doc["instructions"].(float64); n != 4 {
-		t.Errorf("instructions = %v, want 4", n)
+	if resp.Instructions != 4 {
+		t.Errorf("instructions = %d, want 4", resp.Instructions)
 	}
-	if words := doc["words"].([]any); len(words) != 4 {
-		t.Errorf("len(words) = %d, want 4", len(words))
+	if len(resp.Words) != 4 {
+		t.Errorf("len(words) = %d, want 4", len(resp.Words))
 	}
-	if dis := doc["disassembly"].(string); !strings.Contains(dis, "halt") {
-		t.Errorf("disassembly missing halt:\n%s", dis)
+	if !strings.Contains(resp.Disassembly, "halt") {
+		t.Errorf("disassembly missing halt:\n%s", resp.Disassembly)
 	}
-	if doc["cached"].(bool) {
+	if resp.Cached {
 		t.Errorf("first assembly reported cached")
 	}
 
 	// The identical source must come from the cache the second time.
-	status, doc = postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: haltingSource}))
-	if status != http.StatusOK || !doc["cached"].(bool) {
-		t.Errorf("second assembly: status %d cached %v, want 200 true", status, doc["cached"])
+	resp, err = c.Assemble(ctx, api.AssembleRequest{Source: haltingSource})
+	if err != nil || !resp.Cached {
+		t.Errorf("second assembly: err %v cached %v, want nil true", err, resp.Cached)
 	}
 }
 
 func TestAssembleError(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	status, doc := postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: "li r1, 1\nbogus r2\nhalt\n"}))
-	if status != http.StatusBadRequest {
-		t.Fatalf("status = %d, want 400 (%v)", status, doc)
+	_, _, c := newTestServer(t, Config{})
+	_, err := c.Assemble(context.Background(), api.AssembleRequest{Source: "li r1, 1\nbogus r2\nhalt\n"})
+	apiErr := apiError(t, err)
+	if apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%v)", apiErr.Status, apiErr)
 	}
-	env := doc["error"].(map[string]any)
-	if env["code"] != CodeAssembleError {
-		t.Errorf("code = %v, want %s", env["code"], CodeAssembleError)
+	if apiErr.Code != api.CodeAssembleError {
+		t.Errorf("code = %v, want %s", apiErr.Code, api.CodeAssembleError)
 	}
-	if line := env["line"].(float64); line != 2 {
-		t.Errorf("line = %v, want 2", line)
+	if apiErr.Line != 2 {
+		t.Errorf("line = %d, want 2", apiErr.Line)
 	}
 }
 
 func TestRunHappyPath(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	status, doc := postJSON(t, ts, "/v1/run",
-		fmt.Sprintf(`{"source": %q, "policy": "steering"}`, haltingSource))
-	if status != http.StatusOK {
-		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	_, _, c := newTestServer(t, Config{})
+	resp, err := c.Run(context.Background(), api.RunRequest{
+		Source:  haltingSource,
+		RunSpec: api.RunSpec{Policy: policy(t, "steering")},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
 	}
-	report := doc["report"].(map[string]any)
-	if report["policy"] != "steering" {
-		t.Errorf("report policy = %v, want steering", report["policy"])
+	rep := report(t, resp.Report)
+	if rep["policy"] != "steering" {
+		t.Errorf("report policy = %v, want steering", rep["policy"])
 	}
-	stats := report["stats"].(map[string]any)
+	stats := rep["stats"].(map[string]any)
 	if stats["Retired"].(float64) < 4 {
 		t.Errorf("retired = %v, want >= 4", stats["Retired"])
 	}
 }
 
 func TestRunFromWords(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, _, c := newTestServer(t, Config{})
+	ctx := context.Background()
 	// Assemble first, then run the binary form.
-	status, doc := postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: haltingSource}))
-	if status != http.StatusOK {
-		t.Fatalf("assemble status = %d", status)
+	asm, err := c.Assemble(ctx, api.AssembleRequest{Source: haltingSource})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
 	}
-	var words []uint32
-	for _, w := range doc["words"].([]any) {
-		words = append(words, uint32(w.(float64)))
-	}
-	status, doc = postJSON(t, ts, "/v1/run", marshal(t, RunRequest{Words: words}))
-	if status != http.StatusOK {
-		t.Fatalf("run status = %d, want 200 (%v)", status, doc)
+	if _, err := c.Run(ctx, api.RunRequest{Words: asm.Words}); err != nil {
+		t.Fatalf("run from words: %v", err)
 	}
 }
 
@@ -172,16 +204,16 @@ loop:	addi r1, r1, -1
 `
 
 func TestRunWithFaults(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, _ := newTestServer(t, Config{})
 	body := fmt.Sprintf(`{"source": %q, "policy": "steering", "params": {"FaultTransientRate": 0.002, "FaultPermanentRate": 0.0002, "FaultSeed": 11}}`, faultySource)
 	status, doc := postJSON(t, ts, "/v1/run", body)
 	if status != http.StatusOK {
 		t.Fatalf("status = %d, want 200 (%v)", status, doc)
 	}
-	report := doc["report"].(map[string]any)
-	faults, ok := report["faults"].(map[string]any)
+	rep := doc["report"].(map[string]any)
+	faults, ok := rep["faults"].(map[string]any)
 	if !ok {
-		t.Fatalf("report has no faults block: %v", report)
+		t.Fatalf("report has no faults block: %v", rep)
 	}
 	if faults["scrubScans"].(float64) == 0 {
 		t.Errorf("no scrub scans recorded in %v", faults)
@@ -189,7 +221,7 @@ func TestRunWithFaults(t *testing.T) {
 }
 
 func TestSweepWithFaultRates(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	_, ts, _ := newTestServer(t, Config{Workers: 2})
 	body := fmt.Sprintf(`{"source": %q, "points": [
 		{"policy": "steering"},
 		{"policy": "steering", "params": {"FaultTransientRate": 0.002, "FaultSeed": 11}},
@@ -208,8 +240,8 @@ func TestSweepWithFaultRates(t *testing.T) {
 		if p["error"] != nil {
 			t.Fatalf("point %d: unexpected error %v", i, p["error"])
 		}
-		report := p["report"].(map[string]any)
-		_, hasFaults := report["faults"]
+		rep := p["report"].(map[string]any)
+		_, hasFaults := rep["faults"]
 		if wantFaults := i > 0; hasFaults != wantFaults {
 			t.Errorf("point %d: faults block present = %v, want %v", i, hasFaults, wantFaults)
 		}
@@ -217,26 +249,28 @@ func TestSweepWithFaultRates(t *testing.T) {
 }
 
 func TestRunBadRequests(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	// Raw bodies on purpose: these pin the wire format (malformed JSON,
+	// unknown fields) the typed client cannot produce.
+	_, ts, _ := newTestServer(t, Config{})
 	cases := []struct {
 		name     string
 		body     string
 		wantCode string
 	}{
-		{"malformed JSON", `{"source": `, CodeInvalidRequest},
-		{"unknown field", `{"sauce": "halt"}`, CodeInvalidRequest},
-		{"trailing data", fmt.Sprintf(`{"source": %q} junk`, haltingSource), CodeInvalidRequest},
-		{"no program", `{}`, CodeInvalidRequest},
-		{"source and words", fmt.Sprintf(`{"source": %q, "words": [1]}`, haltingSource), CodeInvalidRequest},
-		{"unknown policy", fmt.Sprintf(`{"source": %q, "policy": "bogus"}`, haltingSource), CodeUnknownPolicy},
-		{"negative timeout", fmt.Sprintf(`{"source": %q, "timeoutMs": -1}`, haltingSource), CodeInvalidRequest},
-		{"negative cycles", fmt.Sprintf(`{"source": %q, "maxCycles": -1}`, haltingSource), CodeInvalidParams},
-		{"bad params", fmt.Sprintf(`{"source": %q, "params": {"WindowSize": -3}}`, haltingSource), CodeInvalidParams},
-		{"fault rate above 1", fmt.Sprintf(`{"source": %q, "params": {"FaultTransientRate": 1.5}}`, haltingSource), CodeInvalidParams},
-		{"negative fault rate", fmt.Sprintf(`{"source": %q, "params": {"FaultPermanentRate": -0.1}}`, haltingSource), CodeInvalidParams},
-		{"fault rates sum above 1", fmt.Sprintf(`{"source": %q, "params": {"FaultTransientRate": 0.6, "FaultPermanentRate": 0.6}}`, haltingSource), CodeInvalidParams},
-		{"negative scrub interval", fmt.Sprintf(`{"source": %q, "params": {"FaultScrubInterval": -1}}`, haltingSource), CodeInvalidParams},
-		{"negative config bus width", fmt.Sprintf(`{"source": %q, "params": {"ConfigBusWidth": -2}}`, haltingSource), CodeInvalidParams},
+		{"malformed JSON", `{"source": `, api.CodeInvalidRequest},
+		{"unknown field", `{"sauce": "halt"}`, api.CodeInvalidRequest},
+		{"trailing data", fmt.Sprintf(`{"source": %q} junk`, haltingSource), api.CodeInvalidRequest},
+		{"no program", `{}`, api.CodeInvalidRequest},
+		{"source and words", fmt.Sprintf(`{"source": %q, "words": [1]}`, haltingSource), api.CodeInvalidRequest},
+		{"unknown policy", fmt.Sprintf(`{"source": %q, "policy": "bogus"}`, haltingSource), api.CodeUnknownPolicy},
+		{"negative timeout", fmt.Sprintf(`{"source": %q, "timeoutMs": -1}`, haltingSource), api.CodeInvalidRequest},
+		{"negative cycles", fmt.Sprintf(`{"source": %q, "maxCycles": -1}`, haltingSource), api.CodeInvalidParams},
+		{"bad params", fmt.Sprintf(`{"source": %q, "params": {"WindowSize": -3}}`, haltingSource), api.CodeInvalidParams},
+		{"fault rate above 1", fmt.Sprintf(`{"source": %q, "params": {"FaultTransientRate": 1.5}}`, haltingSource), api.CodeInvalidParams},
+		{"negative fault rate", fmt.Sprintf(`{"source": %q, "params": {"FaultPermanentRate": -0.1}}`, haltingSource), api.CodeInvalidParams},
+		{"fault rates sum above 1", fmt.Sprintf(`{"source": %q, "params": {"FaultTransientRate": 0.6, "FaultPermanentRate": 0.6}}`, haltingSource), api.CodeInvalidParams},
+		{"negative scrub interval", fmt.Sprintf(`{"source": %q, "params": {"FaultScrubInterval": -1}}`, haltingSource), api.CodeInvalidParams},
+		{"negative config bus width", fmt.Sprintf(`{"source": %q, "params": {"ConfigBusWidth": -2}}`, haltingSource), api.CodeInvalidParams},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -252,29 +286,24 @@ func TestRunBadRequests(t *testing.T) {
 }
 
 func TestRunPrefetchPolicy(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	status, doc := postJSON(t, ts, "/v1/run",
-		fmt.Sprintf(`{"source": %q, "policy": "prefetch"}`, haltingSource))
-	if status != http.StatusOK {
-		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	_, ts, c := newTestServer(t, Config{})
+	resp, err := c.Run(context.Background(), api.RunRequest{
+		Source:  haltingSource,
+		RunSpec: api.RunSpec{Policy: policy(t, "prefetch")},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
 	}
-	report := doc["report"].(map[string]any)
-	if report["policy"] != "prefetch" {
-		t.Errorf("report policy = %v, want prefetch", report["policy"])
+	rep := report(t, resp.Report)
+	if rep["policy"] != "prefetch" {
+		t.Errorf("report policy = %v, want prefetch", rep["policy"])
 	}
-	if _, ok := report["prefetch"].(map[string]any); !ok {
-		t.Errorf("report has no prefetch block: %v", report)
+	if _, ok := rep["prefetch"].(map[string]any); !ok {
+		t.Errorf("report has no prefetch block: %v", rep)
 	}
 
 	// The run's prefetch accounting aggregates into the service metrics.
-	resp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatalf("GET /metrics: %v", err)
-	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	buf.ReadFrom(resp.Body) //nolint:errcheck
-	text := buf.String()
+	text := metricsText(t, ts.URL)
 	for _, name := range prefetchCounterNames {
 		if !strings.Contains(text, fmt.Sprintf("rssd_prefetch_total{counter=%q}", name)) {
 			t.Errorf("metrics missing rssd_prefetch_total counter %q\n%s", name, text)
@@ -287,7 +316,7 @@ func TestRunPrefetchPolicy(t *testing.T) {
 // enumerate every parseable policy, so the API surface and
 // rsssim -list-policies can never drift apart.
 func TestUnknownPolicyEnvelopeListsAll(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, _ := newTestServer(t, Config{})
 	status, doc := postJSON(t, ts, "/v1/run",
 		fmt.Sprintf(`{"source": %q, "policy": "bogus"}`, haltingSource))
 	if status != http.StatusBadRequest {
@@ -303,78 +332,76 @@ func TestUnknownPolicyEnvelopeListsAll(t *testing.T) {
 }
 
 func TestRunBodyTooLarge(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	_, _, c := newTestServer(t, Config{MaxBodyBytes: 1024})
 	big := strings.Repeat("# padding line\n", 200) + haltingSource
-	status, doc := postJSON(t, ts, "/v1/run", fmt.Sprintf(`{"source": %q}`, big))
-	if status != http.StatusRequestEntityTooLarge {
-		t.Fatalf("status = %d, want 413 (%v)", status, doc)
+	_, err := c.Run(context.Background(), api.RunRequest{Source: big})
+	apiErr := apiError(t, err)
+	if apiErr.Status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (%v)", apiErr.Status, apiErr)
 	}
-	if code := errCode(t, doc); code != CodeBodyTooLarge {
-		t.Errorf("code = %s, want %s", code, CodeBodyTooLarge)
+	if apiErr.Code != api.CodeBodyTooLarge {
+		t.Errorf("code = %s, want %s", apiErr.Code, api.CodeBodyTooLarge)
 	}
 }
 
 func TestRunCycleLimit(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	status, doc := postJSON(t, ts, "/v1/run",
-		fmt.Sprintf(`{"source": %q, "maxCycles": 1000}`, spinSource))
-	if status != http.StatusUnprocessableEntity {
-		t.Fatalf("status = %d, want 422 (%v)", status, doc)
+	_, _, c := newTestServer(t, Config{})
+	_, err := c.Run(context.Background(), api.RunRequest{
+		Source:  spinSource,
+		RunSpec: api.RunSpec{MaxCycles: 1000},
+	})
+	apiErr := apiError(t, err)
+	if apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (%v)", apiErr.Status, apiErr)
 	}
-	if code := errCode(t, doc); code != CodeCycleLimit {
-		t.Errorf("code = %s, want %s", code, CodeCycleLimit)
+	if apiErr.Code != api.CodeCycleLimit {
+		t.Errorf("code = %s, want %s", apiErr.Code, api.CodeCycleLimit)
 	}
 }
 
 func TestRunDeadline(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, _, c := newTestServer(t, Config{})
 	// A program that never halts, a cycle budget far beyond what 100ms
 	// can simulate, and a short request deadline: the deadline wins.
-	status, doc := postJSON(t, ts, "/v1/run",
-		fmt.Sprintf(`{"source": %q, "maxCycles": 500000000, "timeoutMs": 100}`, spinSource))
-	if status != http.StatusGatewayTimeout {
-		t.Fatalf("status = %d, want 504 (%v)", status, doc)
+	_, err := c.Run(context.Background(), api.RunRequest{
+		Source:    spinSource,
+		TimeoutMs: 100,
+		RunSpec:   api.RunSpec{MaxCycles: 500_000_000},
+	})
+	apiErr := apiError(t, err)
+	if apiErr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%v)", apiErr.Status, apiErr)
 	}
-	if code := errCode(t, doc); code != CodeDeadlineExceeded {
-		t.Errorf("code = %s, want %s", code, CodeDeadlineExceeded)
+	if apiErr.Code != api.CodeDeadlineExceeded {
+		t.Errorf("code = %s, want %s", apiErr.Code, api.CodeDeadlineExceeded)
 	}
 }
 
 func TestSweep(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 4})
-	req := SweepRequest{
-		Source: haltingSource,
-		Points: []RunSpec{},
-	}
+	_, _, c := newTestServer(t, Config{Workers: 4})
 	policies := []string{"steering", "static-integer", "static-memory", "static-floating", "ffu-only", "full-reconfig", "oracle", "random", "demand"}
-	body := `{"source": ` + marshal(t, req.Source) + `, "points": [`
-	for i, p := range policies {
-		if i > 0 {
-			body += ","
-		}
-		body += fmt.Sprintf(`{"policy": %q}`, p)
+	req := api.SweepRequest{Source: haltingSource}
+	for _, p := range policies {
+		req.Points = append(req.Points, api.RunSpec{Policy: policy(t, p)})
 	}
-	body += `]}`
-	status, doc := postJSON(t, ts, "/v1/sweep", body)
-	if status != http.StatusOK {
-		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	resp, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
 	}
-	points := doc["points"].([]any)
-	if len(points) != len(policies) {
-		t.Fatalf("got %d points, want %d", len(points), len(policies))
+	if len(resp.Points) != len(policies) {
+		t.Fatalf("got %d points, want %d", len(resp.Points), len(policies))
 	}
-	for i, raw := range points {
-		p := raw.(map[string]any)
-		if p["index"].(float64) != float64(i) {
-			t.Errorf("point %d: index = %v", i, p["index"])
+	for i, p := range resp.Points {
+		if p.Index != i {
+			t.Errorf("point %d: index = %d", i, p.Index)
 		}
-		if p["policy"] != policies[i] {
-			t.Errorf("point %d: policy = %v, want %s", i, p["policy"], policies[i])
+		if p.Policy != policies[i] {
+			t.Errorf("point %d: policy = %v, want %s", i, p.Policy, policies[i])
 		}
-		if p["error"] != nil {
-			t.Errorf("point %d: unexpected error %v", i, p["error"])
+		if p.Error != nil {
+			t.Errorf("point %d: unexpected error %v", i, p.Error)
 		}
-		if _, ok := p["report"].(map[string]any); !ok {
+		if len(p.Report) == 0 {
 			t.Errorf("point %d: missing report", i)
 		}
 	}
@@ -384,19 +411,26 @@ func TestSweepConcurrent(t *testing.T) {
 	// Several sweeps in flight at once over a 2-worker pool: results must
 	// stay complete and ordered while jobs from different requests
 	// interleave on the shared slots (the -race run is the real check).
-	_, ts := newTestServer(t, Config{Workers: 2, Backlog: 16})
-	body := fmt.Sprintf(`{"source": %q, "points": [{"policy": "steering"}, {"policy": "ffu-only"}, {"policy": "demand"}]}`, haltingSource)
+	_, _, c := newTestServer(t, Config{Workers: 2, Backlog: 16})
+	req := api.SweepRequest{
+		Source: haltingSource,
+		Points: []api.RunSpec{
+			{Policy: policy(t, "steering")},
+			{Policy: policy(t, "ffu-only")},
+			{Policy: policy(t, "demand")},
+		},
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			status, doc := postJSON(t, ts, "/v1/sweep", body)
-			if status != http.StatusOK {
-				t.Errorf("status = %d, want 200 (%v)", status, doc)
+			resp, err := c.Sweep(context.Background(), req)
+			if err != nil {
+				t.Errorf("sweep: %v", err)
 				return
 			}
-			if n := len(doc["points"].([]any)); n != 3 {
+			if n := len(resp.Points); n != 3 {
 				t.Errorf("got %d points, want 3", n)
 			}
 		}()
@@ -405,34 +439,34 @@ func TestSweepConcurrent(t *testing.T) {
 }
 
 func TestSweepPointErrorIsData(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, _, c := newTestServer(t, Config{})
 	// One good point, one that exhausts its cycle budget: the sweep
 	// succeeds and the failure rides in the point's error field.
-	body := fmt.Sprintf(`{"source": %q, "points": [{"policy": "steering"}, {"policy": "steering", "maxCycles": 2}]}`, haltingSource)
-	status, doc := postJSON(t, ts, "/v1/sweep", body)
-	if status != http.StatusOK {
-		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	resp, err := c.Sweep(context.Background(), api.SweepRequest{
+		Source: haltingSource,
+		Points: []api.RunSpec{{}, {MaxCycles: 2}},
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
 	}
-	points := doc["points"].([]any)
-	if e := points[0].(map[string]any)["error"]; e != nil {
+	if e := resp.Points[0].Error; e != nil {
 		t.Errorf("point 0: unexpected error %v", e)
 	}
-	env, ok := points[1].(map[string]any)["error"].(map[string]any)
-	if !ok || env["code"] != CodeCycleLimit {
-		t.Errorf("point 1: error = %v, want code %s", points[1], CodeCycleLimit)
+	if e := resp.Points[1].Error; e == nil || e.Code != api.CodeCycleLimit {
+		t.Errorf("point 1: error = %v, want code %s", resp.Points[1].Error, api.CodeCycleLimit)
 	}
 }
 
 func TestSweepBadRequests(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxSweepPoints: 2})
+	_, ts, _ := newTestServer(t, Config{MaxSweepPoints: 2})
 	cases := []struct {
 		name     string
 		body     string
 		wantCode string
 	}{
-		{"no points", fmt.Sprintf(`{"source": %q, "points": []}`, haltingSource), CodeInvalidRequest},
-		{"too many points", fmt.Sprintf(`{"source": %q, "points": [{}, {}, {}]}`, haltingSource), CodeInvalidRequest},
-		{"bad point params", fmt.Sprintf(`{"source": %q, "points": [{"maxCycles": -1}]}`, haltingSource), CodeInvalidParams},
+		{"no points", fmt.Sprintf(`{"source": %q, "points": []}`, haltingSource), api.CodeInvalidRequest},
+		{"too many points", fmt.Sprintf(`{"source": %q, "points": [{}, {}, {}]}`, haltingSource), api.CodeInvalidRequest},
+		{"bad point params", fmt.Sprintf(`{"source": %q, "points": [{"maxCycles": -1}]}`, haltingSource), api.CodeInvalidParams},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -448,25 +482,29 @@ func TestSweepBadRequests(t *testing.T) {
 }
 
 func TestSweepDeadline(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
-	body := fmt.Sprintf(`{"source": %q, "timeoutMs": 100, "points": [{"maxCycles": 500000000}, {"maxCycles": 500000000}]}`, spinSource)
-	status, doc := postJSON(t, ts, "/v1/sweep", body)
-	if status != http.StatusGatewayTimeout {
-		t.Fatalf("status = %d, want 504 (%v)", status, doc)
+	_, _, c := newTestServer(t, Config{Workers: 2})
+	_, err := c.Sweep(context.Background(), api.SweepRequest{
+		Source:    spinSource,
+		TimeoutMs: 100,
+		Points:    []api.RunSpec{{MaxCycles: 500_000_000}, {MaxCycles: 500_000_000}},
+	})
+	apiErr := apiError(t, err)
+	if apiErr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%v)", apiErr.Status, apiErr)
 	}
-	if code := errCode(t, doc); code != CodeDeadlineExceeded {
-		t.Errorf("code = %s, want %s", code, CodeDeadlineExceeded)
+	if apiErr.Code != api.CodeDeadlineExceeded {
+		t.Errorf("code = %s, want %s", apiErr.Code, api.CodeDeadlineExceeded)
 	}
 }
 
 func TestHealthz(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 3})
-	status, doc := getJSON(t, ts, "/v1/healthz")
-	if status != http.StatusOK {
-		t.Fatalf("status = %d, want 200", status)
+	s, _, c := newTestServer(t, Config{Workers: 3})
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("health: %v", err)
 	}
-	if doc["status"] != "ok" || doc["workers"].(float64) != 3 {
-		t.Errorf("healthz = %v, want ok/3 workers", doc)
+	if h.Status != "ok" || h.Workers != 3 {
+		t.Errorf("healthz = %+v, want ok/3 workers", h)
 	}
 	if s.Draining() {
 		t.Errorf("fresh server reports draining")
@@ -474,31 +512,57 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestDrainRejectsNewJobs(t *testing.T) {
-	s, ts := newTestServer(t, Config{})
+	s, _, c := newTestServer(t, Config{})
 	s.StartDrain()
+	ctx := context.Background()
 
-	status, doc := getJSON(t, ts, "/v1/healthz")
-	if status != http.StatusServiceUnavailable || doc["status"] != "draining" {
-		t.Errorf("healthz while draining = %d %v, want 503 draining", status, doc)
+	if _, err := c.Health(ctx); err == nil {
+		t.Errorf("healthz while draining returned no error")
 	}
-	status, doc = postJSON(t, ts, "/v1/run", fmt.Sprintf(`{"source": %q}`, haltingSource))
-	if status != http.StatusServiceUnavailable {
-		t.Fatalf("run while draining: status = %d, want 503 (%v)", status, doc)
+	_, err := c.Run(ctx, api.RunRequest{Source: haltingSource})
+	apiErr := apiError(t, err)
+	if apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("run while draining: status = %d, want 503 (%v)", apiErr.Status, apiErr)
 	}
-	if code := errCode(t, doc); code != CodeDraining {
-		t.Errorf("code = %s, want %s", code, CodeDraining)
+	if apiErr.Code != api.CodeDraining {
+		t.Errorf("code = %s, want %s", apiErr.Code, api.CodeDraining)
 	}
-	status, doc = postJSON(t, ts, "/v1/sweep", fmt.Sprintf(`{"source": %q, "points": [{}]}`, haltingSource))
-	if status != http.StatusServiceUnavailable {
-		t.Errorf("sweep while draining: status = %d, want 503 (%v)", status, doc)
+	_, err = c.Sweep(ctx, api.SweepRequest{Source: haltingSource, Points: []api.RunSpec{{}}})
+	if apiErr := apiError(t, err); apiErr.Status != http.StatusServiceUnavailable {
+		t.Errorf("sweep while draining: status = %d, want 503 (%v)", apiErr.Status, apiErr)
+	}
+	_, err = c.SubmitJob(ctx, api.JobRequest{Source: haltingSource, Points: []api.RunSpec{{}}})
+	if apiErr := apiError(t, err); apiErr.Code != api.CodeDraining {
+		t.Errorf("job submit while draining: code = %s, want %s", apiErr.Code, api.CodeDraining)
+	}
+}
+
+// TestClientRetriesDraining pins the client's bounded 503 retry: a
+// server that stops draining between attempts sees the retried request
+// succeed without the caller noticing.
+func TestClientRetriesDraining(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	s.StartDrain()
+	c := client.New(ts.URL, client.WithRetry(5, time.Millisecond))
+	go func() {
+		// Un-drain shortly after the first rejection.
+		time.Sleep(10 * time.Millisecond)
+		s.draining.Store(false)
+	}()
+	if _, err := c.Run(context.Background(), api.RunRequest{Source: haltingSource}); err != nil {
+		t.Fatalf("retried run failed: %v", err)
 	}
 }
 
 func TestQueueFull(t *testing.T) {
 	// One worker, one backlog slot: two endless jobs fill the queue, the
 	// third is rejected immediately with 503/queue_full.
-	_, ts := newTestServer(t, Config{Workers: 1, Backlog: 1})
-	body := fmt.Sprintf(`{"source": %q, "maxCycles": 500000000, "timeoutMs": 30000}`, spinSource)
+	_, _, c := newTestServer(t, Config{Workers: 1, Backlog: 1})
+	req := api.RunRequest{
+		Source:    spinSource,
+		TimeoutMs: 30_000,
+		RunSpec:   api.RunSpec{MaxCycles: 500_000_000},
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
@@ -506,17 +570,7 @@ func TestQueueFull(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run",
-				bytes.NewReader([]byte(body)))
-			if err != nil {
-				t.Errorf("building request: %v", err)
-				return
-			}
-			req.Header.Set("Content-Type", "application/json")
-			resp, err := http.DefaultClient.Do(req)
-			if err == nil {
-				resp.Body.Close() // cancelled below; outcome is irrelevant
-			}
+			c.Run(ctx, req) //nolint:errcheck // cancelled below; outcome is irrelevant
 		}()
 	}
 	defer func() { cancel(); wg.Wait() }()
@@ -524,29 +578,37 @@ func TestQueueFull(t *testing.T) {
 	// Wait for both jobs to be admitted (one running, one queued).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, doc := getJSON(t, ts, "/v1/healthz")
-		if doc["admitted"].(float64) >= 2 {
+		h, err := c.Health(context.Background())
+		if err != nil {
+			t.Fatalf("health: %v", err)
+		}
+		if h.Admitted >= 2 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("jobs never filled the queue: %v", doc)
+			t.Fatalf("jobs never filled the queue: %+v", h)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	status, doc := postJSON(t, ts, "/v1/run", body)
-	if status != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d, want 503 (%v)", status, doc)
+	_, err := c.Run(context.Background(), req)
+	apiErr := apiError(t, err)
+	if apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (%v)", apiErr.Status, apiErr)
 	}
-	if code := errCode(t, doc); code != CodeQueueFull {
-		t.Errorf("code = %s, want %s", code, CodeQueueFull)
+	if apiErr.Code != api.CodeQueueFull {
+		t.Errorf("code = %s, want %s", apiErr.Code, api.CodeQueueFull)
 	}
 }
 
 func TestMetrics(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	postJSON(t, ts, "/v1/run", fmt.Sprintf(`{"source": %q}`, haltingSource))
-	postJSON(t, ts, "/v1/run", fmt.Sprintf(`{"source": %q}`, haltingSource))
+	_, ts, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Run(ctx, api.RunRequest{Source: haltingSource}); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -574,22 +636,25 @@ func TestMetrics(t *testing.T) {
 }
 
 func TestProgramCacheEviction(t *testing.T) {
-	_, ts := newTestServer(t, Config{CacheSize: 2})
+	_, _, c := newTestServer(t, Config{CacheSize: 2})
+	ctx := context.Background()
 	srcs := []string{
 		"li r1, 1\nhalt\n",
 		"li r1, 2\nhalt\n",
 		"li r1, 3\nhalt\n",
 	}
 	for _, src := range srcs {
-		postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: src}))
+		if _, err := c.Assemble(ctx, api.AssembleRequest{Source: src}); err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
 	}
 	// The first source was evicted by the third; re-assembling it must
 	// miss, while the third is still resident.
-	if _, doc := postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: srcs[0]})); doc["cached"].(bool) {
-		t.Errorf("evicted program reported cached")
+	if resp, err := c.Assemble(ctx, api.AssembleRequest{Source: srcs[0]}); err != nil || resp.Cached {
+		t.Errorf("evicted program reported cached (err %v)", err)
 	}
-	if _, doc := postJSON(t, ts, "/v1/assemble", marshal(t, AssembleRequest{Source: srcs[2]})); !doc["cached"].(bool) {
-		t.Errorf("resident program reported uncached")
+	if resp, err := c.Assemble(ctx, api.AssembleRequest{Source: srcs[2]}); err != nil || !resp.Cached {
+		t.Errorf("resident program reported uncached (err %v)", err)
 	}
 }
 
@@ -602,7 +667,7 @@ func TestProgramCacheDisabled(t *testing.T) {
 }
 
 func TestMethodNotAllowed(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, _ := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/v1/run")
 	if err != nil {
 		t.Fatalf("GET /v1/run: %v", err)
