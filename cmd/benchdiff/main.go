@@ -10,9 +10,12 @@
 //	benchdiff -baseline BENCH_2026-08-06.json -in bench.out -threshold 15
 //	benchdiff -baseline BENCH_2026-08-06.json -in bench.out -require Fig2SelectionUnit,Fig3CEMBehavioural
 //
-// Benchmarks present in only one side are reported but not fatal
-// (suites grow); -require names benchmarks that must appear in the
-// fresh run, so a gate cannot silently pass because its subject was
+// Benchmarks present in only one side are warned about and skipped,
+// never fatal: suites grow (fresh-only names print as NEW) and gates
+// often run a -bench subset of the committed file (baseline-only names
+// print as SKIP). Even zero overlap only warns — -require names
+// benchmarks that must appear in the fresh run, so a gate that must
+// compare something cannot silently pass because its subject was
 // renamed away. Exit status: 0 clean, 1 regression or missing required
 // benchmark, 2 usage or I/O error.
 package main
@@ -105,9 +108,21 @@ func main() {
 				name, ref.NsPerOp, cur.NsPerOp, pct)
 		}
 	}
+	// Baseline benchmarks the fresh run did not exercise: a -bench
+	// subset or a renamed suite. Warn and skip; -require is the strict
+	// form when a particular comparison must not vanish.
+	baseOnly := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := fresh[name]; !ok {
+			baseOnly = append(baseOnly, name)
+		}
+	}
+	sort.Strings(baseOnly)
+	for _, name := range baseOnly {
+		fmt.Printf("SKIP     %-45s in baseline only; not compared\n", name)
+	}
 	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark in the fresh run matches the baseline")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "benchdiff: warning: no benchmark in the fresh run matches the baseline; nothing compared")
 	}
 	if failed {
 		fmt.Printf("\nFAIL: ns/op regression beyond %.0f%% against %s\n", *threshold, *baselinePath)

@@ -14,6 +14,13 @@
 // Without -program it synthesizes the paper's phase-alternating
 // workload (deterministic for a given -synth-seed), so a bare rssbench
 // against a fresh rssd produces a meaningful table.
+//
+// The grid is ordered seed-innermost on purpose: points of one
+// policy × latency cell differ only by seed, which is exactly the
+// lane-compatibility rule of rssd's wide machine, so the server batches
+// each cell's seed replicas onto the lanes of one simulator pass (see
+// rssd's -batch-lanes). Results are unaffected — lane runs are
+// bit-identical to scalar runs — only throughput changes.
 package main
 
 import (
@@ -103,7 +110,9 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 	}
 
 	// Build the grid in deterministic order: policy-major, then latency,
-	// then seed — the point index maps back through the same order.
+	// then seed — the point index maps back through the same order, and
+	// seed-innermost keeps each cell's replicas adjacent so the server
+	// can batch them onto one wide machine.
 	var grid []gridPoint
 	for _, pname := range policyNames {
 		p, err := repro.ParsePolicy(pname)

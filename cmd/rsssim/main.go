@@ -12,6 +12,7 @@
 //	rsssim -kernel matmul -metrics - -metrics-format csv    # to stdout
 //	rsssim -synthetic alternating -prefetch -trace-spans trace.json  # Perfetto timeline
 //	rsssim -kernel saxpy -fault-rate 0.01 -flight-dump dump.json     # dump ring at anomaly
+//	rsssim -kernel matmul -lanes 16        # 16 seeded replicas on the wide machine
 //	rsssim -kernels            # list built-in kernels
 package main
 
@@ -19,12 +20,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/bits"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/span"
+	"repro/internal/wide"
 )
 
 func main() {
@@ -45,6 +49,7 @@ func main() {
 		lookahead  = flag.Bool("lookahead", false, "feed the manager fetched-but-undispatched demand too (X10)")
 		residency  = flag.Int("residency", 0, "minimum cycles between configuration loads (X11)")
 		jsonOut    = flag.Bool("json", false, "emit the run report as JSON instead of text")
+		lanes      = flag.Int("lanes", 1, "run N seeded replicas (seeds seed..seed+N-1) as lanes of the wide machine and print per-lane IPC plus aggregate throughput")
 
 		faultRate     = flag.Float64("fault-rate", 0, "per-slot per-cycle probability of a transient configuration upset (0 disables fault injection)")
 		faultPermRate = flag.Float64("fault-permanent-rate", 0, "per-slot per-cycle probability of a permanent configuration fault")
@@ -95,6 +100,27 @@ func main() {
 	}
 	if *spansFormat != "chrome" && *spansFormat != "jsonl" {
 		fail(fmt.Errorf("-trace-spans-format must be chrome or jsonl, got %q", *spansFormat))
+	}
+	if *lanes < 1 || *lanes > wide.MaxLanes {
+		fail(fmt.Errorf("-lanes must be in [1,%d], got %d", wide.MaxLanes, *lanes))
+	}
+	if *lanes > 1 {
+		// Per-machine instrumentation attaches to one lane's machine;
+		// with several lanes the outputs would interleave meaninglessly.
+		for _, conflict := range []struct {
+			set  bool
+			name string
+		}{
+			{*traceN > 0, "-trace"},
+			{*metricsPath != "", "-metrics"},
+			{*spansPath != "", "-trace-spans"},
+			{*flightPath != "", "-flight-dump"},
+			{*jsonOut, "-json"},
+		} {
+			if conflict.set {
+				fail(fmt.Errorf("%s is per-run instrumentation and conflicts with -lanes", conflict.name))
+			}
+		}
 	}
 	if *prefetchOn {
 		policySet := false
@@ -157,20 +183,29 @@ func main() {
 		opt.Basis = &basis
 	}
 
-	var m *repro.Machine
-	var validate func() error
+	// build constructs one fully set-up machine for a lane seed, plus an
+	// optional output validator. The scalar path calls it once with the
+	// base seed; -lanes N calls it per lane with seed..seed+N-1.
+	var build func(laneSeed int64) (*repro.Machine, func(*repro.Machine) error)
 	switch {
 	case *kernelName != "":
 		k := repro.KernelByName(*kernelName)
 		if k == nil {
 			fail(fmt.Errorf("unknown kernel %q; try -kernels", *kernelName))
 		}
-		m = repro.NewMachine(k.Program(), opt)
-		if k.Setup != nil {
-			k.Setup(m.Processor().Memory(), m.Processor().SetReg)
-		}
-		if k.Validate != nil {
-			validate = func() error { return k.Validate(m.Processor().Reg, m.Processor().Memory()) }
+		build = func(laneSeed int64) (*repro.Machine, func(*repro.Machine) error) {
+			o := opt
+			o.Seed = laneSeed
+			m := repro.NewMachine(k.Program(), o)
+			if k.Setup != nil {
+				k.Setup(m.Processor().Memory(), m.Processor().SetReg)
+			}
+			if k.Validate == nil {
+				return m, nil
+			}
+			return m, func(m *repro.Machine) error {
+				return k.Validate(m.Processor().Reg, m.Processor().Memory())
+			}
 		}
 
 	case *asmPath != "":
@@ -182,19 +217,40 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		m = repro.NewMachineFromUnit(unit, opt)
+		build = func(laneSeed int64) (*repro.Machine, func(*repro.Machine) error) {
+			o := opt
+			o.Seed = laneSeed
+			return repro.NewMachineFromUnit(unit, o), nil
+		}
 
 	case *synthetic != "":
-		prog, err := syntheticProgram(*synthetic, *seed)
-		if err != nil {
-			fail(err)
+		build = func(laneSeed int64) (*repro.Machine, func(*repro.Machine) error) {
+			// The workload itself is seeded too: each lane simulates a
+			// distinct draw of the same synthetic mix.
+			prog, err := syntheticProgram(*synthetic, laneSeed)
+			if err != nil {
+				fail(err)
+			}
+			o := opt
+			o.Seed = laneSeed
+			return repro.NewMachine(prog, o), nil
 		}
-		m = repro.NewMachine(prog, opt)
 
 	default:
 		fmt.Fprintln(os.Stderr, "one of -kernel, -asm or -synthetic is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *lanes > 1 {
+		runWide(build, *lanes, *seed, *maxCycles)
+		return
+	}
+
+	m, v := build(*seed)
+	var validate func() error
+	if v != nil {
+		validate = func() error { return v(m) }
 	}
 
 	if *traceN > 0 {
@@ -284,6 +340,53 @@ func main() {
 		return
 	}
 	fmt.Print(m.Report())
+}
+
+// runWide runs n seeded replicas (seeds seed..seed+n-1) as lanes of one
+// wide machine and prints a per-lane result table plus the aggregate
+// throughput: total simulated cycles across all lanes over the wall
+// time of the single batched pass.
+func runWide(build func(int64) (*repro.Machine, func(*repro.Machine) error), n int, seed int64, maxCycles int) {
+	lanes := make([]wide.Lane, n)
+	validators := make([]func(*repro.Machine) error, n)
+	for i := range lanes {
+		m, v := build(seed + int64(i))
+		lanes[i] = wide.Lane{M: m, MaxCycles: maxCycles}
+		validators[i] = v
+	}
+	w := wide.New(lanes)
+	start := time.Now()
+	results := w.Run()
+	elapsed := time.Since(start)
+
+	failed := false
+	totalCycles := 0
+	fmt.Printf("%-5s %-7s %12s %12s %8s  %s\n", "lane", "seed", "cycles", "retired", "IPC", "status")
+	for i, r := range results {
+		totalCycles += r.Stats.Cycles
+		status := "halt"
+		switch {
+		case r.Err != nil:
+			status = r.Err.Error()
+			failed = true
+		case validators[i] != nil:
+			if err := validators[i](w.Lane(i)); err != nil {
+				status = fmt.Sprintf("validation: %v", err)
+				failed = true
+			} else {
+				status = "halt, validated OK"
+			}
+		}
+		fmt.Printf("%-5d %-7d %12d %12d %8.3f  %s\n",
+			i, seed+int64(i), r.Stats.Cycles, r.Stats.Retired, r.Stats.IPC(), status)
+	}
+	fmt.Printf("\nlanes: %d (halted %d, cycle-limited %d)\n",
+		n, bits.OnesCount64(w.HaltedMask()), bits.OnesCount64(w.LimitedMask()))
+	fmt.Printf("aggregate: %d cycles in %v = %.3g cycles/sec\n",
+		totalCycles, elapsed.Round(time.Microsecond), float64(totalCycles)/elapsed.Seconds())
+	if failed {
+		os.Exit(1)
+	}
 }
 
 func syntheticProgram(kind string, seed int64) (repro.Program, error) {

@@ -273,21 +273,27 @@ type Manager struct {
 	// metric flushes them.
 	cache      [steerCacheSize]steerEntry
 	cacheExact bool
-	// unitsScratch is the loader's reusable placement buffer (capacity
-	// bounded by the slot count, so it never regrows after NewManager).
-	unitsScratch []config.PlacedUnit
+	// basisUnits holds each basis configuration's placement list,
+	// computed once at NewManager so Load never rebuilds it.
+	basisUnits [3][]config.PlacedUnit
+	// classifyName memoizes classifyAllocation against the fabric's
+	// allocation version: the name is recomputed only when the
+	// allocation vector actually changed, not every cycle. The empty
+	// string marks "not yet computed".
+	classifyName    string
+	classifyVersion uint64
 }
 
 // NewManager binds a configuration manager to a fabric, steering with the
 // given predefined configurations. Invalid basis configurations panic.
 func NewManager(fabric *rfu.Fabric, basis [3]config.Configuration) *Manager {
 	m := &Manager{basis: basis, fabric: fabric}
-	m.unitsScratch = make([]config.PlacedUnit, 0, arch.NumRFUSlots)
 	for i, c := range basis {
 		if err := c.Validate(); err != nil {
 			panic(fmt.Sprintf("core: invalid steering configuration: %v", err))
 		}
 		m.basisAvail[i] = c.Counts().Add(config.FFUCounts())
+		m.basisUnits[i] = c.AppendUnits(nil)
 	}
 	return m
 }
@@ -441,9 +447,9 @@ func (m *Manager) Load(sel Selection) int {
 		diff = m.fabric.Allocation().Distance(target)
 	}
 	started, loading, deferred := 0, 0, 0
-	m.unitsScratch = target.AppendUnits(m.unitsScratch[:0])
-	for _, u := range m.unitsScratch {
-		if m.fabric.Allocation().Slots[u.Slot] == arch.Encode(u.Type) {
+	alloc := m.fabric.Allocation()
+	for _, u := range m.basisUnits[sel.Choice-1] {
+		if alloc.Slots[u.Slot] == arch.Encode(u.Type) {
 			continue // already implements the specified unit (§3.2)
 		}
 		if !m.fabric.CanReconfigure(u.Type, u.Slot) {
@@ -473,8 +479,19 @@ func (m *Manager) Load(sel Selection) int {
 }
 
 // classifyAllocation names the live allocation for the decision log: a
-// basis configuration's name, "(empty)", or "hybrid".
+// basis configuration's name, "(empty)", or "hybrid". The answer is a
+// pure function of the allocation vector, so it is memoized against the
+// fabric's allocation version — Step calls this every cycle but the
+// vector changes only on reconfiguration installs and salvage.
 func (m *Manager) classifyAllocation() string {
+	if v := m.fabric.AllocVersion(); v != m.classifyVersion || m.classifyName == "" {
+		m.classifyName = m.classifyAllocationSlow()
+		m.classifyVersion = v
+	}
+	return m.classifyName
+}
+
+func (m *Manager) classifyAllocationSlow() string {
 	slots := m.fabric.Allocation().Slots
 	empty := true
 	for _, e := range slots {

@@ -378,7 +378,6 @@ type Processor struct {
 	probe         *telemetry.Probe
 	spans         *span.Recorder
 	lastReconfigs int
-	reqSnapshot   []bool // per-row request lines, rebuilt each issue cycle
 
 	// Per-cycle scratch reused across cycles so the steady-state loop
 	// does not allocate: execShim is the speculative-memory adapter
@@ -421,6 +420,7 @@ func New(prog isa.Program, params Params, manager Manager) *Processor {
 		manager: manager,
 		rob:     make([]robEntry, params.WindowSize),
 	}
+	p.execShim.p = p
 	p.depsScratch = make([]int, 0, params.WindowSize)
 	p.front = fetch.NewUnit(prog, p.pred, p.tcache)
 	p.front.MemWidth = params.FetchWidthMem
@@ -554,8 +554,15 @@ func (p *Processor) Stats() Stats {
 }
 
 // slotAt returns the ROB slot holding the i-th oldest in-flight
-// instruction.
-func (p *Processor) slotAt(i int) int { return (p.head + i) % len(p.rob) }
+// instruction. i is always < len(rob), so the wrap is a single
+// conditional subtract rather than a hardware divide.
+func (p *Processor) slotAt(i int) int {
+	s := p.head + i
+	if s >= len(p.rob) {
+		s -= len(p.rob)
+	}
+	return s
+}
 
 // Cycle advances the machine one clock: timers tick, the oldest complete
 // instructions retire, the configuration policy observes the queue and
@@ -604,6 +611,19 @@ func (p *Processor) Cycle() {
 	p.dispatch()
 	p.fill()
 	p.sampleTelemetry()
+}
+
+// Advance runs up to n cycles, stopping early when HALT retires, and
+// returns the number of cycles consumed. It is the lockstep-stepping
+// primitive of the lane-parallel wide machine: the batch scheduler
+// advances each lane one chunk at a time, and a lane that halts inside
+// its chunk hands the remainder of the pass to the other lanes.
+func (p *Processor) Advance(n int) int {
+	start := p.stats.Cycles
+	for i := 0; i < n && !p.halted; i++ {
+		p.Cycle()
+	}
+	return p.stats.Cycles - start
 }
 
 // Run executes until HALT retires or maxCycles elapse. It returns the
@@ -696,17 +716,11 @@ func (p *Processor) commitStore(e *robEntry) {
 func (p *Processor) issue() {
 	// Requests are computed combinationally at the start of the cycle —
 	// a grant this cycle cannot wake a consumer until the next cycle —
-	// then served in age order (oldest first).
-	unitAvail := p.fabric.AllAvailable()
-	if p.reqSnapshot == nil {
-		p.reqSnapshot = make([]bool, p.array.Size())
-	}
-	anyRequest := false
-	for r := range p.reqSnapshot {
-		p.reqSnapshot[r] = p.array.Used(r) && p.array.Request(r, unitAvail)
-		anyRequest = anyRequest || p.reqSnapshot[r]
-	}
-	if !anyRequest {
+	// then served in age order (oldest first). The request lines come
+	// back as one bitboard: a grant or flush mid-loop does not refresh
+	// the snapshot, matching the combinational semantics.
+	reqMask := p.array.RequestMask(p.fabric.AvailableSet())
+	if reqMask == 0 {
 		p.classifyCycle(0)
 		return
 	}
@@ -722,7 +736,7 @@ func (p *Processor) issue() {
 		}
 		slot := p.slotAt(i)
 		e := &p.rob[slot]
-		if !e.valid || e.issued || !p.reqSnapshot[e.row] {
+		if !e.valid || e.issued || reqMask>>uint(e.row)&1 == 0 {
 			continue
 		}
 		latency := p.params.Latencies.Of(e.inst.Op)
@@ -765,16 +779,10 @@ func (p *Processor) classifyCycle(granted int) {
 	case p.count == 0:
 		p.stats.CyclesFrontend++
 	default:
-		// Ready work blocked only by unit availability?
-		unitBound := false
-		for i := 0; i < p.count; i++ {
-			e := &p.rob[p.slotAt(i)]
-			if !e.issued && p.array.Ready(e.row) {
-				unitBound = true
-				break
-			}
-		}
-		if unitBound {
+		// Ready work blocked only by unit availability? Unissued entries
+		// are exactly the unscheduled rows (a pileup grant reschedules),
+		// so the ready bitboard answers this in one mask op.
+		if p.array.ReadyMask() != 0 {
 			p.stats.CyclesUnits++
 		} else {
 			p.stats.CyclesDeps++
@@ -786,7 +794,12 @@ func (p *Processor) classifyCycle(granted int) {
 // recording its result, store effect, memory timing and branch outcome.
 func (p *Processor) execute(slot int, ref rfu.UnitRef) {
 	e := &p.rob[slot]
-	p.execShim = execMem{p: p, seq: e.seq}
+	// Reset the shim field-by-field: assigning a fresh execMem would
+	// rewrite the pointer field (set once at construction) and drag the
+	// write barrier into the hottest loop.
+	p.execShim.seq = e.seq
+	p.execShim.loaded = false
+	p.execShim.stored = false
 	shim := &p.execShim
 	var st isa.State
 	st.PC = e.pc

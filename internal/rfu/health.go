@@ -211,6 +211,13 @@ func (f *Fabric) recomputeHealthOK() {
 			}
 		}
 	}
+	var okMask uint16
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if f.healthOK[s] {
+			okMask |= 1 << uint(s)
+		}
+	}
+	f.healthOKMask = okMask
 	f.unavailMask, f.deadMask = unavail, dead
 }
 
@@ -295,6 +302,7 @@ func (f *Fabric) faultTick() {
 		} else {
 			f.health[s] = HealthRepairing
 			f.reconfig[s] = f.latency
+			f.reconfigMask |= 1 << uint(s)
 			f.target[s] = f.alloc.Slots[s] // restore the golden copy
 		}
 		changed = true
@@ -303,6 +311,7 @@ func (f *Fabric) faultTick() {
 	// Salvage: a dead slot permanently retires its covering unit; once
 	// that unit drains, blank the span so the surviving slots return
 	// to the steering pool as empty, placeable space.
+	allocChanged := false
 	for s := range f.health {
 		if f.health[s] != HealthDead || f.alloc.Slots[s] == arch.EncEmpty {
 			continue
@@ -310,7 +319,7 @@ func (f *Fabric) faultTick() {
 		head := f.headOf(s)
 		if head < 0 {
 			f.alloc.Slots[s] = arch.EncEmpty
-			changed = true
+			changed, allocChanged = true, true
 			continue
 		}
 		if f.busy[head] > 0 {
@@ -321,7 +330,10 @@ func (f *Fabric) faultTick() {
 		for k := lo; k < hi; k++ {
 			f.alloc.Slots[k] = arch.EncEmpty
 		}
-		changed = true
+		changed, allocChanged = true, true
+	}
+	if allocChanged {
+		f.refreshAlloc()
 	}
 
 	// Inject new upsets. One draw per slot per cycle, in slot order,

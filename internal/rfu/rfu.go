@@ -10,6 +10,7 @@ package rfu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/arch"
 	"repro/internal/config"
@@ -55,6 +56,22 @@ type Fabric struct {
 	reconfigCycles   int // slot-cycles spent reconfiguring
 	busyCycles       int // slot+FFU cycles spent executing
 
+	// Packed hot-path masks, maintained incrementally at the (rare)
+	// mutation sites so the per-cycle availability and timer scans walk
+	// only live bits instead of every slot: busyMask/reconfigMask carry
+	// the slots with running execution/reconfiguration timers,
+	// ffuBusyMask the busy fixed units, unitMask the head slots whose
+	// encoding names a unit, and healthOKMask the packed healthOK
+	// signals. allocVersion counts allocation-vector rewrites so
+	// downstream consumers (the steering manager's layout classifier)
+	// can memoize derived views.
+	busyMask     uint16
+	reconfigMask uint16
+	ffuBusyMask  uint8
+	unitMask     uint16
+	healthOKMask uint16
+	allocVersion uint64
+
 	probe *telemetry.Probe
 	spans *span.Recorder
 
@@ -82,8 +99,26 @@ func New(latency int) *Fabric {
 	for s := range f.healthOK {
 		f.healthOK[s] = true
 	}
+	f.healthOKMask = 1<<arch.NumRFUSlots - 1
 	return f
 }
+
+// refreshAlloc rebuilds the allocation-derived mask and bumps the
+// version counter. Call after any alloc.Slots mutation.
+func (f *Fabric) refreshAlloc() {
+	var m uint16
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		if _, ok := arch.DecodeUnit(f.alloc.Slots[s]); ok {
+			m |= 1 << uint(s)
+		}
+	}
+	f.unitMask = m
+	f.allocVersion++
+}
+
+// AllocVersion returns a counter that changes whenever the allocation
+// vector does — the memoization key for derived views of the layout.
+func (f *Fabric) AllocVersion() uint64 { return f.allocVersion }
 
 // ReconfigLatency returns the per-span reconfiguration latency.
 func (f *Fabric) ReconfigLatency() int { return f.latency }
@@ -176,6 +211,7 @@ func (f *Fabric) Install(cfg config.Configuration) {
 		}
 	}
 	f.alloc.Slots = cfg.Layout
+	f.refreshAlloc()
 	if f.injector != nil {
 		f.recomputeHealthOK()
 	}
@@ -212,24 +248,30 @@ func (f *Fabric) AvailableCount(t arch.UnitType) int {
 	return n
 }
 
+// AvailableSet returns the per-type availability lines packed into a
+// bitset (bit t set when a unit of type t can accept work this cycle).
+// It walks only the configured unit heads that survive the busy,
+// reconfiguring and health masks, so the per-cycle cost scales with
+// live units rather than fabric size.
+func (f *Fabric) AvailableSet() uint8 {
+	var out uint8
+	for m := f.unitMask &^ f.busyMask &^ f.reconfigMask & f.healthOKMask; m != 0; m &= m - 1 {
+		s := bits.TrailingZeros16(m)
+		t, _ := arch.DecodeUnit(f.alloc.Slots[s])
+		out |= 1 << uint(t)
+	}
+	if !f.ffuDisabled {
+		out |= ^f.ffuBusyMask & (1<<arch.NumFFUs - 1)
+	}
+	return out
+}
+
 // AllAvailable returns the per-type availability lines the wake-up array
 // consumes, without allocating.
 func (f *Fabric) AllAvailable() [arch.NumUnitTypes]bool {
 	var out [arch.NumUnitTypes]bool
-	for s := 0; s < arch.NumRFUSlots; s++ {
-		if f.busy[s] != 0 || f.reconfig[s] != 0 || !f.healthOK[s] {
-			continue
-		}
-		if t, ok := arch.DecodeUnit(f.alloc.Slots[s]); ok {
-			out[t] = true
-		}
-	}
-	if !f.ffuDisabled {
-		for t := 0; t < arch.NumFFUs; t++ {
-			if f.ffuBusy[t] == 0 {
-				out[t] = true
-			}
-		}
+	for m := f.AvailableSet(); m != 0; m &= m - 1 {
+		out[bits.TrailingZeros8(m)] = true
 	}
 	return out
 }
@@ -244,12 +286,14 @@ func (f *Fabric) Acquire(t arch.UnitType, busyCycles int) (UnitRef, bool) {
 	}
 	if f.ffuBusy[t] == 0 && !f.ffuDisabled {
 		f.ffuBusy[t] = busyCycles
+		f.ffuBusyMask |= 1 << uint(t)
 		return UnitRef{FFU: true, Idx: int(t)}, true
 	}
 	want := arch.Encode(t)
 	for s := 0; s < arch.NumRFUSlots; s++ {
 		if f.alloc.Slots[s] == want && f.busy[s] == 0 && f.reconfig[s] == 0 && f.healthOK[s] {
 			f.busy[s] = busyCycles
+			f.busyMask |= 1 << uint(s)
 			return UnitRef{Idx: s}, true
 		}
 	}
@@ -369,6 +413,9 @@ func (f *Fabric) Reconfigure(t arch.UnitType, start int) bool {
 		f.reconfig[s] = f.latency
 		f.target[s] = arch.EncCont
 	}
+	if f.latency > 0 {
+		f.reconfigMask |= (1<<uint(hi-lo) - 1) << uint(lo)
+	}
 	f.target[lo] = arch.Encode(t)
 	f.reconfigurations++
 	f.reconfigCycles += (hi - lo) * f.latency
@@ -386,6 +433,7 @@ func (f *Fabric) Reconfigure(t arch.UnitType, start int) bool {
 			}
 		}
 	}
+	f.refreshAlloc()
 	if f.injector != nil {
 		f.recomputeHealthOK()
 	}
@@ -395,29 +443,41 @@ func (f *Fabric) Reconfigure(t arch.UnitType, start int) bool {
 // Tick advances one cycle: execution busy timers and reconfiguration
 // timers count down, spans whose reconfiguration completes install
 // their new encodings, and — when a fault injector is armed — the fault
-// state machine runs (scrub, repair, salvage, new upsets).
+// state machine runs (scrub, repair, salvage, new upsets). The timer
+// scans walk the packed masks, so an idle fabric ticks in a few branches.
 func (f *Fabric) Tick() {
-	installed := false
-	for s := 0; s < arch.NumRFUSlots; s++ {
-		if f.busy[s] > 0 {
-			f.busy[s]--
-			f.busyCycles++
+	for m := f.busyMask; m != 0; m &= m - 1 {
+		s := bits.TrailingZeros16(m)
+		f.busy[s]--
+		f.busyCycles++
+		if f.busy[s] == 0 {
+			f.busyMask &^= 1 << uint(s)
 		}
-		if f.reconfig[s] > 0 {
-			f.reconfig[s]--
-			if f.reconfig[s] == 0 {
-				f.alloc.Slots[s] = f.target[s]
-				if f.injector != nil {
-					f.installHealth(s)
-					installed = true
-				}
+	}
+	installed := false
+	allocChanged := false
+	for m := f.reconfigMask; m != 0; m &= m - 1 {
+		s := bits.TrailingZeros16(m)
+		f.reconfig[s]--
+		if f.reconfig[s] == 0 {
+			f.reconfigMask &^= 1 << uint(s)
+			f.alloc.Slots[s] = f.target[s]
+			allocChanged = true
+			if f.injector != nil {
+				f.installHealth(s)
+				installed = true
 			}
 		}
 	}
-	for i := range f.ffuBusy {
-		if f.ffuBusy[i] > 0 {
-			f.ffuBusy[i]--
-			f.busyCycles++
+	if allocChanged {
+		f.refreshAlloc()
+	}
+	for m := f.ffuBusyMask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros8(m)
+		f.ffuBusy[i]--
+		f.busyCycles++
+		if f.ffuBusy[i] == 0 {
+			f.ffuBusyMask &^= 1 << uint(i)
 		}
 	}
 	if f.injector != nil {

@@ -85,11 +85,46 @@ func TestJobSubmitAndWait(t *testing.T) {
 	}
 }
 
+// TestJobBatchMatchesScalar pins the wide-machine routing invariant at
+// the service level: a job run through lane batching returns
+// byte-identical per-point reports to the same job run point by point.
+func TestJobBatchMatchesScalar(t *testing.T) {
+	ctx := context.Background()
+	run := func(lanes int) []api.PointResult {
+		_, _, c := newTestServer(t, Config{Workers: 2, BatchLanes: lanes})
+		created, err := c.SubmitJob(ctx, api.JobRequest{
+			Source: haltingSource,
+			Points: jobPoints(5), // ragged: not a multiple of the lane width
+		})
+		if err != nil {
+			t.Fatalf("submit (lanes=%d): %v", lanes, err)
+		}
+		status, err := c.WaitJob(ctx, created.ID, nil)
+		if err != nil {
+			t.Fatalf("wait (lanes=%d): %v", lanes, err)
+		}
+		if status.State != api.JobDone || status.Failed != 0 {
+			t.Fatalf("status (lanes=%d) = %+v, want done with 0 failed", lanes, status)
+		}
+		return status.Points
+	}
+	scalar := run(1)
+	batched := run(4)
+	for i := range scalar {
+		if !bytes.Equal(scalar[i].Report, batched[i].Report) {
+			t.Errorf("point %d: batched report diverges from scalar:\n  scalar:  %s\n  batched: %s",
+				i, scalar[i].Report, batched[i].Report)
+		}
+	}
+}
+
 // TestJobEventsBeforeFinish pins the streaming guarantee: with one
 // worker slot and a deliberately slow final point, the events stream
 // delivers earlier per-point results while the job is still running.
+// Lane batching is off — batched points land together by design, which
+// would let the job finish before the first event is read.
 func TestJobEventsBeforeFinish(t *testing.T) {
-	_, _, c := newTestServer(t, Config{Workers: 1})
+	_, _, c := newTestServer(t, Config{Workers: 1, BatchLanes: 1})
 	ctx := context.Background()
 
 	points := jobPoints(2)

@@ -43,6 +43,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/span"
 	"repro/internal/telemetry"
+	"repro/internal/wide"
 )
 
 // Config sizes the service; zero fields take the listed defaults.
@@ -86,6 +87,16 @@ type Config struct {
 	// WorkerSlots is the per-remote-worker point concurrency
 	// (default 4).
 	WorkerSlots int
+	// BatchLanes is the lane width of the in-process wide machine: how
+	// many lane-compatible job points one executor slot advances in
+	// lockstep as a single batch (default 8, capped at wide.MaxLanes;
+	// 1 disables batching). Widths near the worker count keep sweeps
+	// parallel across slots while each slot amortises scheduling over
+	// its lanes. Batched points complete together, so the events stream
+	// delivers their results in batch-sized bursts rather than one by
+	// one — set 1 when per-point streaming latency matters more than
+	// throughput.
+	BatchLanes int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. The pprof
 	// endpoints bypass the request-counting and latency middleware —
 	// profiling traffic must not pollute service metrics.
@@ -132,6 +143,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WorkerSlots <= 0 {
 		c.WorkerSlots = 4
+	}
+	if c.BatchLanes == 0 {
+		c.BatchLanes = 8
+	}
+	if c.BatchLanes < 1 {
+		c.BatchLanes = 1
+	}
+	if c.BatchLanes > wide.MaxLanes {
+		c.BatchLanes = wide.MaxLanes
 	}
 	return c
 }
@@ -564,6 +584,22 @@ func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec api.RunSpe
 		// The service-side flight-recorder anomaly trigger.
 		s.spans.TriggerDeadline(req, kind, point, start, start.Add(elapsed))
 	}
+	s.accountMachine(m)
+	elapsedMs := float64(elapsed) / float64(time.Millisecond)
+	if err != nil {
+		return nil, elapsedMs, err
+	}
+	report, err := m.ReportJSON()
+	if err != nil {
+		return nil, elapsedMs, fmt.Errorf("rendering report: %w", err)
+	}
+	return report, elapsedMs, nil
+}
+
+// accountMachine lands one finished machine's steering-cache and
+// prefetch counters on the service metrics — shared by the scalar
+// simulate path and the wide-machine batch executor's per-lane demux.
+func (s *Server) accountMachine(m *repro.Machine) {
 	if hits, misses, ok := m.SteeringCacheStats(); ok {
 		s.mmu.Lock()
 		s.steerHits.Add(uint64(hits))
@@ -580,15 +616,6 @@ func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec api.RunSpe
 		s.prefetch["phase_changes"].Add(uint64(ps.PhaseChanges))
 		s.mmu.Unlock()
 	}
-	elapsedMs := float64(elapsed) / float64(time.Millisecond)
-	if err != nil {
-		return nil, elapsedMs, err
-	}
-	report, err := m.ReportJSON()
-	if err != nil {
-		return nil, elapsedMs, fmt.Errorf("rendering report: %w", err)
-	}
-	return report, elapsedMs, nil
 }
 
 // admitJob performs queue admission for a synchronous job endpoint:

@@ -12,60 +12,74 @@
 // The array is select-free: it only raises execution *requests*.
 // Contention between requesters for the same unit type is resolved by the
 // scheduler (package cpu), as in the paper.
+//
+// The hot state is stored as bitboards: one uint64 mask per array-wide
+// signal (used, scheduled, result-available) with bit i carrying row i,
+// one dependency mask per row with bit j carrying "row i waits on row j",
+// and one row mask per unit type. The Fig. 6 request logic then
+// evaluates in a handful of boolean word operations instead of a loop
+// over the dependency matrix, and the board accessors (UsedMask,
+// ReadyMask, RequestMask, ...) expose the packed signals directly to the
+// scheduler and to the lane-parallel wide machine.
 package wakeup
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/logic"
 )
 
-// Entry is one row of the wake-up array.
-type Entry struct {
-	used      bool
-	unit      arch.UnitType
-	deps      []bool // deps[j]: result required from entry j
-	scheduled bool
-	timer     int  // countdown until the result-available line asserts
-	resultOK  bool // the entry's result-available line
-	latency   int
-	tag       uint64 // caller-supplied identity (e.g. RUU id)
-}
+// MaxSize is the largest supported array: one row per bit of the
+// bitboard words. The paper's machine uses arch.QueueSize = 7.
+const MaxSize = 64
 
 // Array is the wake-up array. The zero value is unusable; use New.
 type Array struct {
-	entries []Entry
-	size    int
+	size int
+	full uint64 // mask with one bit per row
+
+	used      uint64 // row holds an instruction
+	scheduled uint64 // row has been granted execution
+	resultOK  uint64 // row's result-available line
+
+	deps     []uint64 // deps[i] bit j: result required from row j
+	typeMask [arch.NumUnitTypes]uint64
+
+	unit    []arch.UnitType
+	timer   []int32 // countdown until the result-available line asserts
+	latency []int32
+	tag     []uint64 // caller-supplied identity (e.g. RUU id)
 }
 
 // New returns an empty wake-up array with the given number of entries
-// (the paper's machine uses arch.QueueSize = 7).
+// (the paper's machine uses arch.QueueSize = 7). Sizes above MaxSize —
+// the bitboard word width — panic.
 func New(size int) *Array {
 	if size <= 0 {
 		panic("wakeup: array size must be positive")
 	}
-	a := &Array{entries: make([]Entry, size), size: size}
-	for i := range a.entries {
-		a.entries[i].deps = make([]bool, size)
+	if size > MaxSize {
+		panic(fmt.Sprintf("wakeup: array size %d exceeds %d rows", size, MaxSize))
 	}
-	return a
+	return &Array{
+		size:    size,
+		full:    (uint64(1) << uint(size)) - 1,
+		deps:    make([]uint64, size),
+		unit:    make([]arch.UnitType, size),
+		timer:   make([]int32, size),
+		latency: make([]int32, size),
+		tag:     make([]uint64, size),
+	}
 }
 
 // Size returns the number of rows.
 func (a *Array) Size() int { return a.size }
 
 // Free returns the number of unused rows.
-func (a *Array) Free() int {
-	n := 0
-	for i := range a.entries {
-		if !a.entries[i].used {
-			n++
-		}
-	}
-	return n
-}
+func (a *Array) Free() int { return a.size - bits.OnesCount64(a.used) }
 
 // Allocate inserts an instruction needing the given unit type, dependent
 // on the listed producer rows, with the given execution latency. tag is
@@ -77,38 +91,32 @@ func (a *Array) Allocate(unit arch.UnitType, deps []int, latency int, tag uint64
 	if latency < 1 {
 		panic("wakeup: latency must be at least 1")
 	}
-	row := -1
-	for i := range a.entries {
-		if !a.entries[i].used {
-			row = i
-			break
-		}
-	}
-	if row < 0 {
+	free := ^a.used & a.full
+	if free == 0 {
 		return 0, false
 	}
+	row := bits.TrailingZeros64(free)
+	var depMask uint64
 	for _, d := range deps {
-		if d < 0 || d >= a.size || d == row || !a.entries[d].used {
+		if d < 0 || d >= a.size || d == row || a.used>>uint(d)&1 == 0 {
 			panic(fmt.Sprintf("wakeup: bad dependency %d for row %d", d, row))
 		}
+		// A producer whose result-available line is already asserted
+		// imposes no wait; recording the bit anyway is harmless and
+		// matches the hardware, where the line stays high until
+		// retirement.
+		depMask |= 1 << uint(d)
 	}
-	e := &a.entries[row]
-	e.used = true
-	e.unit = unit
-	e.scheduled = false
-	e.timer = 0
-	e.resultOK = false
-	e.latency = latency
-	e.tag = tag
-	for j := range e.deps {
-		e.deps[j] = false
-	}
-	// A producer whose result-available line is already asserted imposes
-	// no wait; recording the bit anyway is harmless and matches the
-	// hardware, where the line stays high until retirement.
-	for _, d := range deps {
-		e.deps[d] = true
-	}
+	bit := uint64(1) << uint(row)
+	a.used |= bit
+	a.scheduled &^= bit
+	a.resultOK &^= bit
+	a.deps[row] = depMask
+	a.typeMask[unit] |= bit
+	a.unit[row] = unit
+	a.timer[row] = 0
+	a.latency[row] = int32(latency)
+	a.tag[row] = tag
 	return row, true
 }
 
@@ -116,25 +124,43 @@ func (a *Array) Allocate(unit arch.UnitType, deps []int, latency int, tag uint64
 // unit availability lines — the Fig. 6 logic: not yet scheduled, and for
 // every column either not needed or available.
 func (a *Array) Request(i int, unitAvail [arch.NumUnitTypes]bool) bool {
-	e := &a.entries[i]
-	if !e.used || e.scheduled {
+	bit := uint64(1) << uint(i)
+	if a.used&bit == 0 || a.scheduled&bit != 0 {
 		return false
 	}
-	if !unitAvail[e.unit] {
+	if !unitAvail[a.unit[i]] {
 		return false
 	}
-	for j, need := range e.deps {
-		if need && !a.entries[j].resultOK {
-			return false
+	return a.deps[i]&^a.resultOK == 0
+}
+
+// RequestMask evaluates the Fig. 6 request logic for every row at once
+// against a packed unit-availability bitset (bit t = a unit of type t can
+// accept work) and returns the requesting rows as a bitboard. It is the
+// board form of Request: RequestMask(s)>>i&1 == Request(i, unpack(s))
+// for every row i.
+func (a *Array) RequestMask(availSet uint8) uint64 {
+	var eligible uint64
+	for t := 0; availSet != 0; t++ {
+		if availSet&1 != 0 {
+			eligible |= a.typeMask[t]
+		}
+		availSet >>= 1
+	}
+	req := a.used &^ a.scheduled & eligible
+	for m := req; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if a.deps[i]&^a.resultOK != 0 {
+			req &^= 1 << uint(i)
 		}
 	}
-	return true
+	return req
 }
 
 // Requests returns the rows requesting execution, in row order.
 func (a *Array) Requests(unitAvail [arch.NumUnitTypes]bool) []int {
 	var out []int
-	for i := range a.entries {
+	for i := 0; i < a.size; i++ {
 		if a.Request(i, unitAvail) {
 			out = append(out, i)
 		}
@@ -146,31 +172,59 @@ func (a *Array) Requests(unitAvail [arch.NumUnitTypes]bool) []int {
 // regardless of unit availability — the condition the configuration
 // manager's "ready to be executed" queue view uses.
 func (a *Array) Ready(i int) bool {
-	e := &a.entries[i]
-	if !e.used || e.scheduled {
+	bit := uint64(1) << uint(i)
+	if a.used&bit == 0 || a.scheduled&bit != 0 {
 		return false
 	}
-	for j, need := range e.deps {
-		if need && !a.entries[j].resultOK {
-			return false
+	return a.deps[i]&^a.resultOK == 0
+}
+
+// ReadyMask returns the rows whose data dependencies are satisfied and
+// that have not been granted execution, as a bitboard — the board form
+// of Ready.
+func (a *Array) ReadyMask() uint64 {
+	ready := a.used &^ a.scheduled
+	for m := ready; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if a.deps[i]&^a.resultOK != 0 {
+			ready &^= 1 << uint(i)
 		}
 	}
-	return true
+	return ready
 }
+
+// UsedMask returns the rows holding instructions as a bitboard.
+func (a *Array) UsedMask() uint64 { return a.used }
+
+// ScheduledMask returns the granted rows as a bitboard.
+func (a *Array) ScheduledMask() uint64 { return a.scheduled }
+
+// ResultMask returns the asserted result-available lines as a bitboard.
+func (a *Array) ResultMask() uint64 { return a.resultOK }
+
+// PendingMask returns the rows holding unscheduled instructions — the
+// requirement-encoder input set — as a bitboard.
+func (a *Array) PendingMask() uint64 { return a.used &^ a.scheduled }
+
+// DepMask returns row i's dependency columns as a bitboard.
+func (a *Array) DepMask(i int) uint64 { return a.deps[i] }
+
+// TypeMask returns the rows whose instructions require unit type t.
+func (a *Array) TypeMask(t arch.UnitType) uint64 { return a.typeMask[t] }
 
 // Grant marks row i scheduled and starts its countdown timer: an
 // instruction of latency N sets the timer to N-1, asserting the
 // result-available line N-1 cycles later; a single-cycle instruction
 // asserts it immediately (§4.1).
 func (a *Array) Grant(i int) {
-	e := &a.entries[i]
-	if !e.used || e.scheduled {
+	bit := uint64(1) << uint(i)
+	if a.used&bit == 0 || a.scheduled&bit != 0 {
 		panic(fmt.Sprintf("wakeup: grant of row %d in invalid state", i))
 	}
-	e.scheduled = true
-	e.timer = e.latency - 1
-	if e.timer == 0 {
-		e.resultOK = true
+	a.scheduled |= bit
+	a.timer[i] = a.latency[i] - 1
+	if a.timer[i] == 0 {
+		a.resultOK |= bit
 	}
 }
 
@@ -178,41 +232,39 @@ func (a *Array) Grant(i int) {
 // execution again — the replay path used when a granted instruction must
 // be re-executed (§4.1).
 func (a *Array) Reschedule(i int) {
-	e := &a.entries[i]
-	if !e.used {
+	bit := uint64(1) << uint(i)
+	if a.used&bit == 0 {
 		panic(fmt.Sprintf("wakeup: reschedule of unused row %d", i))
 	}
-	e.scheduled = false
-	e.timer = 0
-	e.resultOK = false
+	a.scheduled &^= bit
+	a.resultOK &^= bit
+	a.timer[i] = 0
 }
 
 // ExtendTimer adds extra cycles to a running countdown — the mechanism
 // the processor uses when an instruction's true latency is discovered in
 // flight (e.g. a cache miss lengthening a load).
 func (a *Array) ExtendTimer(i, extra int) {
-	e := &a.entries[i]
-	if !e.used || !e.scheduled || extra < 0 {
+	bit := uint64(1) << uint(i)
+	if a.used&bit == 0 || a.scheduled&bit == 0 || extra < 0 {
 		panic(fmt.Sprintf("wakeup: bad ExtendTimer(%d, %d)", i, extra))
 	}
-	if e.resultOK {
-		e.resultOK = false
-	}
-	e.timer += extra
+	a.resultOK &^= bit
+	a.timer[i] += int32(extra)
 }
 
 // Tick advances every countdown timer one cycle, asserting
-// result-available lines that reach zero.
+// result-available lines that reach zero. Only the rows that are
+// granted and still counting — used & scheduled &^ resultOK — carry
+// live timers, so the pass walks exactly those board bits.
 func (a *Array) Tick() {
-	for i := range a.entries {
-		e := &a.entries[i]
-		if e.used && e.scheduled && !e.resultOK {
-			if e.timer > 0 {
-				e.timer--
-			}
-			if e.timer == 0 {
-				e.resultOK = true
-			}
+	for m := a.used & a.scheduled &^ a.resultOK; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if a.timer[i] > 0 {
+			a.timer[i]--
+		}
+		if a.timer[i] == 0 {
+			a.resultOK |= 1 << uint(i)
 		}
 	}
 }
@@ -222,38 +274,44 @@ func (a *Array) Tick() {
 // (§4.1: "every wake-up array entry associated with the instruction is
 // cleared").
 func (a *Array) Release(i int) {
-	e := &a.entries[i]
-	if !e.used {
+	bit := uint64(1) << uint(i)
+	if a.used&bit == 0 {
 		panic(fmt.Sprintf("wakeup: release of unused row %d", i))
 	}
-	*e = Entry{deps: e.deps}
-	for j := range e.deps {
-		e.deps[j] = false
-	}
-	for j := range a.entries {
-		a.entries[j].deps[i] = false
+	a.used &^= bit
+	a.scheduled &^= bit
+	a.resultOK &^= bit
+	a.typeMask[a.unit[i]] &^= bit
+	a.deps[i] = 0
+	a.timer[i] = 0
+	a.latency[i] = 0
+	a.tag[i] = 0
+	a.unit[i] = 0
+	col := ^bit
+	for j := 0; j < a.size; j++ {
+		a.deps[j] &= col
 	}
 }
 
 // Row state accessors.
 
 // Used reports whether row i holds an instruction.
-func (a *Array) Used(i int) bool { return a.entries[i].used }
+func (a *Array) Used(i int) bool { return a.used>>uint(i)&1 != 0 }
 
 // Scheduled reports whether row i has been granted execution.
-func (a *Array) Scheduled(i int) bool { return a.entries[i].scheduled }
+func (a *Array) Scheduled(i int) bool { return a.scheduled>>uint(i)&1 != 0 }
 
 // ResultAvailable reports row i's result-available line.
-func (a *Array) ResultAvailable(i int) bool { return a.entries[i].resultOK }
+func (a *Array) ResultAvailable(i int) bool { return a.resultOK>>uint(i)&1 != 0 }
 
 // Unit returns row i's required unit type.
-func (a *Array) Unit(i int) arch.UnitType { return a.entries[i].unit }
+func (a *Array) Unit(i int) arch.UnitType { return a.unit[i] }
 
 // Tag returns the caller identity stored at allocation.
-func (a *Array) Tag(i int) uint64 { return a.entries[i].tag }
+func (a *Array) Tag(i int) uint64 { return a.tag[i] }
 
 // DependsOn reports whether row i waits on row j.
-func (a *Array) DependsOn(i, j int) bool { return a.entries[i].deps[j] }
+func (a *Array) DependsOn(i, j int) bool { return a.deps[i]>>uint(j)&1 != 0 }
 
 // RequiredCounts returns how many units of each type the *unscheduled*
 // instructions in the array require — the requirement-encoder input of
@@ -261,11 +319,9 @@ func (a *Array) DependsOn(i, j int) bool { return a.entries[i].deps[j] }
 // hold units and are excluded.
 func (a *Array) RequiredCounts() arch.Counts {
 	var c arch.Counts
-	for i := range a.entries {
-		e := &a.entries[i]
-		if e.used && !e.scheduled {
-			c[e.unit]++
-		}
+	pending := a.used &^ a.scheduled
+	for t := range a.typeMask {
+		c[t] = bits.OnesCount64(a.typeMask[t] & pending)
 	}
 	return c
 }
@@ -274,10 +330,9 @@ func (a *Array) RequiredCounts() arch.Counts {
 // already satisfied.
 func (a *Array) ReadyCounts() arch.Counts {
 	var c arch.Counts
-	for i := range a.entries {
-		if a.Ready(i) {
-			c[a.entries[i].unit]++
-		}
+	ready := a.ReadyMask()
+	for t := range a.typeMask {
+		c[t] = bits.OnesCount64(a.typeMask[t] & ready)
 	}
 	return c
 }
@@ -295,8 +350,7 @@ func (a *Array) Dump(labels []string) string {
 		fmt.Fprintf(&b, "  E%d", j+1)
 	}
 	b.WriteString("\n")
-	for i := range a.entries {
-		e := &a.entries[i]
+	for i := 0; i < a.size; i++ {
 		name := fmt.Sprintf("E%d", i+1)
 		if labels != nil && i < len(labels) && labels[i] != "" {
 			name = labels[i]
@@ -304,14 +358,14 @@ func (a *Array) Dump(labels []string) string {
 		fmt.Fprintf(&b, "%-5s", name)
 		for _, t := range arch.UnitTypes() {
 			mark := 0
-			if e.used && e.unit == t {
+			if a.Used(i) && a.unit[i] == t {
 				mark = 1
 			}
 			fmt.Fprintf(&b, "%8d", mark)
 		}
 		for j := 0; j < a.size; j++ {
 			mark := 0
-			if e.deps[j] {
+			if a.DependsOn(i, j) {
 				mark = 1
 			}
 			fmt.Fprintf(&b, "%4d", mark)

@@ -1,0 +1,179 @@
+// Package wide is the lane-parallel "wide machine": up to 64 independent
+// simulations advanced per pass in lockstep, the batch-execution layer
+// the ISSUE-8 structure-of-arrays refactor builds toward.
+//
+// The data-layout half of the refactor lives in the scalar substrates —
+// the wake-up array keeps its used/scheduled/result-available columns and
+// per-row dependency vectors as uint64 bitboards (internal/wakeup), and
+// the fabric keeps busy/reconfiguring/health/unit-head state as packed
+// masks (internal/rfu) — so every lane's cycle step is already a pass of
+// boolean logic over uint64 boards. This package adds the lane dimension
+// on top: a Machine holds up to 64 lanes, each a full scalar simulator,
+// and advances the still-active set in bounded lockstep chunks. Lane
+// divergence (halt, cycle-budget exhaustion, cancellation) is tracked in
+// uint64 lane masks; a lane that finishes is retired from the active
+// mask without stalling the rest of the batch.
+//
+// Because each lane runs the same scalar cycle loop over the same board
+// substrates, wide results are bit-identical to scalar runs by
+// construction — the equivalence suite (widemachine_test.go at the repo
+// root) pins stats, steering/fault/prefetch counters and report JSON
+// across X1–X6, and the batch layer is what sweep.RunBatch, the rssd
+// executor and rsssim -lanes route homogeneous point groups through.
+//
+// Eligibility rules for batching (enforced by the callers that group
+// points, documented here as the contract): every lane of one Machine
+// must share the same cpu.Params, Policy, Basis and MinResidency — the
+// knobs that select code paths — while Seed, workload/program, memory
+// image and MaxCycles may differ per lane. Heterogeneous points take the
+// scalar per-point path instead.
+package wide
+
+import (
+	"context"
+	"math/bits"
+
+	"repro"
+)
+
+// MaxLanes is the lane capacity of one wide machine: the width of the
+// uint64 lane masks.
+const MaxLanes = 64
+
+// DefaultChunk is the lockstep chunk size: how many cycles each active
+// lane advances per pass. It matches cpu.CtxCheckInterval so a wide run
+// observes cancellation with the same latency as a scalar RunContext.
+const DefaultChunk = 1024
+
+// Lane is one slot of the wide machine: a fully constructed scalar
+// machine plus its cycle budget. Construction (program, seed, memory
+// image, telemetry) stays with the caller — the wide machine only
+// schedules.
+type Lane struct {
+	M         *repro.Machine
+	MaxCycles int
+}
+
+// Result is one lane's outcome, exactly what the scalar
+// Machine.RunContext would have returned for the same run.
+type Result struct {
+	Stats repro.Stats
+	Err   error
+}
+
+// Machine advances up to MaxLanes independent simulations in lockstep
+// chunks, retiring finished lanes from the active mask without stalling
+// the rest.
+type Machine struct {
+	lanes []Lane
+	// Lane masks: active is the set still running; halted and limited
+	// record how each retired lane left (HALT retired vs. cycle budget
+	// exhausted vs. context cancelled).
+	active    uint64
+	halted    uint64
+	limited   uint64
+	cancelled uint64
+	// Chunk is the lockstep pass length in cycles (0 = DefaultChunk).
+	Chunk int
+}
+
+// New builds a wide machine over the given lanes. It panics when the
+// lane count exceeds MaxLanes or a lane is missing its machine —
+// programming errors of the batching layer, not data-dependent
+// conditions.
+func New(lanes []Lane) *Machine {
+	if len(lanes) > MaxLanes {
+		panic("wide: more lanes than MaxLanes")
+	}
+	w := &Machine{lanes: lanes}
+	for i, l := range lanes {
+		if l.M == nil {
+			panic("wide: lane without a machine")
+		}
+		if l.MaxCycles > 0 && !l.M.Halted() {
+			w.active |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// Lanes returns the lane count.
+func (w *Machine) Lanes() int { return len(w.lanes) }
+
+// ActiveMask returns the lanes still running as a bitboard.
+func (w *Machine) ActiveMask() uint64 { return w.active }
+
+// HaltedMask returns the lanes whose HALT retired.
+func (w *Machine) HaltedMask() uint64 { return w.halted }
+
+// LimitedMask returns the lanes that exhausted their cycle budget.
+func (w *Machine) LimitedMask() uint64 { return w.limited }
+
+// CancelledMask returns the lanes stopped mid-run by cancellation.
+func (w *Machine) CancelledMask() uint64 { return w.cancelled }
+
+// Lane returns lane i's machine, for per-lane stat demux after a run.
+func (w *Machine) Lane(i int) *repro.Machine { return w.lanes[i].M }
+
+// Step advances every active lane by at most one chunk of cycles and
+// retires lanes that halt or exhaust their budget inside the pass. It
+// returns the number of lanes still active.
+func (w *Machine) Step() int {
+	chunk := w.Chunk
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	for m := w.active; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		l := &w.lanes[i]
+		n := l.MaxCycles - l.M.Stats().Cycles
+		if n > chunk {
+			n = chunk
+		}
+		l.M.Advance(n)
+		if l.M.Halted() {
+			w.active &^= 1 << uint(i)
+			w.halted |= 1 << uint(i)
+		} else if l.M.Stats().Cycles >= l.MaxCycles {
+			w.active &^= 1 << uint(i)
+			w.limited |= 1 << uint(i)
+		}
+	}
+	return bits.OnesCount64(w.active)
+}
+
+// Run advances all lanes to completion and returns per-lane results in
+// lane order. See RunContext.
+func (w *Machine) Run() []Result {
+	res, _ := w.RunContext(context.Background())
+	return res
+}
+
+// RunContext advances all lanes to completion (HALT retired or cycle
+// budget exhausted), checking the context between lockstep passes, and
+// returns per-lane results in lane order plus the context's error if it
+// was cancelled. Each lane's Result carries exactly what the scalar
+// Machine.RunContext(ctx, MaxCycles) would have produced for the same
+// run — the same Stats, the same wrapped ErrCycleLimit or context error
+// — because finalisation is that very call: once a lane leaves the
+// active mask (or cancellation stops the batch), one RunContext call per
+// lane replays the scalar path's end-of-run behaviour (error
+// formatting, telemetry flush, span-epoch close) on the already-advanced
+// machine.
+func (w *Machine) RunContext(ctx context.Context) ([]Result, error) {
+	for w.active != 0 && ctx.Err() == nil {
+		w.Step()
+	}
+	if w.active != 0 {
+		// Cancelled mid-batch: the still-active lanes finalise below
+		// with the context's error, like an interrupted scalar run.
+		w.cancelled = w.active
+		w.active = 0
+	}
+	out := make([]Result, len(w.lanes))
+	for i := range w.lanes {
+		l := &w.lanes[i]
+		out[i].Stats, out[i].Err = l.M.RunContext(ctx, l.MaxCycles)
+	}
+	return out, ctx.Err()
+}

@@ -1,0 +1,233 @@
+// Lane-vs-scalar equivalence tests for the wide machine: a lane of
+// internal/wide must retire with exactly what a scalar run of the same
+// machine would have produced — same architectural stats, same wrapped
+// cycle-limit error, byte-identical report JSON (which carries the
+// steering, prefetch and fault counters) — across the X1-X6 experiment
+// axes, for both live policies, under fault injection, for ragged lane
+// groups and with lanes retiring mid-run.
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro"
+	"repro/internal/arch"
+	"repro/internal/config"
+	"repro/internal/wide"
+)
+
+// laneSpec is one lane's run: everything needed to construct the
+// machine twice, once for the wide batch and once for the scalar
+// reference.
+type laneSpec struct {
+	prog      repro.Program
+	opt       repro.Options
+	maxCycles int
+}
+
+// checkWideMatchesScalar runs specs as lanes of one wide machine and
+// each spec again on a fresh scalar machine, then compares per lane:
+// stats must be equal, errors must agree verbatim (the wrapped
+// cycle-limit message includes the retired count, so a single divergent
+// cycle shows up), and the report JSON must match byte for byte.
+func checkWideMatchesScalar(t *testing.T, specs []laneSpec) {
+	t.Helper()
+	ctx := context.Background()
+
+	lanes := make([]wide.Lane, len(specs))
+	for i, s := range specs {
+		lanes[i] = wide.Lane{M: repro.NewMachine(s.prog, s.opt), MaxCycles: s.maxCycles}
+	}
+	w := wide.New(lanes)
+	results, err := w.RunContext(ctx)
+	if err != nil {
+		t.Fatalf("wide run: %v", err)
+	}
+
+	for i, s := range specs {
+		ref := repro.NewMachine(s.prog, s.opt)
+		refStats, refErr := ref.RunContext(ctx, s.maxCycles)
+
+		if results[i].Stats != refStats {
+			t.Errorf("lane %d: stats diverge:\n  wide:   %+v\n  scalar: %+v", i, results[i].Stats, refStats)
+		}
+		laneErr, scalarErr := "", ""
+		if results[i].Err != nil {
+			laneErr = results[i].Err.Error()
+		}
+		if refErr != nil {
+			scalarErr = refErr.Error()
+		}
+		if laneErr != scalarErr {
+			t.Errorf("lane %d: errors diverge:\n  wide:   %q\n  scalar: %q", i, laneErr, scalarErr)
+		}
+
+		laneJSON, err := w.Lane(i).ReportJSON()
+		if err != nil {
+			t.Fatalf("lane %d report: %v", i, err)
+		}
+		refJSON, err := ref.ReportJSON()
+		if err != nil {
+			t.Fatalf("lane %d scalar report: %v", i, err)
+		}
+		if !bytes.Equal(laneJSON, refJSON) {
+			t.Errorf("lane %d: reports diverge:\n  wide:   %s\n  scalar: %s", i, laneJSON, refJSON)
+		}
+	}
+}
+
+// replicas builds n lanes of the same program and options differing
+// only by seed — the homogeneous sweep shape the batching layers group.
+func replicas(prog repro.Program, opt repro.Options, maxCycles, n int) []laneSpec {
+	specs := make([]laneSpec, n)
+	for i := range specs {
+		o := opt
+		o.Seed = opt.Seed + int64(i)
+		specs[i] = laneSpec{prog: prog, opt: o, maxCycles: maxCycles}
+	}
+	return specs
+}
+
+// wideExperiments mirrors the X1-X6 axes of the steering-cache suite at
+// the facade level: phased mix, slow reconfiguration, residency hold
+// (the facade's knob on the X3 axis), disabled FFUs, a wide window and
+// a custom FP-rich basis.
+func wideExperiments() []struct {
+	name string
+	prog repro.Program
+	opt  repro.Options
+} {
+	x1 := repro.Synthesize([]repro.Phase{
+		{Mix: repro.MixIntHeavy, Instructions: 500},
+		{Mix: repro.MixFPHeavy, Instructions: 500},
+		{Mix: repro.MixMemHeavy, Instructions: 500},
+		{Mix: repro.MixFPHeavy, Instructions: 500},
+	}, 7)
+	x2 := repro.Synthesize([]repro.Phase{
+		{Mix: repro.MixIntHeavy, Instructions: 400},
+		{Mix: repro.MixFPHeavy, Instructions: 400},
+	}, 7)
+	x4 := repro.Synthesize([]repro.Phase{{Mix: repro.MixFPHeavy, Instructions: 600}}, 5)
+	x5 := repro.Synthesize([]repro.Phase{{Mix: repro.MixUniform, Instructions: 800}}, 3)
+	x6 := repro.Synthesize([]repro.Phase{
+		{Mix: repro.MixFPHeavy, Instructions: 400},
+		{Mix: repro.MixIntHeavy, Instructions: 400},
+	}, 2)
+	fpRich := repro.Basis{
+		config.MustNew("fp-a", arch.FPALU, arch.FPMDU, arch.IntALU, arch.LSU),
+		config.MustNew("fp-b", arch.FPMDU, arch.FPMDU, arch.IntALU, arch.LSU),
+		config.MustNew("fp-c", arch.FPALU, arch.FPALU, arch.IntALU, arch.LSU),
+	}
+
+	withLatency := func(lat int) repro.Params {
+		p := repro.DefaultParams()
+		p.ReconfigLatency = lat
+		return p
+	}
+	noFFU := repro.DefaultParams()
+	noFFU.DisableFFUs = true
+	window16 := repro.DefaultParams()
+	window16.WindowSize = 16
+
+	return []struct {
+		name string
+		prog repro.Program
+		opt  repro.Options
+	}{
+		{"X1Phased", x1, repro.Options{Params: repro.DefaultParams()}},
+		{"X2ReconfigLatency64", x2, repro.Options{Params: withLatency(64)}},
+		{"X3Residency64", x1, repro.Options{Params: repro.DefaultParams(), MinResidency: 64}},
+		{"X4NoFFU", x4, repro.Options{Params: noFFU}},
+		{"X5Window16", x5, repro.Options{Params: window16}},
+		{"X6FPRichBasis", x6, repro.Options{Params: repro.DefaultParams(), Basis: &fpRich}},
+	}
+}
+
+// TestWideMatchesScalarExperiments runs every X1-X6 variant under both
+// live policies as a 4-lane replica group and pins lane results to the
+// scalar reference.
+func TestWideMatchesScalarExperiments(t *testing.T) {
+	for _, exp := range wideExperiments() {
+		for _, policy := range []repro.Policy{repro.PolicySteering, repro.PolicyPrefetch} {
+			exp, policy := exp, policy
+			t.Run(exp.name+"/"+policy.String(), func(t *testing.T) {
+				t.Parallel()
+				opt := exp.opt
+				opt.Policy = policy
+				opt.Seed = 7
+				checkWideMatchesScalar(t, replicas(exp.prog, opt, 2_000_000, 4))
+			})
+		}
+	}
+}
+
+// TestWideMatchesScalarFaults extends the equivalence to fault
+// injection: the injector PRNG streams are seeded per machine, so lane
+// and scalar runs observe the same upsets, salvage decisions and
+// repairs — stats and fault counters in the report must match exactly.
+func TestWideMatchesScalarFaults(t *testing.T) {
+	prog := repro.Synthesize(repro.AlternatingPhases(3000, 250), 7)
+	params := repro.DefaultParams()
+	params.FaultTransientRate = 0.002
+	params.FaultPermanentRate = 0.0001
+	params.FaultSeed = 11
+	for _, policy := range []repro.Policy{repro.PolicySteering, repro.PolicyPrefetch} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			t.Parallel()
+			opt := repro.Options{Params: params, Policy: policy, Seed: 3}
+			checkWideMatchesScalar(t, replicas(prog, opt, 2_000_000, 4))
+		})
+	}
+}
+
+// TestWideRaggedGroup covers the final partial group of a sweep whose
+// point count is not a lane-width multiple: 5 replicas, and a trailing
+// single-lane machine (the degenerate group).
+func TestWideRaggedGroup(t *testing.T) {
+	prog := repro.Synthesize(repro.AlternatingPhases(2000, 250), 7)
+	opt := repro.Options{Params: repro.DefaultParams(), Policy: repro.PolicySteering, Seed: 20}
+	checkWideMatchesScalar(t, replicas(prog, opt, 2_000_000, 5))
+	checkWideMatchesScalar(t, replicas(prog, opt, 2_000_000, 1))
+}
+
+// TestWideMidRunRetirement mixes lanes that leave the active set at
+// very different times — a short program that halts early, a lane
+// whose tight cycle budget forces the scalar path's exact wrapped
+// cycle-limit error, and long-running lanes — so lanes retire while
+// others keep stepping. The retirement masks must sort the lanes by
+// outcome, and every lane must still match its scalar reference.
+func TestWideMidRunRetirement(t *testing.T) {
+	short := repro.Synthesize([]repro.Phase{{Mix: repro.MixIntHeavy, Instructions: 100}}, 9)
+	long := repro.Synthesize(repro.AlternatingPhases(4000, 500), 9)
+	opt := repro.Options{Params: repro.DefaultParams(), Policy: repro.PolicySteering, Seed: 9}
+	specs := []laneSpec{
+		{prog: short, opt: opt, maxCycles: 2_000_000}, // halts long before the others
+		{prog: long, opt: opt, maxCycles: 1_000},      // exhausts its budget mid-flight
+		{prog: long, opt: opt, maxCycles: 2_000_000},
+		{prog: long, opt: opt, maxCycles: 2_000_000},
+	}
+
+	ctx := context.Background()
+	lanes := make([]wide.Lane, len(specs))
+	for i, s := range specs {
+		lanes[i] = wide.Lane{M: repro.NewMachine(s.prog, s.opt), MaxCycles: s.maxCycles}
+	}
+	w := wide.New(lanes)
+	if _, err := w.RunContext(ctx); err != nil {
+		t.Fatalf("wide run: %v", err)
+	}
+	if got, want := w.HaltedMask(), uint64(0b1101); got != want {
+		t.Errorf("halted mask = %#b, want %#b", got, want)
+	}
+	if got, want := w.LimitedMask(), uint64(0b0010); got != want {
+		t.Errorf("limited mask = %#b, want %#b", got, want)
+	}
+	if w.ActiveMask() != 0 || w.CancelledMask() != 0 {
+		t.Errorf("active %#b / cancelled %#b after full run, want 0/0", w.ActiveMask(), w.CancelledMask())
+	}
+
+	checkWideMatchesScalar(t, specs)
+}
