@@ -207,6 +207,44 @@ func benchRun(b *testing.B, prog isa.Program, params cpu.Params, policy cpu.Poli
 	b.ReportMetric(float64(totalCycles)/1e6/b.Elapsed().Seconds(), "Mcycles/s")
 }
 
+// Analytic fast path: EstimateIPC on the X1 phased program (exact
+// profile) and on a production-scale 1M-instruction program (strided
+// sampling). The sampled variant is the /v1/estimate hot path — its
+// cost must stay roughly constant in program length.
+func BenchmarkEstimate(b *testing.B) {
+	pattern := []workload.Phase{
+		{Mix: workload.MixIntHeavy, Instructions: 500},
+		{Mix: workload.MixFPHeavy, Instructions: 500},
+		{Mix: workload.MixMemHeavy, Instructions: 500},
+		{Mix: workload.MixFPHeavy, Instructions: 500},
+	}
+	var long []workload.Phase
+	for i := 0; i < 500; i++ {
+		long = append(long, pattern...)
+	}
+	for _, tc := range []struct {
+		name string
+		prog isa.Program
+	}{
+		{"X1Exact2k", workload.Synthesize(pattern, workload.SynthParams{Seed: 7})},
+		{"Sampled1M", workload.Synthesize(long, workload.SynthParams{Seed: 7})},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var est repro.Estimate
+			for i := 0; i < b.N; i++ {
+				var err error
+				est, err = repro.EstimateIPC(tc.prog, repro.Options{Policy: cpu.PolicySteering})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(est.PredictedIPC, "predictedIPC")
+		})
+	}
+}
+
 // X1: steering vs baselines on the phased workload.
 func BenchmarkX1Phased(b *testing.B) {
 	prog := workload.Synthesize([]workload.Phase{

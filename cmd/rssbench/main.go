@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -57,10 +58,15 @@ func main() {
 		outPath   = flag.String("o", "-", "markdown output path ('-' for stdout)")
 		jsonlPath = flag.String("jsonl", "", "also dump raw per-point results as JSONL here")
 		quiet     = flag.Bool("q", false, "suppress per-point progress on stderr")
+		pruneF    = flag.Float64("prune-frontier", 0, "rank the grid with the analytic queueing model first and submit only the top fraction F in (0,1]; 0 submits everything")
 	)
 	flag.Parse()
+	if *pruneF < 0 || *pruneF > 1 {
+		fmt.Fprintf(os.Stderr, "rssbench: -prune-frontier must be in [0,1], got %g\n", *pruneF)
+		os.Exit(1)
+	}
 	if err := run(*addr, *program, *synthLen, *synthPer, *synthSeed, *policies, *latencies,
-		*seeds, *maxCycles, *pointTO, *timeout, *label, *outPath, *jsonlPath, *quiet); err != nil {
+		*seeds, *maxCycles, *pointTO, *timeout, *label, *outPath, *jsonlPath, *quiet, *pruneF); err != nil {
 		fmt.Fprintln(os.Stderr, "rssbench:", err)
 		os.Exit(1)
 	}
@@ -75,7 +81,7 @@ type gridPoint struct {
 
 func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 	policyCSV, latencyCSV, seedCSV string, maxCycles int,
-	pointTO, timeout time.Duration, label, outPath, jsonlPath string, quiet bool) error {
+	pointTO, timeout time.Duration, label, outPath, jsonlPath string, quiet bool, pruneF float64) error {
 
 	policyNames, err := splitNames(policyCSV)
 	if err != nil {
@@ -93,6 +99,9 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 	// Resolve the program: a source file, or the synthesized
 	// phase-alternating workload encoded to binary words.
 	req := api.JobRequest{Label: label, PointTimeoutMs: int(pointTO / time.Millisecond)}
+	// localProg is the decoded instruction stream, kept for the analytic
+	// pruning pass — the same stream the server will simulate.
+	var localProg repro.Program
 	switch {
 	case program != "":
 		src, err := os.ReadFile(program)
@@ -100,6 +109,13 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 			return err
 		}
 		req.Source = string(src)
+		if pruneF > 0 {
+			unit, err := repro.AssembleUnit(string(src))
+			if err != nil {
+				return err
+			}
+			localProg = unit.Program
+		}
 	default:
 		prog := repro.Synthesize(repro.AlternatingPhases(synthLen, synthPer), synthSeed)
 		words, err := repro.EncodeProgram(prog)
@@ -107,6 +123,7 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 			return fmt.Errorf("encoding synthetic workload: %w", err)
 		}
 		req.Words = words
+		localProg = prog
 	}
 
 	// Build the grid in deterministic order: policy-major, then latency,
@@ -130,6 +147,21 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 				})
 			}
 		}
+	}
+
+	// Model-guided pruning: rank every grid point with the analytic
+	// queueing model (microseconds per point, no server involved) and
+	// submit only the top frontier as the durable job. Dropped cells show
+	// up as holes in the table — pruning is loud, never silent.
+	fullN := len(grid)
+	var predicted map[int]float64
+	if pruneF > 0 {
+		var err error
+		if grid, req.Points, predicted, err = pruneGrid(localProg, grid, req.Points, pruneF); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rssbench: model-pruned grid %d -> %d points (frontier %.2f)\n",
+			fullN, len(grid), pruneF)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
@@ -171,6 +203,12 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 		}
 	}
 	table, failed := renderTable(grid, status.Points, policyNames, lats, len(seeds))
+	if pruneF > 0 {
+		agreement := rankAgreement(grid, status.Points, predicted)
+		table += fmt.Sprintf("\nModel-pruned frontier %.2f: %d of %d grid points simulated; %s\n",
+			pruneF, len(grid), fullN, agreement)
+		fmt.Fprintf(os.Stderr, "rssbench: %s\n", agreement)
+	}
 	if err := writeOut(outPath, table); err != nil {
 		return err
 	}
@@ -178,6 +216,95 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 		return fmt.Errorf("%d of %d points failed (holes in the table)", failed, len(grid))
 	}
 	return nil
+}
+
+// pruneGrid ranks the whole grid with the analytic queueing model and
+// keeps the top fraction f, preserving the original (seed-innermost)
+// point order so the server's wide-machine batching still applies. It
+// returns the kept grid, the matching specs, and the model's predicted
+// IPC keyed by the new point index.
+func pruneGrid(prog repro.Program, grid []gridPoint, specs []api.RunSpec, f float64) ([]gridPoint, []api.RunSpec, map[int]float64, error) {
+	type ranked struct {
+		idx int
+		ipc float64
+	}
+	ranks := make([]ranked, len(specs))
+	for i, spec := range specs {
+		est, err := repro.EstimateIPC(prog, repro.Options{Params: spec.Params, Policy: spec.Policy})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("estimating point %d (%s lat=%d): %w",
+				i, grid[i].policy, grid[i].latency, err)
+		}
+		ranks[i] = ranked{idx: i, ipc: est.PredictedIPC}
+	}
+	byIPC := append([]ranked(nil), ranks...)
+	sort.SliceStable(byIPC, func(i, j int) bool { return byIPC[i].ipc > byIPC[j].ipc })
+	k := int(math.Ceil(f * float64(len(byIPC))))
+	if k < 1 {
+		k = 1
+	}
+	keep := map[int]bool{}
+	for _, r := range byIPC[:k] {
+		keep[r.idx] = true
+	}
+	var (
+		newGrid  []gridPoint
+		newSpecs []api.RunSpec
+		pred     = map[int]float64{}
+	)
+	for i := range specs {
+		if !keep[i] {
+			continue
+		}
+		pred[len(newGrid)] = ranks[i].ipc
+		newGrid = append(newGrid, grid[i])
+		newSpecs = append(newSpecs, specs[i])
+	}
+	return newGrid, newSpecs, pred, nil
+}
+
+// rankAgreement compares the model's pre-submission ranking with the
+// simulated outcome over the points that actually ran: the fraction of
+// point pairs both orderings agree on (Kendall-style concordance).
+func rankAgreement(grid []gridPoint, points []api.PointResult, predicted map[int]float64) string {
+	measured := map[int]float64{}
+	for _, res := range points {
+		if res.Index < 0 || res.Index >= len(grid) || res.Error != nil {
+			continue
+		}
+		var rep struct {
+			IPC float64 `json:"ipc"`
+		}
+		if json.Unmarshal(res.Report, &rep) == nil {
+			measured[res.Index] = rep.IPC
+		}
+	}
+	idxs := make([]int, 0, len(measured))
+	for i := range measured {
+		if _, ok := predicted[i]; ok {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	concordant, pairs := 0, 0
+	for a := 0; a < len(idxs); a++ {
+		for b := a + 1; b < len(idxs); b++ {
+			i, j := idxs[a], idxs[b]
+			dp, dm := predicted[i]-predicted[j], measured[i]-measured[j]
+			if dp == 0 || dm == 0 {
+				continue // ties carry no ordering information
+			}
+			pairs++
+			if (dp > 0) == (dm > 0) {
+				concordant++
+			}
+		}
+	}
+	if pairs == 0 {
+		return "rank agreement: not enough completed points to compare"
+	}
+	return fmt.Sprintf("predicted-vs-simulated rank agreement: %d/%d concordant pairs (%.0f%%) over %d points",
+		concordant, pairs, 100*float64(concordant)/float64(pairs), len(idxs))
 }
 
 // renderTable aggregates per-point IPC into a policy × latency markdown

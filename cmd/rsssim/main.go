@@ -51,6 +51,9 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the run report as JSON instead of text")
 		lanes      = flag.Int("lanes", 1, "run N seeded replicas (seeds seed..seed+N-1) as lanes of the wide machine and print per-lane IPC plus aggregate throughput")
 
+		estimate     = flag.Bool("estimate", false, "also solve the analytic queueing model and print its prediction next to the measured IPC")
+		estimateOnly = flag.Bool("estimate-only", false, "print the analytic prediction and skip simulation entirely")
+
 		faultRate     = flag.Float64("fault-rate", 0, "per-slot per-cycle probability of a transient configuration upset (0 disables fault injection)")
 		faultPermRate = flag.Float64("fault-permanent-rate", 0, "per-slot per-cycle probability of a permanent configuration fault")
 		faultSeed     = flag.Int64("fault-seed", 1, "seed for the fault injector's PRNG stream")
@@ -116,6 +119,7 @@ func main() {
 			{*spansPath != "", "-trace-spans"},
 			{*flightPath != "", "-flight-dump"},
 			{*jsonOut, "-json"},
+			{*estimate || *estimateOnly, "-estimate"},
 		} {
 			if conflict.set {
 				fail(fmt.Errorf("%s is per-run instrumentation and conflicts with -lanes", conflict.name))
@@ -187,12 +191,16 @@ func main() {
 	// optional output validator. The scalar path calls it once with the
 	// base seed; -lanes N calls it per lane with seed..seed+N-1.
 	var build func(laneSeed int64) (*repro.Machine, func(*repro.Machine) error)
+	// program yields the bare instruction stream for the analytic model —
+	// the same stream build feeds the simulator.
+	var program func(laneSeed int64) repro.Program
 	switch {
 	case *kernelName != "":
 		k := repro.KernelByName(*kernelName)
 		if k == nil {
 			fail(fmt.Errorf("unknown kernel %q; try -kernels", *kernelName))
 		}
+		program = func(int64) repro.Program { return k.Program() }
 		build = func(laneSeed int64) (*repro.Machine, func(*repro.Machine) error) {
 			o := opt
 			o.Seed = laneSeed
@@ -217,6 +225,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		program = func(int64) repro.Program { return unit.Program }
 		build = func(laneSeed int64) (*repro.Machine, func(*repro.Machine) error) {
 			o := opt
 			o.Seed = laneSeed
@@ -224,6 +233,13 @@ func main() {
 		}
 
 	case *synthetic != "":
+		program = func(laneSeed int64) repro.Program {
+			prog, err := syntheticProgram(*synthetic, laneSeed)
+			if err != nil {
+				fail(err)
+			}
+			return prog
+		}
 		build = func(laneSeed int64) (*repro.Machine, func(*repro.Machine) error) {
 			// The workload itself is seeded too: each lane simulates a
 			// distinct draw of the same synthetic mix.
@@ -240,6 +256,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "one of -kernel, -asm or -synthetic is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var est *repro.Estimate
+	if *estimate || *estimateOnly {
+		e, err := repro.EstimateIPC(program(*seed), opt)
+		if err != nil {
+			fail(err)
+		}
+		est = &e
+		printEstimate(e, policy)
+		if *estimateOnly {
+			return
+		}
 	}
 
 	if *lanes > 1 {
@@ -331,6 +360,21 @@ func main() {
 		fmt.Printf("pipeline chart, cycles 0..%d (F fetch, D dispatch, I issue, = executing, R retire, x flushed):\n", *traceN)
 		fmt.Println(m.Pipeview(0, *traceN))
 	}
+	if est != nil {
+		// The line the flag exists for: model next to measurement. On
+		// -json it goes to stderr so the report stays machine-parseable.
+		out := io.Writer(os.Stdout)
+		if *jsonOut {
+			out = os.Stderr
+		}
+		measured := m.Stats().IPC()
+		errPct := 0.0
+		if measured > 0 {
+			errPct = 100 * (est.PredictedIPC - measured) / measured
+		}
+		fmt.Fprintf(out, "analytic model: predicted IPC %.3f vs measured %.3f (%+.1f%%)\n",
+			est.PredictedIPC, measured, errPct)
+	}
 	if *jsonOut {
 		data, err := m.ReportJSON()
 		if err != nil {
@@ -340,6 +384,23 @@ func main() {
 		return
 	}
 	fmt.Print(m.Report())
+}
+
+// printEstimate renders one analytic prediction in the same spirit as
+// the run report: headline IPC, the per-class station solutions, and
+// the validity envelope the number is only good inside.
+func printEstimate(e repro.Estimate, policy repro.Policy) {
+	fmt.Printf("analytic estimate (policy %s, model v%d):\n", policy, e.ModelVersion)
+	fmt.Printf("  predicted IPC      %8.3f\n", e.PredictedIPC)
+	fmt.Printf("  predicted cycles   %8.0f\n", e.PredictedCycles)
+	fmt.Printf("  instructions       %8d in %d segments (ILP %.2f)\n", e.Instructions, e.Segments, e.ILP)
+	fmt.Printf("  reconfig overhead  %8.0f cycles\n", e.ReconfigOverhead)
+	fmt.Printf("  bottleneck         %s\n", e.Bottleneck)
+	for _, c := range e.Classes {
+		fmt.Printf("  %-7s capacity %5.2f  utilization %5.1f%%  queue delay %6.2f cyc\n",
+			c.Unit, c.Capacity, 100*c.Utilization, c.QueueDelay)
+	}
+	fmt.Printf("  envelope: %s\n", e.Envelope)
 }
 
 // runWide runs n seeded replicas (seeds seed..seed+n-1) as lanes of one

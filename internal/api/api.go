@@ -62,6 +62,32 @@ type RunSpec struct {
 	MinResidency int `json:"minResidency,omitempty"`
 }
 
+// EstimateRequest is the body of POST /v1/estimate: the same program
+// and spec shape as a run, answered by the analytic queueing model
+// instead of the simulator. Exactly one of Source or Words must be set.
+// MaxCycles, Seed and MinResidency are accepted for spec compatibility
+// with /v1/run but do not influence the model.
+type EstimateRequest struct {
+	// Source is assembly text (assembled through the program cache).
+	Source string `json:"source,omitempty"`
+	// Words is the binary program form, for pre-assembled jobs.
+	Words []uint32 `json:"words,omitempty"`
+
+	RunSpec
+}
+
+// EstimateResponse reports one analytic prediction.
+type EstimateResponse struct {
+	// Estimate is the model's prediction: IPC, per-class utilisation
+	// and queueing delay, bottleneck, and the validity envelope.
+	Estimate repro.Estimate `json:"estimate"`
+	// ElapsedUs is the wall-clock model solve time in microseconds —
+	// the number to compare against RunResponse.ElapsedMs.
+	ElapsedUs float64 `json:"elapsedUs"`
+	// Cached reports whether the program came from the assembly cache.
+	Cached bool `json:"cached"`
+}
+
 // RunRequest is the body of POST /v1/run. Exactly one of Source or
 // Words must be set.
 type RunRequest struct {

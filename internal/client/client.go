@@ -168,6 +168,15 @@ func (c *Client) Run(ctx context.Context, req api.RunRequest) (api.RunResponse, 
 	return out, err
 }
 
+// Estimate asks the analytic queueing model for a predicted IPC —
+// microseconds instead of a simulated run. Rank configurations with
+// Estimate, certify the survivors with Run.
+func (c *Client) Estimate(ctx context.Context, req api.EstimateRequest) (api.EstimateResponse, error) {
+	var out api.EstimateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/estimate", req, &out)
+	return out, err
+}
+
 // Sweep executes a synchronous sweep (the legacy surface; prefer
 // SubmitJob + StreamEvents for anything that should survive a restart).
 func (c *Client) Sweep(ctx context.Context, req api.SweepRequest) (api.SweepResponse, error) {

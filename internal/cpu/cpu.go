@@ -139,6 +139,12 @@ func DefaultParams() Params {
 	}
 }
 
+// WithDefaults returns the parameter set with every zero field filled
+// from DefaultParams — the exact resolution cpu.New applies before
+// building a machine. Analytic consumers (internal/queue) use it so the
+// model and the simulator agree on effective sizes.
+func (p Params) WithDefaults() Params { return p.withDefaults() }
+
 // withDefaults fills zero fields from DefaultParams.
 func (p Params) withDefaults() Params {
 	d := DefaultParams()
@@ -239,6 +245,15 @@ func (p Params) Validate() error {
 	}
 	if err := p.faultPlan().Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	// A spec that enables fault injection must size the scrub loop
+	// explicitly: without it the plan silently falls back to
+	// fault.DefaultScrubInterval, and a negative value used to surface
+	// only deep inside fault.Plan at run time. Reject both here so
+	// request-supplied specs fail with a structured 4xx instead.
+	if (p.FaultTransientRate > 0 || p.FaultPermanentRate > 0) && p.FaultScrubInterval <= 0 {
+		return fmt.Errorf("%w: fault rates are set but FaultScrubInterval is %d (want > 0)",
+			ErrInvalidParams, p.FaultScrubInterval)
 	}
 	// NaN fails this comparison too, which is the point.
 	if !(p.PrefetchConfidence >= 0 && p.PrefetchConfidence <= 1) {

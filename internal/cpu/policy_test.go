@@ -88,7 +88,7 @@ func TestParamsValidate(t *testing.T) {
 	good := []Params{
 		{ConfigBusWidth: 0}, // zero = unlimited bus, valid
 		{ConfigBusWidth: 1},
-		{FaultTransientRate: 0.5, FaultPermanentRate: 0.5}, // sum exactly 1
+		{FaultTransientRate: 0.5, FaultPermanentRate: 0.5, FaultScrubInterval: 64}, // sum exactly 1
 		{FaultScrubInterval: 1},
 	}
 	for i, p := range good {
@@ -108,6 +108,9 @@ func TestParamsValidate(t *testing.T) {
 		{FaultTransientRate: 0.7, FaultPermanentRate: 0.7}, // sum > 1
 		{FaultTransientRate: math.NaN()},
 		{FaultScrubInterval: -1},
+		{FaultTransientRate: 0.5, FaultPermanentRate: 0.5}, // rates without a scrub interval
+		{FaultTransientRate: 0.002},                        // ditto, transient only
+		{FaultPermanentRate: 0.001, FaultScrubInterval: 0}, // explicit zero scrub
 	}
 	for i, p := range bad {
 		if err := p.Validate(); !errors.Is(err, ErrInvalidParams) {

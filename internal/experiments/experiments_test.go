@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -457,5 +458,34 @@ func TestX7DemandDrivenShape(t *testing.T) {
 	steering := ipcOf(prog, params, cpu.PolicySteering)
 	if demand < steering*0.8 {
 		t.Errorf("demand-driven %.3f unexpectedly far below steering %.3f", demand, steering)
+	}
+}
+
+func TestX21ModelErrorWithinBound(t *testing.T) {
+	// The documented accuracy envelope of the analytic queueing model:
+	// every X21 scenario within ±25% of the simulator under both
+	// adaptive policies, mean absolute error under 12%. This runs the
+	// simulator live, so a calibration or profiler regression fails
+	// here rather than silently drifting the published table.
+	var sum float64
+	var n int
+	for _, sc := range x21Scenarios() {
+		for _, pol := range []cpu.Policy{cpu.PolicySteering, cpu.PolicyPrefetch} {
+			sim := x21Sim(sc, pol)
+			model := x21Model(sc, pol)
+			if sim <= 0 {
+				t.Fatalf("%s/%v: simulator IPC %v", sc.name, pol, sim)
+			}
+			err := math.Abs(model-sim) / sim
+			sum += err
+			n++
+			if err > 0.25 {
+				t.Errorf("%s/%v: model IPC %.3f vs sim %.3f — |error| %.1f%% exceeds 25%%",
+					sc.name, pol, model, sim, err*100)
+			}
+		}
+	}
+	if mean := sum / float64(n); mean > 0.12 {
+		t.Errorf("mean |error| %.1f%% over %d points exceeds 12%%", mean*100, n)
 	}
 }

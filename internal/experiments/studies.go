@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/baseline"
@@ -12,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/predict"
+	"repro/internal/queue"
 	"repro/internal/rfu"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -1075,6 +1079,226 @@ func X20() string {
 	return b.String()
 }
 
+// x21Scenario is one workload × machine ablation of the model-error
+// table: compact stand-ins for the X1–X6 study family.
+type x21Scenario struct {
+	name   string
+	prog   isa.Program
+	params cpu.Params
+	basis  *[3]config.Configuration
+	exact  bool // X3: exact divider CEM inside the simulator's manager
+}
+
+func x21Scenarios() []x21Scenario {
+	mk := func(phases []workload.Phase, seed int64) isa.Program {
+		return workload.Synthesize(phases, workload.SynthParams{Seed: seed})
+	}
+	phased := mk([]workload.Phase{
+		{Mix: workload.MixIntHeavy, Instructions: 500},
+		{Mix: workload.MixFPHeavy, Instructions: 500},
+		{Mix: workload.MixMemHeavy, Instructions: 500},
+		{Mix: workload.MixFPHeavy, Instructions: 500},
+	}, 7)
+	lat64 := cpu.DefaultParams()
+	lat64.ReconfigLatency = 64
+	noFFU := cpu.DefaultParams()
+	noFFU.DisableFFUs = true
+	w16 := cpu.DefaultParams()
+	w16.WindowSize = 16
+	fpBasis := [3]config.Configuration{
+		config.MustNew("fp-a", arch.FPALU, arch.FPMDU, arch.IntALU, arch.LSU),
+		config.MustNew("fp-b", arch.FPMDU, arch.FPMDU, arch.IntALU, arch.LSU),
+		config.MustNew("fp-c", arch.FPALU, arch.FPALU, arch.IntALU, arch.LSU),
+	}
+	return []x21Scenario{
+		{name: "X1 phased", prog: phased, params: cpu.DefaultParams()},
+		{name: "X2 lat=64", prog: mk([]workload.Phase{
+			{Mix: workload.MixIntHeavy, Instructions: 400},
+			{Mix: workload.MixFPHeavy, Instructions: 400},
+		}, 7), params: lat64},
+		{name: "X3 exact CEM", prog: phased, params: cpu.DefaultParams(), exact: true},
+		{name: "X4 no FFUs", prog: mk([]workload.Phase{
+			{Mix: workload.MixFPHeavy, Instructions: 600},
+		}, 5), params: noFFU},
+		{name: "X5 window=16", prog: mk([]workload.Phase{
+			{Mix: workload.MixUniform, Instructions: 800},
+		}, 3), params: w16},
+		{name: "X6 fp basis", prog: mk([]workload.Phase{
+			{Mix: workload.MixFPHeavy, Instructions: 400},
+			{Mix: workload.MixIntHeavy, Instructions: 400},
+		}, 2), params: cpu.DefaultParams(), basis: &fpBasis},
+	}
+}
+
+// x21Sim runs one scenario under an adaptive policy in the simulator.
+func x21Sim(sc x21Scenario, pol cpu.Policy) float64 {
+	p := cpu.New(sc.prog, sc.params, nil)
+	basis := config.DefaultBasis()
+	if sc.basis != nil {
+		basis = *sc.basis
+	}
+	switch pol {
+	case cpu.PolicySteering:
+		m := core.NewManager(p.Fabric(), basis)
+		m.ExactCEM = sc.exact
+		p.SetManager(&baseline.Steering{M: m})
+	case cpu.PolicyPrefetch:
+		p.SetManager(predict.NewManagerBasis(p.Fabric(), basis, predict.Config{}))
+	}
+	st, err := p.Run(MaxCycles)
+	if err != nil {
+		return -1
+	}
+	return st.IPC()
+}
+
+// x21Model solves the analytic model for one scenario.
+func x21Model(sc x21Scenario, pol cpu.Policy) float64 {
+	m, err := queue.New(pol, sc.params, sc.basis)
+	if err != nil {
+		return -1
+	}
+	est, err := m.Estimate(sc.prog)
+	if err != nil {
+		return -1
+	}
+	return est.PredictedIPC
+}
+
+// X21 validates the analytic queueing model (internal/queue, the engine
+// behind /v1/estimate and rssbench -prune-frontier): per-scenario model
+// error against the simulator, the model-vs-simulation latency ratio,
+// and whether model-guided pruning keeps the true frontier.
+func X21() string {
+	var b strings.Builder
+	b.WriteString("X21 — analytic queueing model vs simulator\n\n")
+
+	// Part 1: model error across the scenario family under the two
+	// deterministic adaptive policies the fast path targets.
+	scenarios := x21Scenarios()
+	pols := []cpu.Policy{cpu.PolicySteering, cpu.PolicyPrefetch}
+	t := stats.NewTable("Model IPC error (X1–X6 scenarios × adaptive policies)",
+		"scenario", "policy", "sim IPC", "model IPC", "error")
+	type cellResult struct{ sim, model float64 }
+	grid := sweep.Grid(len(scenarios), len(pols), 0, func(row, col int) cellResult {
+		return cellResult{sim: x21Sim(scenarios[row], pols[col]), model: x21Model(scenarios[row], pols[col])}
+	})
+	var sumAbs, worst float64
+	n := 0
+	for i, sc := range scenarios {
+		for j, pol := range pols {
+			r := grid[i][j]
+			if r.sim <= 0 || r.model < 0 {
+				t.AddRow(sc.name, pol.String(), fmtIPC(r.sim), fmtIPC(r.model), "-")
+				continue
+			}
+			errPct := 100 * (r.model - r.sim) / r.sim
+			t.AddRow(sc.name, pol.String(), fmtIPC(r.sim), fmtIPC(r.model),
+				fmt.Sprintf("%+.1f%%", errPct))
+			sumAbs += math.Abs(errPct)
+			if math.Abs(errPct) > worst {
+				worst = math.Abs(errPct)
+			}
+			n++
+		}
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nmean |error| %.1f%%, worst |error| %.1f%% (bound: every scenario within 25%%, mean under 10%%;\nthe worst case is the X4 FFU-less ablation, where the model under-predicts saturated stations)\n",
+		sumAbs/float64(n), worst)
+
+	// Part 2: latency, at two scales. On the compact X1 both paths are
+	// linear in program length, so the ratio is modest; at production
+	// scale the model's strided sampling makes its cost roughly constant
+	// while simulation stays linear — that is where the /v1/estimate
+	// speedup claim lives, so it is measured on a 1M-instruction X1.
+	sc1 := scenarios[0]
+	measure := func(name string, sc x21Scenario, solves int) {
+		simStart := time.Now()
+		simIPC := x21Sim(sc, cpu.PolicySteering)
+		simElapsed := time.Since(simStart)
+		modelStart := time.Now()
+		var modelIPC float64
+		for i := 0; i < solves; i++ {
+			modelIPC = x21Model(sc, cpu.PolicySteering)
+		}
+		modelElapsed := time.Since(modelStart) / time.Duration(solves)
+		fmt.Fprintf(&b, "latency (%s): simulated run %v (IPC %.3f), model solve %v (IPC %.3f) — %.0fx faster\n",
+			name, simElapsed.Round(time.Microsecond), simIPC,
+			modelElapsed.Round(time.Microsecond), modelIPC,
+			float64(simElapsed)/float64(modelElapsed))
+	}
+	b.WriteString("\n")
+	measure("X1, 2k instructions", sc1, 100)
+	var bigPhases []workload.Phase
+	for i := 0; i < 500; i++ {
+		bigPhases = append(bigPhases,
+			workload.Phase{Mix: workload.MixIntHeavy, Instructions: 500},
+			workload.Phase{Mix: workload.MixFPHeavy, Instructions: 500},
+			workload.Phase{Mix: workload.MixMemHeavy, Instructions: 500},
+			workload.Phase{Mix: workload.MixFPHeavy, Instructions: 500},
+		)
+	}
+	bigProg := workload.Synthesize(bigPhases, workload.SynthParams{Seed: 7})
+	measure("X1 at production scale, 1M instructions", x21Scenario{prog: bigProg, params: cpu.DefaultParams()}, 20)
+
+	// Part 3: model-guided pruning. Rank the rssbench-style grid
+	// (policy × latency, seed 7) with the model, submit the top quarter,
+	// and check the true top-3 survived — the -prune-frontier contract.
+	gridPols := []cpu.Policy{
+		cpu.PolicySteering, cpu.PolicyPrefetch, cpu.PolicyDemand,
+		cpu.PolicyFullReconfig, cpu.PolicyNone,
+	}
+	lats := []int{4, 16, 64}
+	type point struct {
+		pol        cpu.Policy
+		lat        int
+		sim, model float64
+	}
+	pts := make([]point, 0, len(gridPols)*len(lats))
+	for _, pol := range gridPols {
+		for _, lat := range lats {
+			pts = append(pts, point{pol: pol, lat: lat})
+		}
+	}
+	ranked := sweep.Run(len(pts), 0, func(i int) point {
+		p := pts[i]
+		params := cpu.DefaultParams()
+		params.ReconfigLatency = p.lat
+		proc := buildMachine(sc1.prog, params, p.pol)
+		if st, err := proc.Run(MaxCycles); err == nil {
+			p.sim = st.IPC()
+		} else {
+			p.sim = -1
+		}
+		p.model = x21Model(x21Scenario{prog: sc1.prog, params: params}, p.pol)
+		return p
+	})
+	bySim := append([]point(nil), ranked...)
+	sort.SliceStable(bySim, func(i, j int) bool { return bySim[i].sim > bySim[j].sim })
+	byModel := append([]point(nil), ranked...)
+	sort.SliceStable(byModel, func(i, j int) bool { return byModel[i].model > byModel[j].model })
+	const frontier = 0.25
+	keep := int(math.Ceil(frontier * float64(len(ranked))))
+	inFrontier := map[string]bool{}
+	for _, p := range byModel[:keep] {
+		inFrontier[fmt.Sprintf("%s/%d", p.pol, p.lat)] = true
+	}
+	retained := 0
+	var top3 []string
+	for _, p := range bySim[:3] {
+		key := fmt.Sprintf("%s/%d", p.pol, p.lat)
+		mark := "dropped"
+		if inFrontier[key] {
+			retained++
+			mark = "retained"
+		}
+		top3 = append(top3, fmt.Sprintf("  %-22s sim %.3f  model %.3f  %s", key, p.sim, p.model, mark))
+	}
+	fmt.Fprintf(&b, "\npruning (grid %d points, frontier %.2f -> %d submitted): true top-3 retained %d/3\n%s\n",
+		len(ranked), frontier, keep, retained, strings.Join(top3, "\n"))
+	return b.String()
+}
+
 // All runs every artefact and study in order.
 func All() string {
 	sections := []struct {
@@ -1083,7 +1307,7 @@ func All() string {
 	}{
 		{"table1", Table1}, {"fig1", Fig1}, {"fig2", Fig2}, {"fig3", Fig3},
 		{"fig5", Fig5}, {"fig7", Fig7}, {"cost", CostTable},
-		{"x1", X1}, {"x1seeds", X1Seeds}, {"x2", X2}, {"x3", X3}, {"x4", X4}, {"x5", X5}, {"x6", X6}, {"x7", X7}, {"x8", X8}, {"x9", X9}, {"x10", X10}, {"x11", X11}, {"x12", X12}, {"x13", X13}, {"x14", X14}, {"x15", X15}, {"x16", X16}, {"x17", X17}, {"x18", X18}, {"x19", X19}, {"x20", X20},
+		{"x1", X1}, {"x1seeds", X1Seeds}, {"x2", X2}, {"x3", X3}, {"x4", X4}, {"x5", X5}, {"x6", X6}, {"x7", X7}, {"x8", X8}, {"x9", X9}, {"x10", X10}, {"x11", X11}, {"x12", X12}, {"x13", X13}, {"x14", X14}, {"x15", X15}, {"x16", X16}, {"x17", X17}, {"x18", X18}, {"x19", X19}, {"x20", X20}, {"x21", X21},
 	}
 	var b strings.Builder
 	for i, s := range sections {
@@ -1128,6 +1352,7 @@ func Artifacts() map[string]func() string {
 		"x18":     X18,
 		"x19":     X19,
 		"x20":     X20,
+		"x21":     X21,
 		"all":     All,
 	}
 }

@@ -1,0 +1,238 @@
+// Static program profiling for the analytic model.
+//
+// The synthesizer's programs (and every assembled workload the service
+// accepts today) are straight-line: fetch never branches, so a single
+// forward pass over the instruction stream sees exactly the dynamic
+// instruction sequence the simulator will execute. That is what makes a
+// static profile a faithful substitute for a trace — the profiler
+// segments the stream, and per segment collects the three quantities
+// the queueing model needs: how much service each unit class must
+// deliver, how serialised the work is (register-dataflow critical
+// path), and what concurrency the segment asks of each class (the same
+// 3-bit demand vector the steering manager computes from queue
+// occupancy).
+package queue
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// DefaultSegmentSize is the profiling window in instructions. It is
+// deliberately close to the reorder horizon the steering manager reacts
+// over (a handful of 7-entry windows): small enough to see the phase
+// structure that drives reconfiguration, large enough that the M/M/c
+// steady-state assumption inside one segment is not absurd.
+const DefaultSegmentSize = 64
+
+// Segment is one profiling window of the instruction stream.
+type Segment struct {
+	Instr    int                        // instructions in the window
+	Counts   arch.Counts                // instruction count per unit class
+	Service  [arch.NumUnitTypes]float64 // summed service cycles per class
+	CritPath float64                    // register-dataflow critical path through the window
+	Demand   arch.Counts                // 3-bit clamped concurrency demand (Little's law)
+	Weight   int                        // windows this segment stands for (1 when profiled exactly)
+}
+
+// profileOptions parameterize the static profile.
+type profileOptions struct {
+	lat         isa.Latencies
+	loadPenalty float64 // extra service cycles charged per load for modeled misses
+	segSize     int
+	window      int // scheduling-window size, caps the demand encoding
+}
+
+// profileProgram slices the program into segments and fills in service
+// demand, critical path, and the 3-bit demand vector per segment.
+//
+// The critical path is computed incrementally over register dataflow:
+// depth[r] is the completion time of the latest writer of r on an
+// infinitely wide machine. A segment's CritPath is how much the global
+// critical path grew while its instructions streamed past — dependence
+// chains that cross segment boundaries are charged to the segment that
+// extends them, which is also where the simulator stalls on them.
+func profileProgram(prog isa.Program, o profileOptions) []Segment {
+	if o.segSize <= 0 {
+		o.segSize = DefaultSegmentSize
+	}
+	var (
+		segs   []Segment
+		cur    Segment
+		depth  [256]float64 // completion time per unified register index
+		cpMax  float64      // global critical-path watermark
+		cpBase float64      // watermark at current segment start
+	)
+	flush := func() {
+		if cur.Instr == 0 {
+			return
+		}
+		cur.CritPath = cpMax - cpBase
+		cur.Demand = demandVector(cur, o.window)
+		cur.Weight = 1
+		segs = append(segs, cur)
+		cur = Segment{}
+		cpBase = cpMax
+	}
+	for _, in := range prog {
+		if in.Op == isa.HALT {
+			break
+		}
+		unit := in.Unit()
+		svc := float64(o.lat.Of(in.Op))
+		if in.Op.IsLoad() {
+			svc += o.loadPenalty
+		}
+		cur.Instr++
+		cur.Counts[unit]++
+		cur.Service[unit] += svc
+
+		start := 0.0
+		regs, n := in.SourceRegs()
+		for i := 0; i < n; i++ {
+			if d := depth[regs[i]]; d > start {
+				start = d
+			}
+		}
+		done := start + svc
+		if rd, ok := in.Dest(); ok && rd != 0 { // integer r0 is hardwired zero
+			depth[rd] = done
+		}
+		if done > cpMax {
+			cpMax = done
+		}
+		if cur.Instr >= o.segSize {
+			flush()
+		}
+	}
+	flush()
+	return segs
+}
+
+// sampleTargetSegs is how many profiling windows the sampled path keeps.
+// Programs short enough to profile exactly (fewer than twice this many
+// windows) are; longer ones are strided down to roughly this many, which
+// makes the model's cost effectively constant in program length — the
+// property that keeps /v1/estimate thousands of times cheaper than a
+// simulated run at production scale.
+const sampleTargetSegs = 96
+
+// sampleWindows decides whether a program is long enough to profile by
+// sampling and, if so, returns the concatenation of every stride-th
+// window plus the window count each sampled window stands for. The
+// accepted workloads are statistically stationary within a phase, so a
+// strided sample sees every phase (stride << phase length in windows)
+// and the weighted profile converges on the exact one. Cross-window
+// dependence chains between non-adjacent sampled windows are mildly
+// overcharged (the chains are short relative to a 64-instruction
+// window); that bias is inside the model's documented envelope.
+//
+// The concatenated sample re-segments on the same window boundaries
+// (every sampled window is exactly segSize long except a final partial
+// one), so segment i of the profiled sample IS sampled window i and
+// weights apply by index. A (nil, nil) return means "profile exactly".
+func sampleWindows(prog isa.Program, segSize int) (isa.Program, []int) {
+	totalSegs := (len(prog) + segSize - 1) / segSize
+	if totalSegs <= 2*sampleTargetSegs {
+		return nil, nil
+	}
+	stride := (totalSegs + sampleTargetSegs - 1) / sampleTargetSegs
+	win := make(isa.Program, 0, (sampleTargetSegs+1)*segSize)
+	var weights []int
+	for s := 0; s < totalSegs; s += stride {
+		start := s * segSize
+		end := start + segSize
+		if end > len(prog) {
+			end = len(prog)
+		}
+		win = append(win, prog[start:end]...)
+		w := stride
+		if rem := totalSegs - s; rem < stride {
+			w = rem
+		}
+		weights = append(weights, w)
+	}
+	return win, weights
+}
+
+// demandVector derives the segment's per-class concurrency requirement:
+// by Little's law the class needs Service_k / T units running at once to
+// finish inside the segment's fastest possible completion time T, where
+// T is bounded below by the critical path. The result is clamped to the
+// window size (the machine can never expose more parallelism than
+// in-flight instructions) and then to the manager's 3-bit encoding —
+// exactly the saturation the hardware demand vector applies.
+func demandVector(s Segment, window int) arch.Counts {
+	t := s.CritPath
+	if t < 1 {
+		t = 1
+	}
+	var d arch.Counts
+	for k := range d {
+		if s.Counts[k] == 0 {
+			continue
+		}
+		need := int(math.Ceil(s.Service[k] / t))
+		if need < 1 {
+			need = 1
+		}
+		if window > 0 && need > window {
+			need = window
+		}
+		if need > 7 { // 3-bit saturation, as in cem.clamp3
+			need = 7
+		}
+		d[k] = need
+	}
+	return d
+}
+
+// loadFootprintPenalty models the data cache statically. Memory
+// operands in the accepted workloads are base+offset with small
+// immediate offsets, so the distinct (base register, cache line) pairs
+// seen by the profiler bound the program's data footprint. If the
+// footprint fits the cache, only compulsory misses remain (one per
+// line); if it exceeds the cache, the overflow fraction of accesses
+// misses. Either way the penalty is amortised into the per-load service
+// time, which is how an M/M/c server has to see it.
+func loadFootprintPenalty(prog isa.Program, lineBytes, sets, missPenalty int) float64 {
+	if lineBytes <= 0 || sets <= 0 || missPenalty <= 0 {
+		return 0
+	}
+	lines := map[[2]int32]struct{}{}
+	loads := 0
+	for _, in := range prog {
+		if in.Op == isa.HALT {
+			break
+		}
+		if !in.Op.IsLoad() && !in.Op.IsStore() {
+			continue
+		}
+		regs, n := in.SourceRegs()
+		base := int32(-1)
+		if n > 0 {
+			base = int32(regs[0])
+		}
+		lines[[2]int32{base, in.Imm / int32(lineBytes)}] = struct{}{}
+		if in.Op.IsLoad() {
+			loads++
+		}
+	}
+	if loads == 0 {
+		return 0
+	}
+	footprint := len(lines)
+	cacheLines := sets // direct-mapped: one line per set
+	var misses float64
+	if footprint <= cacheLines {
+		misses = float64(footprint) // compulsory only
+	} else {
+		misses = float64(footprint) + float64(loads)*(1-float64(cacheLines)/float64(footprint))
+	}
+	if misses > float64(loads) {
+		misses = float64(loads)
+	}
+	return misses / float64(loads) * float64(missPenalty)
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestEstimateResponseSchemaGolden pins the /v1/estimate wire schema:
+// every field path and JSON type of a real response must match
+// testdata/estimate_schema.golden. The pruning path in cmd/rssbench and
+// any dashboard reading predicted IPC parse this document, so adding or
+// renaming a field means regenerating the golden deliberately (delete
+// it and re-run with -run EstimateResponseSchemaGolden to print the new
+// schema).
+func TestEstimateResponseSchemaGolden(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	status, doc := postJSON(t, ts, "/v1/estimate", fmt.Sprintf(`{"source": %q}`, haltingSource))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("# /v1/estimate response schema: field path -> JSON type.\n")
+	sb.WriteString("# Regenerate: delete this file, run go test -run EstimateResponseSchemaGolden,\n")
+	sb.WriteString("# and copy the schema the failure prints.\n")
+	renderSchema(&sb, "", doc)
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "estimate_schema.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s (current schema below, save it there if this is a new checkout):\n%s\n%v",
+			goldenPath, got, err)
+	}
+	if got != string(want) {
+		t.Errorf("/v1/estimate response schema drifted from %s.\ngot:\n%s\nwant:\n%s",
+			goldenPath, got, want)
+	}
+}
+
+// renderSchema walks a decoded JSON document and writes sorted
+// "path: type" lines; array elements are rendered once under path[].
+func renderSchema(sb *strings.Builder, prefix string, v any) {
+	switch vv := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(vv))
+		for k := range vv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			path := k
+			if prefix != "" {
+				path = prefix + "." + k
+			}
+			renderSchema(sb, path, vv[k])
+		}
+	case []any:
+		if len(vv) == 0 {
+			fmt.Fprintf(sb, "%s: empty array\n", prefix)
+			return
+		}
+		renderSchema(sb, prefix+"[]", vv[0])
+	case nil:
+		fmt.Fprintf(sb, "%s: null\n", prefix)
+	case bool:
+		fmt.Fprintf(sb, "%s: bool\n", prefix)
+	case string:
+		fmt.Fprintf(sb, "%s: string\n", prefix)
+	case float64:
+		fmt.Fprintf(sb, "%s: number\n", prefix)
+	default:
+		fmt.Fprintf(sb, "%s: %T\n", prefix, v)
+	}
+}

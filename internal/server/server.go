@@ -40,6 +40,7 @@ import (
 
 	"repro"
 	"repro/internal/api"
+	"repro/internal/arch"
 	"repro/internal/job"
 	"repro/internal/span"
 	"repro/internal/telemetry"
@@ -190,6 +191,8 @@ type Server struct {
 	jobPoints     map[string]*telemetry.Counter // by outcome
 	gaugeJobsAct  *telemetry.Gauge
 	gaugeJobQueue *telemetry.Gauge
+	estimates     map[string]*telemetry.Counter // by predicted bottleneck
+	estimateUs    *telemetry.Histogram          // model solve µs
 
 	// spans is the service flight recorder: request lifecycle spans
 	// (queue-wait → execute → encode, one child per sweep/job point)
@@ -206,8 +209,20 @@ var prefetchCounterNames = []string{
 
 // handler and job-kind names used as metric label values.
 var handlerNames = []string{
-	"assemble", "run", "sweep", "healthz", "metrics", "flightrecorder",
-	"jobs", "jobs_list", "job", "job_events", "job_cancel",
+	"assemble", "run", "estimate", "sweep", "healthz", "metrics",
+	"flightrecorder", "jobs", "jobs_list", "job", "job_events", "job_cancel",
+}
+
+// estimateBottleneckNames enumerates every bottleneck label the
+// analytic model can emit, so the per-bottleneck estimate counters can
+// be registered up front (the telemetry registry is fixed after New).
+func estimateBottleneckNames() []string {
+	names := []string{"empty", "dependencies", "frontend", "issue-width", "queueing", "reconfig"}
+	for k := 0; k < arch.NumUnitTypes; k++ {
+		u := arch.UnitType(k).String()
+		names = append(names, "units:"+u, "capacity:"+u)
+	}
+	return names
 }
 
 // jobKindNames label the simulation-latency and queue-wait histograms.
@@ -283,6 +298,15 @@ func New(cfg Config) (*Server, error) {
 			"Speculative-prefetch accounting aggregated over prefetch-policy simulations, by counter.",
 			telemetry.Label{Key: "counter", Value: name})
 	}
+	s.estimates = map[string]*telemetry.Counter{}
+	for _, b := range estimateBottleneckNames() {
+		s.estimates[b] = s.registry.NewCounter("rssd_estimate_total",
+			"Analytic estimates served, by the model's predicted bottleneck.",
+			telemetry.Label{Key: "bottleneck", Value: b})
+	}
+	s.estimateUs = s.registry.NewHistogram("rssd_estimate_solve_us",
+		"Analytic model solve time in microseconds (profile plus fixed point, excluding assembly).",
+		usBounds)
 	s.jobsSubmitted = s.registry.NewCounter("rssd_sweep_jobs_submitted_total",
 		"Sweep jobs accepted by the coordinator (both surfaces: /v1/jobs and the /v1/sweep shim).")
 	s.jobsFinished = map[string]*telemetry.Counter{}
@@ -332,6 +356,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	timed("POST /v1/assemble", "assemble", s.handleAssemble)
 	timed("POST /v1/run", "run", s.handleRun)
+	timed("POST /v1/estimate", "estimate", s.handleEstimate)
 	timed("POST /v1/sweep", "sweep", s.handleSweep)
 	timed("POST /v1/jobs", "jobs", s.handleJobSubmit)
 	timed("GET /v1/jobs", "jobs_list", s.handleJobList)
@@ -715,6 +740,65 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, api.RunResponse{Report: report, ElapsedMs: elapsedMs, Cached: lp.cached})
 	s.spans.Record(reqID, "encode", "run", -1, encodeStart, time.Now())
+}
+
+// handleEstimate answers POST /v1/estimate from the analytic queueing
+// model instead of the simulator. A solve costs microseconds, so the
+// handler passes admission control (draining and backlog checks apply
+// as everywhere) but never takes a worker slot — estimates stay cheap
+// and available while every worker is busy simulating.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("estimate")
+	var req api.EstimateRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, "estimate", err)
+		return
+	}
+	lp, err := s.load(req.Source, req.Words)
+	if err != nil {
+		s.fail(w, "estimate", err)
+		return
+	}
+	spec := req.RunSpec
+	if err := s.resolveSpec(&spec); err != nil {
+		s.fail(w, "estimate", err)
+		return
+	}
+	leave, err := s.admitJob()
+	if err != nil {
+		s.fail(w, "estimate", err)
+		return
+	}
+	defer leave()
+
+	prog := lp.prog
+	if lp.unit != nil {
+		prog = lp.unit.Program
+	}
+	start := time.Now()
+	est, err := repro.EstimateIPC(prog, repro.Options{Params: spec.Params, Policy: spec.Policy})
+	solve := time.Since(start)
+	if err != nil {
+		s.fail(w, "estimate", err)
+		return
+	}
+	s.countEstimate(est.Bottleneck, solve)
+	writeJSON(w, http.StatusOK, api.EstimateResponse{
+		Estimate:  est,
+		ElapsedUs: float64(solve) / float64(time.Microsecond),
+		Cached:    lp.cached,
+	})
+}
+
+// countEstimate lands one served estimate on the metrics: the
+// per-bottleneck counter and the solve-time histogram.
+func (s *Server) countEstimate(bottleneck string, solve time.Duration) {
+	s.mmu.Lock()
+	defer s.mmu.Unlock()
+	if c, ok := s.estimates[bottleneck]; ok {
+		c.Add(1)
+	}
+	s.estimateUs.Observe(solve.Microseconds())
 }
 
 // handleSweep is the legacy synchronous sweep, reimplemented as a thin

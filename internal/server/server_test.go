@@ -205,7 +205,7 @@ loop:	addi r1, r1, -1
 
 func TestRunWithFaults(t *testing.T) {
 	_, ts, _ := newTestServer(t, Config{})
-	body := fmt.Sprintf(`{"source": %q, "policy": "steering", "params": {"FaultTransientRate": 0.002, "FaultPermanentRate": 0.0002, "FaultSeed": 11}}`, faultySource)
+	body := fmt.Sprintf(`{"source": %q, "policy": "steering", "params": {"FaultTransientRate": 0.002, "FaultPermanentRate": 0.0002, "FaultSeed": 11, "FaultScrubInterval": 64}}`, faultySource)
 	status, doc := postJSON(t, ts, "/v1/run", body)
 	if status != http.StatusOK {
 		t.Fatalf("status = %d, want 200 (%v)", status, doc)
@@ -224,8 +224,8 @@ func TestSweepWithFaultRates(t *testing.T) {
 	_, ts, _ := newTestServer(t, Config{Workers: 2})
 	body := fmt.Sprintf(`{"source": %q, "points": [
 		{"policy": "steering"},
-		{"policy": "steering", "params": {"FaultTransientRate": 0.002, "FaultSeed": 11}},
-		{"policy": "steering", "params": {"FaultTransientRate": 0.01, "FaultSeed": 11}}
+		{"policy": "steering", "params": {"FaultTransientRate": 0.002, "FaultSeed": 11, "FaultScrubInterval": 64}},
+		{"policy": "steering", "params": {"FaultTransientRate": 0.01, "FaultSeed": 11, "FaultScrubInterval": 64}}
 	]}`, faultySource)
 	status, doc := postJSON(t, ts, "/v1/sweep", body)
 	if status != http.StatusOK {
@@ -270,6 +270,7 @@ func TestRunBadRequests(t *testing.T) {
 		{"negative fault rate", fmt.Sprintf(`{"source": %q, "params": {"FaultPermanentRate": -0.1}}`, haltingSource), api.CodeInvalidParams},
 		{"fault rates sum above 1", fmt.Sprintf(`{"source": %q, "params": {"FaultTransientRate": 0.6, "FaultPermanentRate": 0.6}}`, haltingSource), api.CodeInvalidParams},
 		{"negative scrub interval", fmt.Sprintf(`{"source": %q, "params": {"FaultScrubInterval": -1}}`, haltingSource), api.CodeInvalidParams},
+		{"fault rates without scrub interval", fmt.Sprintf(`{"source": %q, "params": {"FaultTransientRate": 0.002}}`, haltingSource), api.CodeInvalidParams},
 		{"negative config bus width", fmt.Sprintf(`{"source": %q, "params": {"ConfigBusWidth": -2}}`, haltingSource), api.CodeInvalidParams},
 	}
 	for _, tc := range cases {
@@ -282,6 +283,99 @@ func TestRunBadRequests(t *testing.T) {
 				t.Errorf("code = %s, want %s", code, tc.wantCode)
 			}
 		})
+	}
+}
+
+func TestEstimateHappyPath(t *testing.T) {
+	_, ts, c := newTestServer(t, Config{})
+	resp, err := c.Estimate(context.Background(), api.EstimateRequest{
+		Source:  haltingSource,
+		RunSpec: api.RunSpec{Policy: policy(t, "steering")},
+	})
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	if resp.Estimate.PredictedIPC <= 0 {
+		t.Errorf("PredictedIPC = %v, want > 0", resp.Estimate.PredictedIPC)
+	}
+	if resp.Estimate.Instructions != 3 { // halt excluded
+		t.Errorf("Instructions = %d, want 3", resp.Estimate.Instructions)
+	}
+	if resp.Estimate.Envelope == "" || resp.Estimate.ModelVersion == 0 || resp.Estimate.Bottleneck == "" {
+		t.Errorf("incomplete estimate: %+v", resp.Estimate)
+	}
+	if resp.ElapsedUs < 0 {
+		t.Errorf("ElapsedUs = %v, want >= 0", resp.ElapsedUs)
+	}
+	// Second request: same source comes from the program cache, and the
+	// estimate metrics have landed.
+	resp, err = c.Estimate(context.Background(), api.EstimateRequest{Source: haltingSource})
+	if err != nil {
+		t.Fatalf("estimate (cached): %v", err)
+	}
+	if !resp.Cached {
+		t.Error("second estimate not served from the program cache")
+	}
+	body, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer body.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(body.Body); err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{"rssd_estimate_total", "rssd_estimate_solve_us"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+func TestEstimateBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	cases := []struct {
+		name     string
+		body     string
+		wantCode string
+	}{
+		{"no program", `{}`, api.CodeInvalidRequest},
+		{"unknown policy", fmt.Sprintf(`{"source": %q, "policy": "bogus"}`, haltingSource), api.CodeUnknownPolicy},
+		{"bad params", fmt.Sprintf(`{"source": %q, "params": {"WindowSize": -3}}`, haltingSource), api.CodeInvalidParams},
+		{"fault rates without scrub interval", fmt.Sprintf(`{"source": %q, "params": {"FaultTransientRate": 0.002}}`, haltingSource), api.CodeInvalidParams},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, doc := postJSON(t, ts, "/v1/estimate", tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (%v)", status, doc)
+			}
+			if code := errCode(t, doc); code != tc.wantCode {
+				t.Errorf("code = %s, want %s", code, tc.wantCode)
+			}
+		})
+	}
+}
+
+// TestEstimateNeedsNoWorkerSlot pins the admission contract: estimates
+// pass backlog admission but never wait for a worker slot, so the fast
+// path stays available while every worker is busy simulating.
+func TestEstimateNeedsNoWorkerSlot(t *testing.T) {
+	s, _, c := newTestServer(t, Config{Workers: 1})
+	if err := s.pool.acquire(context.Background()); err != nil {
+		t.Fatalf("occupying the only worker slot: %v", err)
+	}
+	defer s.pool.release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := c.Estimate(ctx, api.EstimateRequest{Source: haltingSource})
+	if err != nil {
+		t.Fatalf("estimate with all workers busy: %v", err)
+	}
+	if resp.Estimate.PredictedIPC <= 0 {
+		t.Errorf("PredictedIPC = %v, want > 0", resp.Estimate.PredictedIPC)
 	}
 }
 

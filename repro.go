@@ -40,6 +40,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/predict"
+	"repro/internal/queue"
 	"repro/internal/rfu"
 	"repro/internal/span"
 	"repro/internal/telemetry"
@@ -261,6 +262,32 @@ func NewMachine(prog Program, opt Options) *Machine {
 		panic(fmt.Sprintf("repro: unknown policy %d", opt.Policy))
 	}
 	return m
+}
+
+// Estimate is the analytic queueing model's prediction for one program
+// under one policy and parameter set — see internal/queue for the model
+// and its validity envelope.
+type Estimate = queue.Estimate
+
+// EstimateIPC answers the question a simulated run answers — "what IPC
+// does this program achieve under this configuration?" — analytically,
+// in microseconds instead of simulated cycles, using the M/M/c queueing
+// model of the FFU/RFU pool. The estimate carries a documented validity
+// envelope and a mean error against the simulator under 10% on the
+// X1–X6 reference workloads (EXPERIMENTS.md X21): rank configurations
+// with EstimateIPC, certify the survivors with Machine.Run. Invalid
+// parameters return an error wrapping ErrInvalidParams.
+func EstimateIPC(prog Program, opt Options) (Estimate, error) {
+	var basis *[3]config.Configuration
+	if opt.Basis != nil {
+		b := *opt.Basis
+		basis = &b
+	}
+	m, err := queue.New(opt.Policy, opt.Params, basis)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return m.Estimate(prog)
 }
 
 // Run executes until HALT retires or maxCycles elapse; it returns the run
