@@ -39,6 +39,7 @@ import (
 	"repro"
 	"repro/internal/api"
 	"repro/internal/client"
+	"repro/internal/cluster"
 )
 
 func main() {
@@ -59,17 +60,58 @@ func main() {
 		jsonlPath = flag.String("jsonl", "", "also dump raw per-point results as JSONL here")
 		quiet     = flag.Bool("q", false, "suppress per-point progress on stderr")
 		pruneF    = flag.Float64("prune-frontier", 0, "rank the grid with the analytic queueing model first and submit only the top fraction F in (0,1]; 0 submits everything")
+		coresCSV  = flag.String("cores", "1", "comma-separated cluster core counts (grid dimension; 1 = scalar)")
+		cmodesCSV = flag.String("cluster-modes", "merged", "comma-separated cluster modes for multi-core points (merged,split)")
+		carb      = flag.String("cluster-arbiter", "", "cluster arbiter for multi-core points (round-robin, demand-weighted)")
 	)
 	flag.Parse()
 	if *pruneF < 0 || *pruneF > 1 {
 		fmt.Fprintf(os.Stderr, "rssbench: -prune-frontier must be in [0,1], got %g\n", *pruneF)
 		os.Exit(1)
 	}
+	dims := clusterDims{coresCSV: *coresCSV, modesCSV: *cmodesCSV, arbiter: *carb}
 	if err := run(*addr, *program, *synthLen, *synthPer, *synthSeed, *policies, *latencies,
-		*seeds, *maxCycles, *pointTO, *timeout, *label, *outPath, *jsonlPath, *quiet, *pruneF); err != nil {
+		*seeds, *maxCycles, *pointTO, *timeout, *label, *outPath, *jsonlPath, *quiet, *pruneF, dims); err != nil {
 		fmt.Fprintln(os.Stderr, "rssbench:", err)
 		os.Exit(1)
 	}
+}
+
+// clusterDims carries the optional cluster dimensions of the grid: the
+// core counts to sweep and, for multi-core points, the fabric-sharing
+// mode(s) and arbiter. Scalar points (cores = 1) ignore mode and
+// arbiter so a mixed grid never duplicates identical K=1 cells.
+type clusterDims struct {
+	coresCSV string
+	modesCSV string
+	arbiter  string
+}
+
+// expand parses and validates the cluster dimensions. For cores == 1 the
+// mode list collapses to the single empty mode.
+func (d clusterDims) expand() (cores []int, modes []string, err error) {
+	cores, err = splitInts(d.coresCSV)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parsing -cores: %w", err)
+	}
+	for _, c := range cores {
+		if c < 1 || c > cluster.MaxCores {
+			return nil, nil, fmt.Errorf("-cores value %d outside [1,%d]", c, cluster.MaxCores)
+		}
+	}
+	modes, err = splitNames(d.modesCSV)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parsing -cluster-modes: %w", err)
+	}
+	for _, m := range modes {
+		if _, err := cluster.ParseMode(m); err != nil {
+			return nil, nil, err
+		}
+	}
+	if _, err := cluster.ParseArbiter(d.arbiter); err != nil {
+		return nil, nil, err
+	}
+	return cores, modes, nil
 }
 
 // gridPoint remembers which cell of the table a job point belongs to.
@@ -77,11 +119,26 @@ type gridPoint struct {
 	policy  string
 	latency int
 	seed    int64
+	cores   int
+	mode    string // cluster mode; empty for scalar points
+}
+
+// row is the table row label: the policy, qualified by the cluster
+// shape when the grid sweeps more than the scalar machine.
+func (g gridPoint) row(scalarOnly bool) string {
+	if scalarOnly {
+		return g.policy
+	}
+	if g.cores == 1 {
+		return g.policy + " (K=1)"
+	}
+	return fmt.Sprintf("%s (K=%d, %s)", g.policy, g.cores, g.mode)
 }
 
 func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 	policyCSV, latencyCSV, seedCSV string, maxCycles int,
-	pointTO, timeout time.Duration, label, outPath, jsonlPath string, quiet bool, pruneF float64) error {
+	pointTO, timeout time.Duration, label, outPath, jsonlPath string, quiet bool, pruneF float64,
+	dims clusterDims) error {
 
 	policyNames, err := splitNames(policyCSV)
 	if err != nil {
@@ -94,6 +151,14 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 	seeds, err := splitInts(seedCSV)
 	if err != nil {
 		return fmt.Errorf("parsing -seeds: %w", err)
+	}
+	coreCounts, cmodes, err := dims.expand()
+	if err != nil {
+		return err
+	}
+	scalarOnly := len(coreCounts) == 1 && coreCounts[0] == 1
+	if pruneF > 0 && !scalarOnly {
+		return fmt.Errorf("-prune-frontier only ranks scalar grids; drop it or set -cores 1")
 	}
 
 	// Resolve the program: a source file, or the synthesized
@@ -136,15 +201,31 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 		if err != nil {
 			return err
 		}
-		for _, lat := range lats {
-			for _, seed := range seeds {
-				grid = append(grid, gridPoint{policy: pname, latency: lat, seed: int64(seed)})
-				req.Points = append(req.Points, api.RunSpec{
-					Policy:    p,
-					Params:    repro.Params{ReconfigLatency: lat},
-					MaxCycles: maxCycles,
-					Seed:      int64(seed),
-				})
+		for _, nc := range coreCounts {
+			// A scalar point has no fabric-sharing mode; collapsing the
+			// mode list keeps K=1 from appearing once per mode.
+			pointModes := cmodes
+			if nc == 1 {
+				pointModes = []string{""}
+			}
+			for _, cmode := range pointModes {
+				for _, lat := range lats {
+					for _, seed := range seeds {
+						grid = append(grid, gridPoint{policy: pname, latency: lat, seed: int64(seed), cores: nc, mode: cmode})
+						params := repro.Params{ReconfigLatency: lat}
+						if nc > 1 {
+							params.Cores = nc
+							params.ClusterMode = cmode
+							params.ClusterArbiter = dims.arbiter
+						}
+						req.Points = append(req.Points, api.RunSpec{
+							Policy:    p,
+							Params:    params,
+							MaxCycles: maxCycles,
+							Seed:      int64(seed),
+						})
+					}
+				}
 			}
 		}
 	}
@@ -187,8 +268,12 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 		if ev.Point.Error != nil {
 			outcome = ev.Point.Error.Code
 		}
-		fmt.Fprintf(os.Stderr, "rssbench: [%d/%d] %s lat=%d seed=%d on %s: %s\n",
-			done, created.Total, g.policy, g.latency, g.seed, ev.Point.Worker, outcome)
+		shape := ""
+		if g.cores > 1 {
+			shape = fmt.Sprintf(" K=%d/%s", g.cores, g.mode)
+		}
+		fmt.Fprintf(os.Stderr, "rssbench: [%d/%d] %s%s lat=%d seed=%d on %s: %s\n",
+			done, created.Total, g.policy, shape, g.latency, g.seed, ev.Point.Worker, outcome)
 	})
 	if err != nil {
 		return fmt.Errorf("waiting for job %s: %w", created.ID, err)
@@ -202,7 +287,7 @@ func run(addr, program string, synthLen, synthPer int, synthSeed int64,
 			return err
 		}
 	}
-	table, failed := renderTable(grid, status.Points, policyNames, lats, len(seeds))
+	table, failed := renderTable(grid, status.Points, scalarOnly, lats, len(seeds))
 	if pruneF > 0 {
 		agreement := rankAgreement(grid, status.Points, predicted)
 		table += fmt.Sprintf("\nModel-pruned frontier %.2f: %d of %d grid points simulated; %s\n",
@@ -272,11 +357,8 @@ func rankAgreement(grid []gridPoint, points []api.PointResult, predicted map[int
 		if res.Index < 0 || res.Index >= len(grid) || res.Error != nil {
 			continue
 		}
-		var rep struct {
-			IPC float64 `json:"ipc"`
-		}
-		if json.Unmarshal(res.Report, &rep) == nil {
-			measured[res.Index] = rep.IPC
+		if ipc, ok := reportIPC(res.Report); ok {
+			measured[res.Index] = ipc
 		}
 	}
 	idxs := make([]int, 0, len(measured))
@@ -307,19 +389,45 @@ func rankAgreement(grid []gridPoint, points []api.PointResult, predicted map[int
 		concordant, pairs, 100*float64(concordant)/float64(pairs), len(idxs))
 }
 
-// renderTable aggregates per-point IPC into a policy × latency markdown
+// reportIPC extracts the IPC of one point report: the scalar report's
+// "ipc" field, or for cluster reports the cluster block's aggregate
+// IPC (the sum over cores — the throughput number a K-way cell should
+// show).
+func reportIPC(raw json.RawMessage) (float64, bool) {
+	var rep struct {
+		IPC     float64 `json:"ipc"`
+		Cluster *struct {
+			AggregateIPC float64 `json:"aggregateIPC"`
+		} `json:"cluster"`
+	}
+	if json.Unmarshal(raw, &rep) != nil {
+		return 0, false
+	}
+	if rep.Cluster != nil {
+		return rep.Cluster.AggregateIPC, true
+	}
+	return rep.IPC, true
+}
+
+// renderTable aggregates per-point IPC into a row × latency markdown
 // table (cells average over seeds) and returns it with the failed-point
-// count.
-func renderTable(grid []gridPoint, points []api.PointResult, policyNames []string, lats []int, seedCount int) (string, int) {
+// count. Rows are policies, qualified by cluster shape when the grid
+// sweeps core counts; cluster cells show aggregate (summed) IPC.
+func renderTable(grid []gridPoint, points []api.PointResult, scalarOnly bool, lats []int, seedCount int) (string, int) {
 	type cell struct {
 		sum float64
 		n   int
 	}
+	var rows []string
 	cells := map[string]map[int]*cell{}
-	for _, p := range policyNames {
-		cells[p] = map[int]*cell{}
-		for _, l := range lats {
-			cells[p][l] = &cell{}
+	for _, g := range grid {
+		r := g.row(scalarOnly)
+		if cells[r] == nil {
+			rows = append(rows, r)
+			cells[r] = map[int]*cell{}
+			for _, l := range lats {
+				cells[r][l] = &cell{}
+			}
 		}
 	}
 	failed := 0
@@ -331,26 +439,24 @@ func renderTable(grid []gridPoint, points []api.PointResult, policyNames []strin
 			failed++
 			continue
 		}
-		var rep struct {
-			IPC float64 `json:"ipc"`
-		}
-		if json.Unmarshal(res.Report, &rep) != nil {
+		ipc, ok := reportIPC(res.Report)
+		if !ok {
 			failed++
 			continue
 		}
 		g := grid[res.Index]
-		c := cells[g.policy][g.latency]
-		c.sum += rep.IPC
+		c := cells[g.row(scalarOnly)][g.latency]
+		c.sum += ipc
 		c.n++
 	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "| policy | %s |\n", joinHeader(lats))
 	fmt.Fprintf(&b, "|---|%s\n", strings.Repeat("---|", len(lats)))
-	for _, p := range policyNames {
-		fmt.Fprintf(&b, "| %s |", p)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s |", r)
 		for _, l := range lats {
-			c := cells[p][l]
+			c := cells[r][l]
 			if c.n == 0 {
 				b.WriteString(" — |")
 				continue
@@ -361,6 +467,9 @@ func renderTable(grid []gridPoint, points []api.PointResult, policyNames []strin
 	}
 	if seedCount > 1 {
 		fmt.Fprintf(&b, "\nIPC, mean of %d seeds per cell.\n", seedCount)
+	}
+	if !scalarOnly {
+		b.WriteString("\nMulti-core cells report aggregate (summed) IPC.\n")
 	}
 	return b.String(), failed
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/span"
 	"repro/internal/wide"
 )
@@ -50,6 +51,11 @@ func main() {
 		residency  = flag.Int("residency", 0, "minimum cycles between configuration loads (X11)")
 		jsonOut    = flag.Bool("json", false, "emit the run report as JSON instead of text")
 		lanes      = flag.Int("lanes", 1, "run N seeded replicas (seeds seed..seed+N-1) as lanes of the wide machine and print per-lane IPC plus aggregate throughput")
+
+		cores       = flag.Int("cores", 1, "run K cores as a reconfigurable cluster sharing one fabric and print per-core plus aggregate IPC")
+		clusterMode = flag.String("cluster-mode", "", "cluster fabric-sharing mode: merged (default) or split")
+		clusterArb  = flag.String("cluster-arbiter", "", "cluster arbitration policy: round-robin (default) or demand-weighted")
+		clusterFlip = flag.Int("cluster-switch-every", 0, "toggle merged/split every N cluster cycles at the next quiescent phase boundary (0 never switches)")
 
 		estimate     = flag.Bool("estimate", false, "also solve the analytic queueing model and print its prediction next to the measured IPC")
 		estimateOnly = flag.Bool("estimate-only", false, "print the analytic prediction and skip simulation entirely")
@@ -106,6 +112,35 @@ func main() {
 	}
 	if *lanes < 1 || *lanes > wide.MaxLanes {
 		fail(fmt.Errorf("-lanes must be in [1,%d], got %d", wide.MaxLanes, *lanes))
+	}
+	if *cores < 1 || *cores > cluster.MaxCores {
+		fail(fmt.Errorf("-cores must be in [1,%d], got %d", cluster.MaxCores, *cores))
+	}
+	if _, err := cluster.ParseMode(*clusterMode); err != nil {
+		fail(err)
+	}
+	if _, err := cluster.ParseArbiter(*clusterArb); err != nil {
+		fail(err)
+	}
+	if *clusterFlip < 0 {
+		fail(fmt.Errorf("-cluster-switch-every must be non-negative, got %d", *clusterFlip))
+	}
+	if *cores > 1 {
+		for _, conflict := range []struct {
+			set  bool
+			name string
+		}{
+			{*lanes > 1, "-lanes"},
+			{*traceN > 0, "-trace"},
+			{*flightPath != "", "-flight-dump"},
+			{*jsonOut, "-json"},
+			{*estimate || *estimateOnly, "-estimate"},
+			{*metricsPath != "" && *metricsFormat == "prom", "-metrics-format prom (one registry snapshot cannot merge K cores)"},
+		} {
+			if conflict.set {
+				fail(fmt.Errorf("%s conflicts with -cores", conflict.name))
+			}
+		}
 	}
 	if *lanes > 1 {
 		// Per-machine instrumentation attaches to one lane's machine;
@@ -194,11 +229,25 @@ func main() {
 	// program yields the bare instruction stream for the analytic model —
 	// the same stream build feeds the simulator.
 	var program func(laneSeed int64) repro.Program
+	// coreSetup / coreValidate instrument one cluster core's machine; only
+	// kernels need them (register/memory presets and output checks).
+	var coreSetup func(*repro.Machine)
+	var coreValidate func(*repro.Machine) error
 	switch {
 	case *kernelName != "":
 		k := repro.KernelByName(*kernelName)
 		if k == nil {
 			fail(fmt.Errorf("unknown kernel %q; try -kernels", *kernelName))
+		}
+		if k.Setup != nil {
+			coreSetup = func(m *repro.Machine) {
+				k.Setup(m.Processor().Memory(), m.Processor().SetReg)
+			}
+		}
+		if k.Validate != nil {
+			coreValidate = func(m *repro.Machine) error {
+				return k.Validate(m.Processor().Reg, m.Processor().Memory())
+			}
 		}
 		program = func(int64) repro.Program { return k.Program() }
 		build = func(laneSeed int64) (*repro.Machine, func(*repro.Machine) error) {
@@ -269,6 +318,19 @@ func main() {
 		if *estimateOnly {
 			return
 		}
+	}
+
+	if *cores > 1 {
+		opt.Params.Cores = *cores
+		opt.Params.ClusterMode = *clusterMode
+		opt.Params.ClusterArbiter = *clusterArb
+		runCluster(clusterRunConfig{
+			opt: opt, program: program, setup: coreSetup, validate: coreValidate,
+			cores: *cores, seed: *seed, maxCycles: *maxCycles, switchEvery: *clusterFlip,
+			metricsPath: *metricsPath, metricsFormat: *metricsFormat, metricsInterval: *metricsInterval,
+			spansPath: *spansPath, spansFormat: *spansFormat,
+		})
+		return
 	}
 
 	if *lanes > 1 {
@@ -447,6 +509,135 @@ func runWide(build func(int64) (*repro.Machine, func(*repro.Machine) error), n i
 		totalCycles, elapsed.Round(time.Microsecond), float64(totalCycles)/elapsed.Seconds())
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// clusterRunConfig carries the -cores run's inputs to runCluster.
+type clusterRunConfig struct {
+	opt                        repro.Options
+	program                    func(int64) repro.Program
+	setup                      func(*repro.Machine)
+	validate                   func(*repro.Machine) error
+	cores                      int
+	seed                       int64
+	maxCycles                  int
+	switchEvery                int
+	metricsPath, metricsFormat string
+	metricsInterval            int
+	spansPath, spansFormat     string
+}
+
+// runCluster runs K cores against the shared reconfigurable fabric and
+// prints a per-core result table plus the cluster aggregates: total
+// IPC, Jain fairness, and the mode-switch history. Synthetic workloads
+// draw per-core variants (seeds seed..seed+K-1); kernels and assembly
+// run the same program on every core.
+func runCluster(cfg clusterRunConfig) {
+	progs := make([]repro.Program, cfg.cores)
+	for i := range progs {
+		progs[i] = cfg.program(cfg.seed + int64(i))
+	}
+	c := cluster.NewMulti(progs, cfg.opt)
+	if cfg.setup != nil {
+		for k := 0; k < cfg.cores; k++ {
+			cfg.setup(c.Core(k))
+		}
+	}
+	if cfg.switchEvery > 0 {
+		c.SetSwitchEvery(cfg.switchEvery)
+	}
+	var metricsFile *os.File
+	if cfg.metricsPath != "" {
+		w := io.Writer(os.Stdout)
+		if cfg.metricsPath != "-" {
+			f, err := os.Create(cfg.metricsPath)
+			if err != nil {
+				fail(err)
+			}
+			metricsFile = f
+			w = f
+		}
+		if err := c.EnableTelemetry(w, cfg.metricsFormat, cfg.metricsInterval); err != nil {
+			fail(err)
+		}
+	}
+	var recs []*span.Recorder
+	if cfg.spansPath != "" {
+		recs = c.EnableSpans(repro.SpanConfig{})
+	}
+	start := time.Now()
+	stats, runErr := c.Run(cfg.maxCycles)
+	elapsed := time.Since(start)
+	if recs != nil {
+		writeClusterSpans(c, recs, cfg.spansPath, cfg.spansFormat)
+	}
+	if runErr != nil {
+		fail(runErr)
+	}
+	if metricsFile != nil {
+		if err := metricsFile.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	failed := false
+	fmt.Printf("%-5s %12s %12s %8s  %s\n", "core", "cycles", "retired", "IPC", "status")
+	for k, cs := range stats.Cores {
+		status := "halt"
+		if cfg.validate != nil {
+			if err := cfg.validate(c.Core(k)); err != nil {
+				status = fmt.Sprintf("validation: %v", err)
+				failed = true
+			} else {
+				status = "halt, validated OK"
+			}
+		}
+		fmt.Printf("%-5d %12d %12d %8.3f  %s\n", k, cs.Cycles, cs.Retired, cs.IPC(), status)
+	}
+	fmt.Printf("\ncluster: %d cores, mode %s, arbiter %s, %d mode switches\n",
+		cfg.cores, stats.Mode, stats.Arbiter, stats.ModeSwitches)
+	fmt.Printf("aggregate IPC: %.3f   fairness (Jain): %.3f\n", stats.AggregateIPC(), stats.Fairness())
+	totalCycles := 0
+	for _, cs := range stats.Cores {
+		totalCycles += cs.Cycles
+	}
+	fmt.Printf("throughput: %d core-cycles in %v = %.3g cycles/sec\n",
+		totalCycles, elapsed.Round(time.Microsecond), float64(totalCycles)/elapsed.Seconds())
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writeClusterSpans exports the cluster's combined span trace: the
+// chrome format renders each core under its own process lane; jsonl
+// concatenates the per-core streams (rows carry core labels).
+func writeClusterSpans(c *cluster.Machine, recs []*span.Recorder, path, format string) {
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			fail(err)
+		}
+		w = f
+	}
+	var err error
+	if format == "jsonl" {
+		for _, rec := range recs {
+			if err = rec.WriteJSONL(w); err != nil {
+				break
+			}
+		}
+	} else {
+		err = c.WriteChromeTrace(w)
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fail(err)
 	}
 }
 

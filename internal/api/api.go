@@ -113,6 +113,29 @@ type RunResponse struct {
 	Cached bool `json:"cached"`
 }
 
+// ClusterReport is the report document a run produces when the spec
+// requests a multi-core cluster (params.Cores > 1): the cluster-level
+// aggregates plus one full scalar report per core. It rides in the
+// same RunResponse.Report / PointResult.Report slot scalar reports
+// use; clients discriminate on the "cluster" key.
+type ClusterReport struct {
+	Cluster ClusterSummary `json:"cluster"`
+	// Cores holds each core's scalar run report, index = core id.
+	Cores []json.RawMessage `json:"cores"`
+}
+
+// ClusterSummary is the cluster-level aggregate block of a
+// ClusterReport.
+type ClusterSummary struct {
+	Cores        int     `json:"cores"`
+	Mode         string  `json:"mode"`
+	Arbiter      string  `json:"arbiter"`
+	ModeSwitches int     `json:"modeSwitches"`
+	Cycles       int     `json:"cycles"`
+	AggregateIPC float64 `json:"aggregateIPC"`
+	Fairness     float64 `json:"fairness"`
+}
+
 // SweepRequest is the body of POST /v1/sweep: one program fanned out
 // over a grid of run specifications. Exactly one of Source or Words
 // must be set.

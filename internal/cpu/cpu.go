@@ -116,6 +116,24 @@ type Params struct {
 	// the prefetch policy requires before issuing speculative loads; 0
 	// selects the default (predict.DefaultConfidence).
 	PrefetchConfidence float64
+
+	// Cores lifts the machine to a K-core cluster sharing one fabric
+	// and one configuration bus (internal/cluster). 0 and 1 both mean
+	// the scalar machine; K=1 through the cluster layer is bit-identical
+	// to it. At most cluster.MaxCores (8).
+	Cores int
+	// ClusterMode selects how cluster cores share the 8 RFU slots:
+	// "merged" (the default) gang-shares one wide configuration steered
+	// by core 0; "split" partitions the slots into private per-core
+	// sub-fabrics via ownership leases. Ignored when Cores <= 1. The
+	// names are parsed by cluster.ParseMode; cpu keeps them as strings
+	// so it need not import the layer above it.
+	ClusterMode string
+	// ClusterArbiter selects the cross-core arbitration policy:
+	// "round-robin" (the default) rotates priority each cycle;
+	// "demand-weighted" orders cores by their current unit demand.
+	// Ignored when Cores <= 1; parsed by cluster.ParseArbiter.
+	ClusterArbiter string
 }
 
 // DefaultParams returns the reference machine of the experiments.
@@ -259,8 +277,29 @@ func (p Params) Validate() error {
 	if !(p.PrefetchConfidence >= 0 && p.PrefetchConfidence <= 1) {
 		return fmt.Errorf("%w: PrefetchConfidence must be in [0, 1], got %v", ErrInvalidParams, p.PrefetchConfidence)
 	}
+	if p.Cores < 0 || p.Cores > MaxClusterCores {
+		return fmt.Errorf("%w: Cores must be in [0, %d], got %d", ErrInvalidParams, MaxClusterCores, p.Cores)
+	}
+	// The canonical name tables live in internal/cluster (which imports
+	// this package); Validate pins the same spellings so request-supplied
+	// specs fail here with a structured error.
+	switch p.ClusterMode {
+	case "", "merged", "split":
+	default:
+		return fmt.Errorf("%w: unknown cluster mode %q (want merged or split)", ErrInvalidParams, p.ClusterMode)
+	}
+	switch p.ClusterArbiter {
+	case "", "round-robin", "demand-weighted":
+	default:
+		return fmt.Errorf("%w: unknown cluster arbiter %q (want round-robin or demand-weighted)", ErrInvalidParams, p.ClusterArbiter)
+	}
 	return nil
 }
+
+// MaxClusterCores bounds Params.Cores: eight cores over eight slots is
+// already one slot per core in split mode, the point of diminishing
+// fabric shares.
+const MaxClusterCores = 8
 
 // faultPlan assembles the fault-injection plan from the parameter set.
 func (p Params) faultPlan() fault.Plan {
@@ -394,6 +433,13 @@ type Processor struct {
 	spans         *span.Recorder
 	lastReconfigs int
 
+	// manageHook, when set, intercepts the demand vector on its way to
+	// the manager: the cluster layer uses it to substitute cross-core
+	// combined demand (merged mode) or to suppress steering on cores
+	// that do not own the fabric. Returning proceed=false skips Manage
+	// this cycle.
+	manageHook func(required arch.Counts) (arch.Counts, bool)
+
 	// Per-cycle scratch reused across cycles so the steady-state loop
 	// does not allocate: execShim is the speculative-memory adapter
 	// execute hands to isa.Exec (heap-resident so the interface value
@@ -462,6 +508,16 @@ func (p *Processor) Fabric() *rfu.Fabric { return p.fabric }
 //	p := cpu.New(prog, params, nil)
 //	p.SetManager(baseline.NewSteering(p.Fabric()))
 func (p *Processor) SetManager(manager Manager) { p.manager = manager }
+
+// SetManageHook installs an interceptor on the demand vector fed to the
+// configuration manager each cycle (nil disables, the default). The
+// hook may rewrite the demand — the cluster layer injects cross-core
+// combined demand on the fabric-owning core — or return false to skip
+// the manager entirely this cycle (cores that do not own the shared
+// fabric in merged mode). The manager itself is unaware of the cluster.
+func (p *Processor) SetManageHook(hook func(required arch.Counts) (arch.Counts, bool)) {
+	p.manageHook = hook
+}
 
 // SetTracer installs a pipeline event recorder (nil disables tracing).
 func (p *Processor) SetTracer(t trace.Recorder) { p.tracer = t }
@@ -613,12 +669,18 @@ func (p *Processor) Cycle() {
 				required[p.fetchBuf[i].f.Inst.Unit()]++
 			}
 		}
-		p.manager.Manage(required)
-		if p.tracer != nil {
-			if n := p.fabric.Reconfigurations(); n > p.lastReconfigs {
-				p.emit(trace.KindReconfig, 0, 0, 0,
-					fmt.Sprintf("%d span(s) -> %v", n-p.lastReconfigs, p.fabric.Allocation().Slots))
-				p.lastReconfigs = n
+		proceed := true
+		if p.manageHook != nil {
+			required, proceed = p.manageHook(required)
+		}
+		if proceed {
+			p.manager.Manage(required)
+			if p.tracer != nil {
+				if n := p.fabric.Reconfigurations(); n > p.lastReconfigs {
+					p.emit(trace.KindReconfig, 0, 0, 0,
+						fmt.Sprintf("%d span(s) -> %v", n-p.lastReconfigs, p.fabric.Allocation().Slots))
+					p.lastReconfigs = n
+				}
 			}
 		}
 	}

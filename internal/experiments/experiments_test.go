@@ -195,7 +195,7 @@ func TestArtifactsRegistryComplete(t *testing.T) {
 	for _, name := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "cost", "x1", "x1seeds", "x2", "x3", "x4", "x5", "x6",
 		"x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14", "x15", "x16", "x17",
-		"x18", "x19", "all"} {
+		"x18", "x19", "x20", "x21", "x22", "x23", "all"} {
 		if arts[name] == nil {
 			t.Errorf("artifact %q missing", name)
 		}
@@ -487,5 +487,51 @@ func TestX21ModelErrorWithinBound(t *testing.T) {
 	}
 	if mean := sum / float64(n); mean > 0.12 {
 		t.Errorf("mean |error| %.1f%% over %d points exceeds 12%%", mean*100, n)
+	}
+}
+
+// TestX22ClusterScalingShape: every cluster point must finish, both
+// arbiters and all three bus widths must appear, and the K=1 rows must
+// be identical across arbiters — a single core leaves the arbiter
+// nothing to decide, so any divergence is a cluster-layer bug.
+func TestX22ClusterScalingShape(t *testing.T) {
+	out := X22()
+	if strings.Contains(out, "DNF") {
+		t.Errorf("an X22 cluster point did not finish:\n%s", out)
+	}
+	for _, want := range []string{"round-robin", "demand-weighted", "unlimited", "bus width"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("X22 output missing %q", want)
+		}
+	}
+	k1rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		// A data row is "<cores> <bus> <ipc> (<fair>) <ipc> (<fair>)".
+		if len(f) != 6 || f[0] != "1" {
+			continue
+		}
+		k1rows++
+		if f[2] != f[4] || f[3] != f[5] {
+			t.Errorf("K=1 row differs across arbiters: %q", line)
+		}
+	}
+	if k1rows != 3 {
+		t.Errorf("expected 3 K=1 rows (one per bus width), found %d:\n%s", k1rows, out)
+	}
+}
+
+// TestX23ModeFaultSweepShape: both modes must finish every fault rate,
+// the zero-rate rows must report a clean fault pipeline, and the
+// faulted rows must show injections.
+func TestX23ModeFaultSweepShape(t *testing.T) {
+	out := X23()
+	if strings.Contains(out, "DNF") {
+		t.Errorf("an X23 point did not finish:\n%s", out)
+	}
+	for _, want := range []string{"merged", "split", "injected", "repaired", "dead slots", "off"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("X23 output missing %q", want)
+		}
 	}
 }

@@ -141,9 +141,30 @@ func (f *Fabric) SlotUsable(s int) bool { return f.healthOK[s] }
 
 // HealthMasks returns the packed per-slot fault masks: unavail has a
 // bit set for every slot in a non-healthy state, dead for every
-// permanently retired slot. Steering caches key on both — selection
-// outcomes are pure functions of (demand, allocation, masks).
+// permanently retired slot. Slots leased to sibling cores (see
+// SetExternalMasks) are folded in, so steering caches keying on both
+// stay pure functions of (demand, allocation, masks) in a cluster too.
 func (f *Fabric) HealthMasks() (unavail, dead uint8) { return f.unavailMask, f.deadMask }
+
+// SetExternalMasks overlays slots owned elsewhere onto this fabric's
+// health view: an unavail bit hides the slot (and any unit crossing
+// it) from steering, dispatch and this core's fault injector, exactly
+// like a detected fault; a dead bit additionally tells the steering
+// manager the capacity is never coming back, like a retired slot. The
+// cluster layer leases slots between cores with these masks, reusing
+// the degraded-mode machinery end to end. Zero masks restore the
+// scalar view. No-op when nothing changed, so per-cycle refreshes on a
+// quiet cluster cost two compares.
+func (f *Fabric) SetExternalMasks(unavail, dead uint8) {
+	if f.extUnavail == unavail && f.extDead == dead {
+		return
+	}
+	f.extUnavail, f.extDead = unavail, dead
+	f.recomputeHealthOK()
+}
+
+// ExternalMasks returns the external lease overlay last installed.
+func (f *Fabric) ExternalMasks() (unavail, dead uint8) { return f.extUnavail, f.extDead }
 
 // MaskedSlots counts slots currently hidden from steering and dispatch
 // by a non-healthy state.
@@ -180,22 +201,24 @@ func (f *Fabric) EffectiveTotalCounts() arch.Counts {
 	return c.Add(config.FFUCounts())
 }
 
-// recomputeHealthOK rebuilds the derived masks after a health or
-// allocation change: healthOK[s] is false for any slot in a non-healthy
-// state, and for any unit head whose span contains one (the unit's
-// datapath crosses the corrupt slot, so the whole unit is masked).
-// Called only on transitions, never on the per-cycle hot path.
+// recomputeHealthOK rebuilds the derived masks after a health,
+// external-lease or allocation change: healthOK[s] is false for any
+// slot in a non-healthy state or leased to a sibling core, and for any
+// unit head whose span contains one (the unit's datapath crosses the
+// bad slot, so the whole unit is masked). Called only on transitions,
+// never on the per-cycle hot path.
 func (f *Fabric) recomputeHealthOK() {
-	var unavail, dead uint8
+	unavail, dead := f.extUnavail, f.extDead
 	for s := 0; s < arch.NumRFUSlots; s++ {
-		ok := f.health[s] == HealthHealthy
-		f.healthOK[s] = ok
-		if !ok {
+		if f.health[s] != HealthHealthy {
 			unavail |= 1 << uint(s)
 		}
 		if f.health[s] == HealthDead {
 			dead |= 1 << uint(s)
 		}
+	}
+	for s := 0; s < arch.NumRFUSlots; s++ {
+		f.healthOK[s] = unavail&(1<<uint(s)) == 0
 	}
 	for s := 0; s < arch.NumRFUSlots; s++ {
 		if !f.healthOK[s] {
@@ -204,7 +227,7 @@ func (f *Fabric) recomputeHealthOK() {
 		if t, ok := arch.DecodeUnit(f.alloc.Slots[s]); ok {
 			_, hi := spanOf(t, s)
 			for k := s + 1; k < hi && k < arch.NumRFUSlots; k++ {
-				if f.health[k] != HealthHealthy {
+				if unavail&(1<<uint(k)) != 0 {
 					f.healthOK[s] = false
 					break
 				}
@@ -291,7 +314,10 @@ func (f *Fabric) faultTick() {
 		if head := f.headOf(s); head >= 0 && f.busy[head] > 0 {
 			continue // in-flight execution drains first
 		}
-		if f.busWidth > 0 && f.latency > 0 && f.activeSpans() >= f.busWidth {
+		if f.extSlotBusy != nil && f.extSlotBusy(s) {
+			continue // a sibling core is executing on the span
+		}
+		if f.busWidth > 0 && f.latency > 0 && f.busLoad() >= f.busWidth {
 			continue // configuration bus fully occupied
 		}
 		f.fstats.RepairsStarted++
@@ -325,8 +351,25 @@ func (f *Fabric) faultTick() {
 		if f.busy[head] > 0 {
 			continue
 		}
+		if f.extSlotBusy != nil && f.extSlotBusy(head) {
+			continue // a sibling core still executes on the dying unit
+		}
 		t, _ := arch.DecodeUnit(f.alloc.Slots[head])
 		lo, hi := spanOf(t, head)
+		// An in-flight repair on any slot of the span holds its golden
+		// copy as the rewrite target; blanking now would let that repair
+		// re-install an orphan continuation when it completes. Wait for
+		// the span's bus transactions to drain first.
+		pending := false
+		for k := lo; k < hi; k++ {
+			if f.reconfig[k] > 0 {
+				pending = true
+				break
+			}
+		}
+		if pending {
+			continue
+		}
 		for k := lo; k < hi; k++ {
 			f.alloc.Slots[k] = arch.EncEmpty
 		}
@@ -346,6 +389,9 @@ func (f *Fabric) faultTick() {
 		}
 		if f.health[s] != HealthHealthy || f.reconfig[s] > 0 {
 			continue // already faulted, or frames mid-rewrite
+		}
+		if f.extUnavail&(1<<uint(s)) != 0 {
+			continue // leased to a sibling core; its injector owns the slot
 		}
 		f.health[s] = HealthCorrupt
 		if k == fault.Permanent {

@@ -82,10 +82,23 @@ type Fabric struct {
 	health         [arch.NumRFUSlots]SlotHealth
 	permanent      [arch.NumRFUSlots]bool // stuck fault underneath the corruption
 	healthOK       [arch.NumRFUSlots]bool // span-aware usable mask (derived)
-	unavailMask    uint8                  // packed non-healthy slots
-	deadMask       uint8                  // packed permanently retired slots
+	unavailMask    uint8                  // packed non-healthy slots (incl. external leases)
+	deadMask       uint8                  // packed permanently retired slots (incl. external)
 	scrubCountdown int
 	fstats         FaultStats
+
+	// Cluster hooks (see internal/cluster). External masks overlay
+	// slots leased to sibling cores onto the health view; the bus-load
+	// and slot-busy callbacks extend the configuration-bus occupancy
+	// and span-drain checks across sibling fabrics sharing the physical
+	// resources. A mirror fabric reflects a master's configuration
+	// (merged-mode gang sharing) while keeping private execution ports.
+	// All are zero/nil by default, so a scalar fabric pays nothing.
+	extUnavail  uint8
+	extDead     uint8
+	extBusLoad  func() int
+	extSlotBusy func(int) bool
+	mirror      bool
 }
 
 // New returns an empty fabric (no RFU units configured) whose span
@@ -190,6 +203,67 @@ func (f *Fabric) activeSpans() int {
 	return n
 }
 
+// ActiveSpans exposes the configuration-bus occupancy — the cluster
+// layer sums it across sibling fabrics to enforce one shared bus.
+func (f *Fabric) ActiveSpans() int { return f.activeSpans() }
+
+// busLoad is the bus occupancy this fabric must respect: its own active
+// spans plus whatever a cluster-installed hook reports for siblings
+// sharing the physical configuration bus.
+func (f *Fabric) busLoad() int {
+	n := f.activeSpans()
+	if f.extBusLoad != nil {
+		n += f.extBusLoad()
+	}
+	return n
+}
+
+// SetExternalBusLoad installs a hook reporting configuration-bus
+// occupancy by sibling fabrics; it is added to this fabric's own active
+// spans in every bus-capacity check. nil (the default) disables it.
+func (f *Fabric) SetExternalBusLoad(fn func() int) { f.extBusLoad = fn }
+
+// SetExternalSlotBusy installs a hook reporting whether a sibling core
+// is executing on slot s of the shared fabric. Reconfiguration, repair
+// and salvage treat a sibling-busy slot like a locally busy one: its
+// frames are not rewritten until the work drains. nil disables it.
+func (f *Fabric) SetExternalSlotBusy(fn func(int) bool) { f.extSlotBusy = fn }
+
+// SpanBusy reports whether the unit covering slot s is executing. Busy
+// is tracked at head slots, so continuations resolve to their head.
+// Cluster siblings consult this before rewriting shared slots.
+func (f *Fabric) SpanBusy(s int) bool {
+	if f.busy[s] > 0 {
+		return true
+	}
+	head := f.headOf(s)
+	return head >= 0 && f.busy[head] > 0
+}
+
+// SetMirror marks the fabric as a configuration mirror: Tick still
+// advances its private execution (RFU busy, FFU) timers, but the
+// reconfiguration countdowns and the fault machinery belong to the
+// master fabric it reflects (see MirrorFrom). Merged-mode cluster
+// cores run on mirrors of core 0's fabric.
+func (f *Fabric) SetMirror(on bool) { f.mirror = on }
+
+// MirrorFrom copies the master fabric's configuration state — the
+// allocation vector and in-flight reconfiguration timers — into this
+// mirror, so a gang-shared core sees the master's layout while keeping
+// its own execution ports. Call once per cycle after the master ticks.
+func (f *Fabric) MirrorFrom(src *Fabric) {
+	if f.alloc.Slots != src.alloc.Slots {
+		f.alloc.Slots = src.alloc.Slots
+		f.refreshAlloc()
+		if f.injector != nil || f.extUnavail != 0 {
+			f.recomputeHealthOK()
+		}
+	}
+	f.reconfig = src.reconfig
+	f.target = src.target
+	f.reconfigMask = src.reconfigMask
+}
+
 // SetFFUsEnabled hides or restores the fixed functional units — the X4
 // ablation studying the paper's claim that FFUs guarantee forward
 // progress. With FFUs disabled only configured RFUs execute instructions.
@@ -212,7 +286,7 @@ func (f *Fabric) Install(cfg config.Configuration) {
 	}
 	f.alloc.Slots = cfg.Layout
 	f.refreshAlloc()
-	if f.injector != nil {
+	if f.injector != nil || f.extUnavail != 0 {
 		f.recomputeHealthOK()
 	}
 }
@@ -348,11 +422,16 @@ func (f *Fabric) CanReconfigure(t arch.UnitType, start int) bool {
 	if lo < 0 || hi > arch.NumRFUSlots {
 		return false
 	}
-	if f.busWidth > 0 && f.latency > 0 && f.activeSpans() >= f.busWidth {
+	if f.busWidth > 0 && f.latency > 0 && f.busLoad() >= f.busWidth {
 		return false // configuration bus fully occupied
 	}
 	for s := lo; s < hi; s++ {
 		if f.reconfig[s] > 0 {
+			return false
+		}
+		// Slots leased to a sibling core are that core's property; this
+		// core's steering never rewrites them.
+		if f.extUnavail&(1<<uint(s)) != 0 {
 			return false
 		}
 		// Slots the controller knows are bad — flagged by the scrub,
@@ -363,6 +442,11 @@ func (f *Fabric) CanReconfigure(t arch.UnitType, start int) bool {
 		if h := f.health[s]; h == HealthDetected || h == HealthRepairing || h == HealthDead {
 			return false
 		}
+		// A sibling core executing on the slot holds it like local busy
+		// execution does: the span drains before any rewrite.
+		if f.extSlotBusy != nil && f.extSlotBusy(s) {
+			return false
+		}
 		head := f.headOf(s)
 		if head < 0 {
 			continue
@@ -371,6 +455,18 @@ func (f *Fabric) CanReconfigure(t arch.UnitType, start int) bool {
 		// must not leave a busy remnant — spans are destroyed whole.
 		if f.busy[head] > 0 {
 			return false
+		}
+		// Nor may destruction strand an in-flight repair on one of the
+		// unit's slots outside the new span: that repair would later
+		// re-install its golden-copy continuation encoding into the
+		// blanked region, orphaning it. Wait for the unit's bus
+		// transactions to drain first.
+		ht, _ := arch.DecodeUnit(f.alloc.Slots[head])
+		hlo, hhi := spanOf(ht, head)
+		for k := hlo; k < hhi; k++ {
+			if f.reconfig[k] > 0 {
+				return false
+			}
 		}
 	}
 	return true
@@ -434,7 +530,7 @@ func (f *Fabric) Reconfigure(t arch.UnitType, start int) bool {
 		}
 	}
 	f.refreshAlloc()
-	if f.injector != nil {
+	if f.injector != nil || f.extUnavail != 0 {
 		f.recomputeHealthOK()
 	}
 	return true
@@ -454,23 +550,28 @@ func (f *Fabric) Tick() {
 			f.busyMask &^= 1 << uint(s)
 		}
 	}
-	installed := false
-	allocChanged := false
-	for m := f.reconfigMask; m != 0; m &= m - 1 {
-		s := bits.TrailingZeros16(m)
-		f.reconfig[s]--
-		if f.reconfig[s] == 0 {
-			f.reconfigMask &^= 1 << uint(s)
-			f.alloc.Slots[s] = f.target[s]
-			allocChanged = true
-			if f.injector != nil {
-				f.installHealth(s)
-				installed = true
+	if !f.mirror {
+		installed := false
+		allocChanged := false
+		for m := f.reconfigMask; m != 0; m &= m - 1 {
+			s := bits.TrailingZeros16(m)
+			f.reconfig[s]--
+			if f.reconfig[s] == 0 {
+				f.reconfigMask &^= 1 << uint(s)
+				f.alloc.Slots[s] = f.target[s]
+				allocChanged = true
+				if f.injector != nil {
+					f.installHealth(s)
+					installed = true
+				}
 			}
 		}
-	}
-	if allocChanged {
-		f.refreshAlloc()
+		if allocChanged {
+			f.refreshAlloc()
+		}
+		if installed || (allocChanged && f.extUnavail != 0) {
+			f.recomputeHealthOK()
+		}
 	}
 	for m := f.ffuBusyMask; m != 0; m &= m - 1 {
 		i := bits.TrailingZeros8(m)
@@ -480,10 +581,7 @@ func (f *Fabric) Tick() {
 			f.ffuBusyMask &^= 1 << uint(i)
 		}
 	}
-	if f.injector != nil {
-		if installed {
-			f.recomputeHealthOK()
-		}
+	if !f.mirror && f.injector != nil {
 		f.faultTick()
 	}
 }

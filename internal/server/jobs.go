@@ -85,6 +85,11 @@ func (e *localExecutor) BatchKey(p job.ExecPoint) string {
 	if e.s.cfg.BatchLanes <= 1 {
 		return ""
 	}
+	// Cluster points (Cores > 1) run K full machines against one shared
+	// fabric; they cannot fold into wide-machine lanes.
+	if p.Spec.Params.Cores > 1 {
+		return ""
+	}
 	spec := p.Spec
 	spec.Seed = 0
 	spec.MaxCycles = 0

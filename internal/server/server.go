@@ -41,6 +41,7 @@ import (
 	"repro"
 	"repro/internal/api"
 	"repro/internal/arch"
+	"repro/internal/cluster"
 	"repro/internal/job"
 	"repro/internal/span"
 	"repro/internal/telemetry"
@@ -590,6 +591,9 @@ func (s *Server) resolveSpec(spec *api.RunSpec) error {
 // worker-execution span of the service flight recorder (point is -1
 // for non-sweep jobs).
 func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec api.RunSpec, kind string, req uint64, point int) (json.RawMessage, float64, error) {
+	if spec.Params.Cores > 1 {
+		return s.simulateCluster(ctx, lp, spec, kind, req, point)
+	}
 	m := lp.newMachine(repro.Options{
 		Params:       spec.Params,
 		Policy:       spec.Policy,
@@ -617,6 +621,70 @@ func (s *Server) simulate(ctx context.Context, lp loadedProgram, spec api.RunSpe
 	report, err := m.ReportJSON()
 	if err != nil {
 		return nil, elapsedMs, fmt.Errorf("rendering report: %w", err)
+	}
+	return report, elapsedMs, nil
+}
+
+// simulateCluster runs one multi-core cluster job (spec.Params.Cores >
+// 1): every core executes the same program against the shared
+// reconfigurable fabric, and the report is the api.ClusterReport
+// document — cluster aggregates plus one scalar report per core.
+func (s *Server) simulateCluster(ctx context.Context, lp loadedProgram, spec api.RunSpec, kind string, req uint64, point int) (json.RawMessage, float64, error) {
+	prog := lp.prog
+	if lp.unit != nil {
+		prog = lp.unit.Program
+	}
+	c := cluster.New(prog, repro.Options{
+		Params:       spec.Params,
+		Policy:       spec.Policy,
+		Seed:         spec.Seed,
+		MinResidency: spec.MinResidency,
+	})
+	if lp.unit != nil {
+		for k := 0; k < c.Cores(); k++ {
+			lp.unit.Apply(c.Core(k).Processor().Memory())
+		}
+	}
+	start := time.Now()
+	stats, err := c.RunContext(ctx, spec.MaxCycles)
+	elapsed := time.Since(start)
+	s.observeJob(kind, elapsed)
+	name := "execute"
+	if point >= 0 {
+		name = "point"
+	}
+	s.spans.Record(req, name, kind, point, start, start.Add(elapsed))
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.spans.TriggerDeadline(req, kind, point, start, start.Add(elapsed))
+	}
+	for k := 0; k < c.Cores(); k++ {
+		s.accountMachine(c.Core(k))
+	}
+	elapsedMs := float64(elapsed) / float64(time.Millisecond)
+	if err != nil {
+		return nil, elapsedMs, err
+	}
+	rep := api.ClusterReport{
+		Cluster: api.ClusterSummary{
+			Cores:        c.Cores(),
+			Mode:         stats.Mode,
+			Arbiter:      stats.Arbiter,
+			ModeSwitches: stats.ModeSwitches,
+			Cycles:       stats.Cycles,
+			AggregateIPC: stats.AggregateIPC(),
+			Fairness:     stats.Fairness(),
+		},
+	}
+	for k := 0; k < c.Cores(); k++ {
+		coreReport, rerr := c.Core(k).ReportJSON()
+		if rerr != nil {
+			return nil, elapsedMs, fmt.Errorf("rendering core %d report: %w", k, rerr)
+		}
+		rep.Cores = append(rep.Cores, coreReport)
+	}
+	report, err := json.Marshal(rep)
+	if err != nil {
+		return nil, elapsedMs, fmt.Errorf("rendering cluster report: %w", err)
 	}
 	return report, elapsedMs, nil
 }

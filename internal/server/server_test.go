@@ -220,6 +220,45 @@ func TestRunWithFaults(t *testing.T) {
 	}
 }
 
+func TestRunCluster(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"source": %q, "policy": "steering", "params": {"Cores": 2, "ClusterMode": "split", "ClusterArbiter": "demand-weighted"}}`, faultySource)
+	status, doc := postJSON(t, ts, "/v1/run", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (%v)", status, doc)
+	}
+	rep := doc["report"].(map[string]any)
+	summary, ok := rep["cluster"].(map[string]any)
+	if !ok {
+		t.Fatalf("report has no cluster block: %v", rep)
+	}
+	if summary["cores"].(float64) != 2 || summary["mode"] != "split" || summary["arbiter"] != "demand-weighted" {
+		t.Errorf("cluster summary = %v", summary)
+	}
+	if summary["aggregateIPC"].(float64) <= 0 {
+		t.Errorf("aggregate IPC = %v, want > 0", summary["aggregateIPC"])
+	}
+	cores, ok := rep["cores"].([]any)
+	if !ok || len(cores) != 2 {
+		t.Fatalf("report cores = %v, want 2 scalar reports", rep["cores"])
+	}
+	for k, cr := range cores {
+		stats := cr.(map[string]any)["stats"].(map[string]any)
+		if stats["Retired"].(float64) == 0 {
+			t.Errorf("core %d retired nothing", k)
+		}
+	}
+}
+
+func TestRunClusterBadMode(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"source": %q, "params": {"Cores": 2, "ClusterMode": "sideways"}}`, faultySource)
+	status, doc := postJSON(t, ts, "/v1/run", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%v)", status, doc)
+	}
+}
+
 func TestSweepWithFaultRates(t *testing.T) {
 	_, ts, _ := newTestServer(t, Config{Workers: 2})
 	body := fmt.Sprintf(`{"source": %q, "points": [

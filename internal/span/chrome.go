@@ -122,19 +122,38 @@ func (e *Entry) args() map[string]any {
 	}
 }
 
-func writeEntries(cw *chromeWriter, entries []Entry, slots int) {
-	cw.meta(simPID, 0, "process_name", "rsssim")
-	for k := 0; k < slots; k++ {
-		cw.meta(simPID, tidSlotBase+k, "thread_name", slotLaneNames[k&7])
+// corePID maps a cluster core to its Chrome process id: core 0 keeps
+// the historical simPID, further cores sit above servicePID so the two
+// namespaces never collide in a merged trace.
+func corePID(core int) int {
+	if core == 0 {
+		return simPID
 	}
-	cw.meta(simPID, tidSpec, "thread_name", "speculation")
-	cw.meta(simPID, tidPhase, "thread_name", "phases")
-	cw.meta(simPID, tidCache, "thread_name", "steer-cache")
-	cw.meta(simPID, tidEvents, "thread_name", "events")
+	return 10 + core
+}
+
+// coreProcName names core's process lane.
+func coreProcName(core int) string {
+	if core == 0 {
+		return "rsssim"
+	}
+	return "rsssim core " + string(rune('0'+core))
+}
+
+func writeEntries(cw *chromeWriter, entries []Entry, slots, core int) {
+	pid := corePID(core)
+	cw.meta(pid, 0, "process_name", coreProcName(core))
+	for k := 0; k < slots; k++ {
+		cw.meta(pid, tidSlotBase+k, "thread_name", slotLaneNames[k&7])
+	}
+	cw.meta(pid, tidSpec, "thread_name", "speculation")
+	cw.meta(pid, tidPhase, "thread_name", "phases")
+	cw.meta(pid, tidCache, "thread_name", "steer-cache")
+	cw.meta(pid, tidEvents, "thread_name", "events")
 	for i := range entries {
 		e := &entries[i]
 		ev := chromeEvent{Name: e.Name, Cat: e.Kind.String(),
-			TS: e.Start, PID: simPID, TID: tidOf(e), Args: e.args()}
+			TS: e.Start, PID: pid, TID: tidOf(e), Args: e.args()}
 		if e.Kind == KindFault || e.Kind == KindTrigger {
 			ev.Ph = "i"
 			ev.Scope = "t"
@@ -162,7 +181,22 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	if r != nil {
 		slots = len(r.repairStart)
 	}
-	writeEntries(cw, r.Entries(), slots)
+	writeEntries(cw, r.Entries(), slots, r.Core())
+	return cw.close()
+}
+
+// WriteChromeTraceMulti renders several recorders — one per cluster
+// core — into a single Chrome Trace document, each core under its own
+// process lane.
+func WriteChromeTraceMulti(w io.Writer, recorders []*Recorder) error {
+	cw := newChromeWriter(w)
+	for _, r := range recorders {
+		slots := 0
+		if r != nil {
+			slots = len(r.repairStart)
+		}
+		writeEntries(cw, r.Entries(), slots, r.Core())
+	}
 	return cw.close()
 }
 
@@ -170,6 +204,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 // a "record" discriminator like the telemetry stream.
 type spanRecord struct {
 	Record string `json:"record"`
+	Core   int    `json:"core"`
 	Kind   string `json:"kind"`
 	Name   string `json:"name"`
 	Detail string `json:"detail"`
@@ -182,6 +217,7 @@ type spanRecord struct {
 
 type instantRecord struct {
 	Record string `json:"record"`
+	Core   int    `json:"core"`
 	Kind   string `json:"kind"`
 	Name   string `json:"name"`
 	Detail string `json:"detail"`
@@ -191,20 +227,21 @@ type instantRecord struct {
 	B      int64  `json:"b"`
 }
 
-// jsonRecord renders e in its JSONL row shape.
-func jsonRecord(e *Entry) any {
+// jsonRecord renders e in its JSONL row shape, labelled with the
+// owning cluster core.
+func jsonRecord(e *Entry, core int) any {
 	if e.Kind == KindFault || e.Kind == KindTrigger {
-		return instantRecord{Record: "instant", Kind: e.Kind.String(),
+		return instantRecord{Record: "instant", Core: core, Kind: e.Kind.String(),
 			Name: e.Name, Detail: e.Aux, Cycle: e.Start, Slot: int(e.Slot),
 			A: int64(e.A), B: int64(e.B)}
 	}
-	return spanRecord{Record: "span", Kind: e.Kind.String(),
+	return spanRecord{Record: "span", Core: core, Kind: e.Kind.String(),
 		Name: e.Name, Detail: e.Aux, Slot: int(e.Slot),
 		Start: e.Start, Dur: e.Dur, A: int64(e.A), B: int64(e.B)}
 }
 
-func writeJSONLEntry(w *bufio.Writer, e *Entry) error {
-	b, err := json.Marshal(jsonRecord(e))
+func writeJSONLEntry(w *bufio.Writer, e *Entry, core int) error {
+	b, err := json.Marshal(jsonRecord(e, core))
 	if err != nil {
 		return err
 	}
@@ -215,13 +252,14 @@ func writeJSONLEntry(w *bufio.Writer, e *Entry) error {
 }
 
 // WriteJSONL renders the full trace as JSON lines: span rows carry
-// record:"span", instants record:"instant". The field schema is
-// pinned by testdata/span_schema.golden.
+// record:"span", instants record:"instant", and every row names its
+// cluster core. The field schema is pinned by
+// testdata/span_schema.golden.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	entries := r.Entries()
 	for i := range entries {
-		if err := writeJSONLEntry(bw, &entries[i]); err != nil {
+		if err := writeJSONLEntry(bw, &entries[i], r.Core()); err != nil {
 			return err
 		}
 	}
@@ -249,7 +287,7 @@ func (r *Recorder) DumpFlight(w io.Writer, reason string) error {
 	flight := r.Flight()
 	d.Entries = make([]json.RawMessage, 0, len(flight))
 	for i := range flight {
-		b, err := json.Marshal(jsonRecord(&flight[i]))
+		b, err := json.Marshal(jsonRecord(&flight[i], r.Core()))
 		if err != nil {
 			return err
 		}

@@ -162,6 +162,12 @@ const baselineWindows = 3
 type Recorder struct {
 	cfg Config
 
+	// core labels exported records with the owning cluster core's
+	// index (0 for scalar machines — see SetCore). Each cluster core
+	// records into its own Recorder; the label keeps merged exports
+	// attributable.
+	core int
+
 	trace   []Entry // bounded full trace, in record order
 	dropped int     // entries dropped after trace hit MaxTrace
 
@@ -209,6 +215,24 @@ func NewRecorder(cfg Config, slots int) *Recorder {
 		r.repairStart[i] = -1
 	}
 	return r
+}
+
+// SetCore sets the cluster-core index stamped onto exported records
+// (JSONL rows carry it as "core"; the Chrome trace maps each core to
+// its own process). Scalar machines leave it at 0.
+func (r *Recorder) SetCore(core int) {
+	if r == nil {
+		return
+	}
+	r.core = core
+}
+
+// Core returns the cluster-core label (0 for a nil recorder).
+func (r *Recorder) Core() int {
+	if r == nil {
+		return 0
+	}
+	return r.core
 }
 
 // record appends e to the trace buffer (until full) and the flight

@@ -104,7 +104,7 @@ func NewCSV(w io.Writer) *CSV {
 // csvHeader lists the sample columns; per-unit-type vectors expand into
 // one column per type, slots join into one quoted string.
 func csvHeader() string {
-	cols := []string{"cycle", "retired", "intervalRetired", "intervalIPC", "occupancy"}
+	cols := []string{"cycle", "core", "retired", "intervalRetired", "intervalIPC", "occupancy"}
 	for _, group := range []string{"demand", "issued", "rfuUnits", "rfuBusy", "ffuBusy"} {
 		for _, t := range arch.UnitTypes() {
 			cols = append(cols, group+"_"+t.String())
@@ -129,7 +129,7 @@ func (e *CSV) Sample(s *Sample) error {
 		}
 	}
 	fields := []string{
-		itoa(s.Cycle), itoa(s.Retired), itoa(s.IntervalRetired),
+		itoa(s.Cycle), itoa(s.Core), itoa(s.Retired), itoa(s.IntervalRetired),
 		fmt.Sprintf("%.4f", s.IntervalIPC), itoa(s.Occupancy),
 	}
 	for _, counts := range []arch.Counts{s.Demand, s.IntervalIssued, s.RFUUnits, s.RFUBusy, s.FFUBusy} {

@@ -13,7 +13,11 @@ import (
 // fields freely, but renaming or retyping one is a breaking change for
 // downstream tooling.
 type Sample struct {
-	Cycle           int     `json:"cycle"`
+	Cycle int `json:"cycle"`
+	// Core labels which cluster core emitted the row; 0 for a scalar
+	// machine, so single-core streams are unchanged apart from the
+	// explicit label.
+	Core            int     `json:"core"`
 	Retired         int     `json:"retired"`
 	IntervalRetired int     `json:"intervalRetired"`
 	IntervalIPC     float64 `json:"intervalIPC"`
@@ -89,6 +93,9 @@ type Sample struct {
 // does not log).
 type Decision struct {
 	Cycle int `json:"cycle"`
+	// Core labels the cluster core whose manager made the decision (0
+	// for a scalar machine).
+	Core int `json:"core"`
 	// From classifies the allocation before the switch: a basis
 	// configuration name, "(empty)", or "hybrid".
 	From string `json:"from"`
@@ -126,6 +133,10 @@ const (
 // fault events are not sampled — every transition is logged.
 type FaultEvent struct {
 	Cycle int `json:"cycle"`
+	// Core labels the cluster core whose fabric view logged the event
+	// (0 for a scalar machine; in merged mode the master core owns the
+	// shared fabric's fault machinery).
+	Core int `json:"core"`
 	// Slot is the reconfigurable slot the event concerns.
 	Slot int `json:"slot"`
 	// Event is one of the Fault* constants above.
@@ -149,6 +160,9 @@ const (
 // — every transition is logged.
 type PrefetchEvent struct {
 	Cycle int `json:"cycle"`
+	// Core labels the cluster core whose predictor logged the event (0
+	// for a scalar machine).
+	Core int `json:"core"`
 	// Event is one of the Prefetch* constants above.
 	Event string `json:"event"`
 	// Config names the predicted target configuration (empty for
@@ -196,6 +210,9 @@ type Probe struct {
 	err      error // first exporter error; surfaced by Flush
 
 	cycle int
+	// core stamps every emitted record with the owning cluster core's
+	// index (0 for scalar machines — see SetCore).
+	core int
 
 	// Registry-backed cumulative metrics.
 	cCycles         *Counter
@@ -315,6 +332,17 @@ func configLabel(i int) string {
 // SetExporter attaches the sample/decision destination.
 func (p *Probe) SetExporter(e Exporter) { p.exp = e }
 
+// SetCore sets the cluster-core index stamped onto every record this
+// probe emits. Scalar machines leave it at 0; the cluster layer gives
+// each core its own probe (often sharing one exporter) so streams stay
+// attributable after interleaving.
+func (p *Probe) SetCore(core int) {
+	if p == nil {
+		return
+	}
+	p.core = core
+}
+
 // Registry exposes the probe's metric registry (for the Prometheus
 // exporter and report code).
 func (p *Probe) Registry() *Registry {
@@ -427,6 +455,7 @@ func (p *Probe) ConfigSwitch(d Decision) {
 		return
 	}
 	d.Cycle = p.cycle
+	d.Core = p.core
 	p.cDecisions.Inc()
 	if p.exp != nil {
 		if err := p.exp.Decision(&d); err != nil && p.err == nil {
@@ -457,7 +486,7 @@ func (p *Probe) Fault(slot int, event string) {
 		p.ivFaultsRep++
 	}
 	if p.exp != nil {
-		f := FaultEvent{Cycle: p.cycle, Slot: slot, Event: event}
+		f := FaultEvent{Cycle: p.cycle, Core: p.core, Slot: slot, Event: event}
 		if err := p.exp.Fault(&f); err != nil && p.err == nil {
 			p.err = err
 		}
@@ -473,6 +502,7 @@ func (p *Probe) Prefetch(ev PrefetchEvent) {
 		return
 	}
 	ev.Cycle = p.cycle
+	ev.Core = p.core
 	switch ev.Event {
 	case PrefetchIssue:
 		p.cPrefIssued.Add(uint64(ev.Spans))
@@ -546,6 +576,7 @@ func (p *Probe) EmitSample(cs CoreState) {
 	}
 	s := Sample{
 		Cycle:           cs.Cycle,
+		Core:            p.core,
 		Retired:         cs.Retired,
 		IntervalRetired: cs.Retired - p.lastRetired,
 		Occupancy:       cs.Occupancy,

@@ -231,7 +231,7 @@ func TestCSVExporterShape(t *testing.T) {
 			t.Errorf("row %d has %d columns, header has %d", i, got, nCols)
 		}
 	}
-	if !strings.HasPrefix(lines[0], "cycle,retired,") {
+	if !strings.HasPrefix(lines[0], "cycle,core,retired,") {
 		t.Errorf("header = %q", lines[0])
 	}
 }
